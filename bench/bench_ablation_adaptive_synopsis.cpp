@@ -1,0 +1,142 @@
+// Extension evaluation: load-adaptive synopsis selection (paper §2.3's
+// deferred SARP idea, implemented in synopsis/multiresolution.h).
+//
+// For each materialized resolution of a CF component the table reports the
+// mandatory stage-1 cost (group count) against the quality of what that
+// resolution buys: the accuracy of the stage-1-only answer and of the
+// answer after improving with 2 ranked sets. A fine synopsis is strictly
+// better when affordable; the adaptive policy's point is that under load
+// the coarse rows of this table are the ones that keep the deadline.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/algorithm1.h"
+#include "synopsis/multiresolution.h"
+
+namespace at::bench {
+namespace {
+
+/// Stage-1 + k-set evaluation of one resolution level against exact.
+double loss_at_resolution(const CfFixture& fx,
+                          const std::vector<synopsis::MultiResolutionSynopsis>&
+                              multis,
+                          std::size_t resolution, std::size_t sets) {
+  const double range = fx.service->rating_range();
+  std::vector<double> approx, exact;
+  const std::size_t n = std::min<std::size_t>(fx.requests.size(), 120);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto& req = fx.requests[r];
+    reco::CfPartial merged;
+    for (std::size_t c = 0; c < fx.service->num_components(); ++c) {
+      const auto& comp = fx.service->component(c);
+      const auto& multi = multis[c];
+      const std::size_t res = std::min(resolution, multi.levels() - 1);
+      const auto& level = multi.level(res);
+
+      // Re-run the component analysis against this resolution's groups.
+      std::vector<double> correlations(level.groups());
+      std::vector<reco::CfPartial> agg(level.groups());
+      std::vector<reco::CfPartial> real(level.groups());
+      for (std::size_t g = 0; g < level.groups(); ++g) {
+        const auto& point = level.synopsis.points[g];
+        const double mean = reco::vector_mean(point.features);
+        const double w = reco::pearson_weight(req.ratings, req.rating_mean,
+                                              point.features, mean);
+        correlations[g] = std::abs(w);
+        const double rating =
+            synopsis::value_at(point.features, req.target_item);
+        if (rating != 0.0 && w != 0.0) {
+          auto it = std::lower_bound(
+              point.features.begin(), point.features.end(), req.target_item,
+              [](const auto& e, std::uint32_t col) { return e.first < col; });
+          const auto idx =
+              static_cast<std::size_t>(it - point.features.begin());
+          const double backing =
+              point.support.empty() ? point.member_count
+                                    : static_cast<double>(point.support[idx]);
+          agg[g].weighted_dev = backing * w * (rating - mean);
+          agg[g].weight_abs = backing * std::abs(w);
+        }
+        for (auto member : level.index.groups()[g].members) {
+          const double rating_vi =
+              synopsis::value_at(comp.users().row(member), req.target_item);
+          if (rating_vi == 0.0) continue;
+          const double wv = comp.user_weight(req, member);
+          if (wv == 0.0) continue;
+          real[g].weighted_dev += wv * (rating_vi - comp.user_mean(member));
+          real[g].weight_abs += std::abs(wv);
+        }
+      }
+      reco::CfPartial partial;
+      for (const auto& a : agg) partial.merge(a);
+      const auto ranked = core::rank_by_correlation(correlations);
+      for (std::size_t i = 0; i < std::min(sets, ranked.size()); ++i) {
+        partial.subtract(agg[ranked[i]]);
+        partial.merge(real[ranked[i]]);
+      }
+      merged.merge(partial);
+    }
+    approx.push_back(reco::predict(req, merged, fx.service->min_rating(),
+                                   fx.service->max_rating()));
+    exact.push_back(fx.service->predict_exact(req));
+  }
+  std::vector<double> actuals(fx.actuals.begin(), fx.actuals.begin() + n);
+  const double a_ex =
+      reco::accuracy_from_rmse(reco::rmse(exact, actuals, range), range);
+  const double a_ap =
+      reco::accuracy_from_rmse(reco::rmse(approx, actuals, range), range);
+  return reco::accuracy_loss_pct(a_ex, a_ap);
+}
+
+}  // namespace
+}  // namespace at::bench
+
+int main() {
+  using namespace at;
+  using namespace at::bench;
+
+  print_paper_note(
+      "Extension: load-adaptive synopsis resolution",
+      "finer synopses buy better stage-1 answers at a higher mandatory "
+      "cost; the adaptive policy (SARP, deferred by the paper) picks per "
+      "request the finest affordable level. Loss should fall as the "
+      "resolution refines, cost should grow.");
+
+  auto fx = make_cf_fixture(4.0, 150, 2);
+  std::vector<synopsis::MultiResolutionSynopsis> multis;
+  std::size_t max_levels = 0;
+  for (std::size_t c = 0; c < fx.service->num_components(); ++c) {
+    multis.emplace_back(fx.service->component(c).structure(),
+                        fx.service->component(c).users(),
+                        synopsis::AggregationKind::kMean);
+    max_levels = std::max(max_levels, multis.back().levels());
+  }
+
+  common::TableWriter table(
+      "CF accuracy loss (%) by synopsis resolution (0 = finest)");
+  table.set_columns({"resolution", "groups (comp 0)", "stage-1 only",
+                     "+2 ranked sets"});
+  for (std::size_t r = 0; r < max_levels; ++r) {
+    const std::size_t shown =
+        std::min(r, multis[0].levels() - 1);
+    table.add_row(
+        {std::to_string(r),
+         std::to_string(multis[0].level(shown).groups()),
+         common::TableWriter::fmt(loss_at_resolution(fx, multis, r, 0), 2),
+         common::TableWriter::fmt(loss_at_resolution(fx, multis, r, 2), 2)});
+  }
+  table.print(std::cout);
+
+  // The adaptive policy itself: what each time budget selects.
+  common::TableWriter policy("adaptive policy: remaining budget -> level");
+  policy.set_columns({"remaining budget (ms)", "selected resolution",
+                      "groups (comp 0)"});
+  for (double budget : {100.0, 20.0, 5.0, 1.0}) {
+    const auto res = multis[0].pick_for_deadline(budget, 0.05);
+    policy.add_row({common::TableWriter::fmt(budget, 1),
+                    std::to_string(res),
+                    std::to_string(multis[0].level(res).groups())});
+  }
+  policy.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation: i_max, the cap on ranked member sets processed per component
+// (Algorithm 1's second stop condition). The paper sets it from the
+// correlation decay — e.g. the top 40% of ranked aggregated pages hold
+// >98% of the actual top-10 pages, so processing more sets buys nothing.
+// This sweep shows accuracy saturating at a fraction of the sets while
+// the latency cost of a larger i_max appears only at light load (under
+// heavy load the deadline binds first).
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+namespace at::bench {
+namespace {
+
+void sweep(const SearchFixture& fx, const sim::SimConfig& base, double rate,
+           const char* label) {
+  common::TableWriter table(std::string("i_max sweep — search workload, ") +
+                            label);
+  table.set_columns(
+      {"i_max", "p99.9 latency (ms)", "mean sets done", "accuracy loss (%)"});
+
+  std::size_t max_groups = 0;
+  for (const auto& p : fx.profiles)
+    max_groups = std::max(max_groups, p.group_sizes.size());
+
+  common::Rng rng(37);
+  const auto arrivals = sim::poisson_arrivals(rate, 30.0, rng);
+
+  for (std::size_t imax :
+       {std::size_t{0}, std::size_t{1}, std::size_t{2}, max_groups * 2 / 5,
+        max_groups}) {
+    auto cfg = base;
+    cfg.imax = imax;
+    cfg.detail_every = detail_stride(arrivals.size());
+    sim::ClusterSim sim(cfg, fx.profiles);
+    const auto result = sim.run(core::Technique::kAccuracyTrader, arrivals);
+    const auto acc =
+        replay_search_accuracy(fx, core::Technique::kAccuracyTrader, result);
+
+    double mean_sets = 0.0;
+    std::size_t n = 0;
+    for (const auto& d : result.details) {
+      for (const auto& o : d.outcomes) {
+        mean_sets += o.sets;
+        ++n;
+      }
+    }
+    table.add_row(
+        {std::to_string(imax),
+         common::TableWriter::fmt(result.p999_component_ms(), 1),
+         common::TableWriter::fmt(n ? mean_sets / static_cast<double>(n) : 0,
+                                  2),
+         common::TableWriter::fmt(acc.loss_pct, 2)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace at::bench
+
+int main() {
+  using namespace at;
+  using namespace at::bench;
+
+  print_paper_note(
+      "Ablation: i_max",
+      "accuracy saturates near i_max ~ 40% of the groups (the paper's "
+      "search setting); beyond that, extra sets add latency at light load "
+      "and nothing at heavy load where the deadline binds first.");
+
+  auto fx = make_search_fixture(12.0, 300);
+  auto scfg = default_sim_config(fx);
+  sweep(fx, scfg, 4.0, "light load (4 req/s)");
+  sweep(fx, scfg, 40.0, "heavy load (40 req/s)");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Ablation: where do the latency tails come from, and which technique
+// benefits from what?
+//
+// Runs the CF workload at a moderate (sub-saturation) rate under four
+// conditions: {no variance, node-speed heterogeneity only, SWIM
+// interference only, both}. Expectations:
+//  * with no variance, Basic ~= Reissue (hedging has nothing to cut) and
+//    tails are mild;
+//  * interference creates the stragglers that request reissue exists for —
+//    its advantage over Basic appears only in the interference columns;
+//  * AccuracyTrader's bound does not depend on either variance source.
+// Also prints the wait-vs-service decomposition of the p99.9.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "workload/swim.h"
+
+int main() {
+  using namespace at;
+  using namespace at::bench;
+
+  print_paper_note(
+      "Ablation: variance sources",
+      "reissue's benefit exists only when components have unequal "
+      "performance (paper §4.3: 'request reissue works best when load is "
+      "light and parallel components have different performances').");
+
+  auto fx = make_cf_fixture(25.0, 100, 2);
+  auto base = default_sim_config(fx);
+  base.session_length_s = 1e9;
+  base.detail_every = 1u << 30;
+  const double rate = 25.0;  // ~half of exact capacity
+  common::Rng rng(3131);
+  const auto arrivals = sim::poisson_arrivals(rate, 45.0, rng);
+
+  struct Condition {
+    const char* name;
+    bool speed_variance;
+    bool interference;
+  };
+  const Condition conditions[] = {
+      {"none", false, false},
+      {"node speeds only", true, false},
+      {"interference only", false, true},
+      {"both", true, true},
+  };
+
+  common::TableWriter table(
+      "p99.9 component latency (ms) by variance source, CF @ 25 req/s");
+  table.set_columns({"variance", "Basic", "Request reissue",
+                     "AccuracyTrader", "reissue gain vs Basic"});
+
+  for (const auto& cond : conditions) {
+    auto cfg = base;
+    if (!cond.speed_variance) {
+      cfg.node_speed_min = cfg.node_speed_max = 1.0;
+    }
+    cfg.interference.enabled = cond.interference;
+    if (cond.interference) {
+      // Replay the *same* SWIM trace for every technique and condition.
+      workload::SwimConfig swim;
+      cfg.interference_trace = workload::to_interference(
+          workload::generate_swim_trace(swim, cfg.num_nodes, 60.0, 555));
+    }
+    sim::ClusterSim sim(cfg, fx.profiles);
+    const auto basic = sim.run(core::Technique::kBasic, arrivals);
+    const auto reissue = sim.run(core::Technique::kRequestReissue, arrivals);
+    const auto at = sim.run(core::Technique::kAccuracyTrader, arrivals);
+    table.add_row(
+        {cond.name, common::TableWriter::fmt(basic.p999_component_ms(), 1),
+         common::TableWriter::fmt(reissue.p999_component_ms(), 1),
+         common::TableWriter::fmt(at.p999_component_ms(), 1),
+         common::TableWriter::fmt(
+             basic.p999_component_ms() /
+                 std::max(1.0, reissue.p999_component_ms()),
+             2) +
+             "x"});
+    if (cond.interference && cond.speed_variance) {
+      std::cout << "  [both] wait/service decomposition, p99.9 wait: Basic "
+                << common::TableWriter::fmt(
+                       basic.subop_wait_ms.percentile(99.9), 1)
+                << " ms, AccuracyTrader "
+                << common::TableWriter::fmt(at.subop_wait_ms.percentile(99.9),
+                                            1)
+                << " ms\n";
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Ablation: does the correlation-based ranking of aggregated data points
+// actually matter? We fix the per-component set budget and compare three
+// improvement orders:
+//   ranked      — Algorithm 1's descending-correlation order,
+//   random      — sets processed in a seeded random order,
+//   anti-ranked — ascending correlation (adversarial).
+// If the synopsis correlations carry signal (Fig. 4), ranked must beat
+// random, which must beat anti-ranked, at every budget below "all sets".
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/algorithm1.h"
+#include "services/search/topk.h"
+
+namespace at::bench {
+namespace {
+
+enum class Order { kRanked, kRandom, kAntiRanked };
+
+std::vector<std::size_t> make_order(const std::vector<double>& correlations,
+                                    Order order, common::Rng& rng) {
+  auto ranked = core::rank_by_correlation(correlations);
+  switch (order) {
+    case Order::kRanked:
+      return ranked;
+    case Order::kAntiRanked:
+      std::reverse(ranked.begin(), ranked.end());
+      return ranked;
+    case Order::kRandom:
+      for (std::size_t i = ranked.size(); i > 1; --i) {
+        std::swap(ranked[i - 1], ranked[rng.uniform_index(i)]);
+      }
+      return ranked;
+  }
+  return ranked;
+}
+
+double cf_loss(const CfFixture& fx, std::size_t sets, Order order) {
+  common::Rng rng(42);
+  const double range = fx.service->rating_range();
+  std::vector<double> approx, exact;
+  const std::size_t n = std::min<std::size_t>(fx.requests.size(), 150);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto& req = fx.requests[r];
+    reco::CfPartial merged;
+    for (std::size_t c = 0; c < fx.service->num_components(); ++c) {
+      const auto work = fx.service->component(c).analyze(req);
+      const auto ord = make_order(work.correlations, order, rng);
+      merged.merge(work.after_sets(ord, sets));
+    }
+    approx.push_back(
+        reco::predict(req, merged, fx.service->min_rating(),
+                      fx.service->max_rating()));
+    exact.push_back(fx.service->predict_exact(req));
+  }
+  std::vector<double> actuals(fx.actuals.begin(), fx.actuals.begin() + n);
+  const double a_ex = reco::accuracy_from_rmse(
+      reco::rmse(exact, actuals, range), range);
+  const double a_ap = reco::accuracy_from_rmse(
+      reco::rmse(approx, actuals, range), range);
+  return reco::accuracy_loss_pct(a_ex, a_ap);
+}
+
+double search_loss(const SearchFixture& fx, std::size_t sets, Order order) {
+  common::Rng rng(42);
+  double acc = 0.0;
+  const std::size_t n = std::min<std::size_t>(fx.queries.size(), 150);
+  for (std::size_t q = 0; q < n; ++q) {
+    const auto& query = fx.queries[q];
+    const auto actual = fx.service->exact_topk(query);
+    search::TopK top(fx.service->k());
+    for (std::size_t c = 0; c < fx.service->num_components(); ++c) {
+      const auto work = fx.service->component(c).analyze(query);
+      const auto ord = make_order(work.correlations, order, rng);
+      const std::size_t take = std::min(sets, ord.size());
+      for (std::size_t i = 0; i < take; ++i) {
+        for (const auto& d : work.scored_by_group[ord[i]]) top.offer(d);
+      }
+    }
+    acc += search::topk_overlap(top.take(), actual);
+  }
+  return (1.0 - acc / static_cast<double>(n)) * 100.0;
+}
+
+}  // namespace
+}  // namespace at::bench
+
+int main() {
+  using namespace at;
+  using namespace at::bench;
+
+  print_paper_note(
+      "Ablation: improvement order",
+      "Algorithm 1's correlation ranking should dominate random and "
+      "anti-ranked orders at every set budget — this isolates the value "
+      "of the synopsis correlation estimates (Fig. 4's implication).");
+
+  auto cf = make_cf_fixture(25.0, 150, 2);
+  auto se = make_search_fixture(12.0, 200);
+
+  for (const char* service : {"CF recommender", "web search"}) {
+    common::TableWriter table(
+        std::string("Accuracy loss (%) by improvement order — ") + service);
+    table.set_columns({"sets processed", "ranked (Algorithm 1)",
+                       "random order", "anti-ranked"});
+    for (std::size_t sets : {1u, 2u, 4u, 8u}) {
+      std::vector<std::string> row{std::to_string(sets)};
+      for (Order o : {Order::kRanked, Order::kRandom, Order::kAntiRanked}) {
+        const double loss = service[0] == 'C' ? cf_loss(cf, sets, o)
+                                              : search_loss(se, sets, o);
+        row.push_back(common::TableWriter::fmt(loss, 2));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

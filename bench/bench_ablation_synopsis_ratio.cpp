@@ -1,0 +1,63 @@
+// Ablation: the synopsis compression ratio (#original points per
+// aggregated point). The paper picks "e.g. 100x smaller" — this sweep
+// shows the trade: a finer synopsis (small ratio) costs more per stage-1
+// pass (higher AccuracyTrader tail under load, eventually instability),
+// while a coarser one answers faster but starts from a worse initial
+// result (higher loss when few sets fit the deadline).
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace at;
+  using namespace at::bench;
+
+  print_paper_note(
+      "Ablation: synopsis size ratio",
+      "tail latency falls as the synopsis shrinks (cheaper mandatory "
+      "stage 1); accuracy under overload degrades once the synopsis gets "
+      "too coarse. The paper's ~100x sits on the flat part of both "
+      "curves at its scale.");
+
+  const double rate = 40.0;  // deep overload for exact processing
+  const double duration_s = 30.0;
+
+  common::TableWriter table(
+      "AccuracyTrader vs synopsis ratio (CF workload, 40 req/s)");
+  table.set_columns({"size ratio", "groups/component", "stage-1 cost (ms)",
+                     "p99.9 latency (ms)", "accuracy loss (%)"});
+
+  for (double ratio : {5.0, 10.0, 25.0, 50.0, 100.0}) {
+    // Match the R-tree fan-out to the requested ratio so the selected tree
+    // level lands near the target group count (levels quantize group
+    // counts by powers of the fan-out otherwise).
+    auto bcfg = default_build_config(ratio);
+    bcfg.rtree_params.max_entries = static_cast<std::size_t>(
+        std::clamp(ratio, 4.0, 32.0));
+    bcfg.rtree_params.min_entries = bcfg.rtree_params.max_entries / 3;
+    auto fx = make_cf_fixture(ratio, 200, 2, nullptr, &bcfg);
+    auto scfg = default_sim_config(fx);
+    common::Rng rng(91);
+    const auto arrivals = sim::poisson_arrivals(rate, duration_s, rng);
+    auto cfg = scfg;
+    cfg.detail_every = detail_stride(arrivals.size());
+    sim::ClusterSim sim(cfg, fx.profiles);
+    const auto result = sim.run(core::Technique::kAccuracyTrader, arrivals);
+    const auto acc =
+        replay_cf_accuracy(fx, core::Technique::kAccuracyTrader, result);
+
+    double mean_groups = 0.0;
+    for (const auto& p : fx.profiles)
+      mean_groups += static_cast<double>(p.group_sizes.size());
+    mean_groups /= static_cast<double>(fx.profiles.size());
+
+    table.add_row({common::TableWriter::fmt(ratio, 0),
+                   common::TableWriter::fmt(mean_groups, 1),
+                   common::TableWriter::fmt(sim.mean_synopsis_service_ms(), 2),
+                   common::TableWriter::fmt(result.p999_component_ms(), 1),
+                   common::TableWriter::fmt(acc.loss_pct, 2)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Fig. 3: synopsis updating cost when i% of the data points are (a) newly
+// added or (b) changed, i = 1..10, for both services. Each scenario is
+// repeated and the mean wall-clock time reported, alongside the full
+// creation time for reference — updates must be much cheaper than
+// re-creation, and "changed" must cost more than "added" (delete + insert
+// vs. insert only).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "common/stopwatch.h"
+#include "synopsis/updater.h"
+
+namespace at::bench {
+namespace {
+
+constexpr int kRepeats = 3;
+
+struct Scenario {
+  synopsis::SparseRows rows;
+  synopsis::BuildConfig cfg;
+  synopsis::AggregationKind kind;
+  std::function<synopsis::SparseVector(common::Rng&)> sample_point;
+};
+
+double time_update(const Scenario& base, double add_frac, double change_frac,
+                   std::uint64_t seed, double* dirty_fraction) {
+  // Fresh build per measurement so updates do not compound.
+  synopsis::SparseRows rows = base.rows;
+  auto structure = synopsis::SynopsisBuilder(base.cfg).build(rows);
+  auto syn = synopsis::aggregate_all(rows, structure.index, base.kind);
+
+  common::Rng rng(seed);
+  synopsis::UpdateBatch batch;
+  const auto n = rows.rows();
+  const auto n_add = static_cast<std::size_t>(add_frac * n);
+  const auto n_change = static_cast<std::size_t>(change_frac * n);
+  for (std::size_t i = 0; i < n_add; ++i)
+    batch.added.push_back(base.sample_point(rng));
+  for (std::size_t i = 0; i < n_change; ++i) {
+    batch.changed.emplace_back(
+        static_cast<std::uint32_t>(rng.uniform_index(n)),
+        base.sample_point(rng));
+  }
+
+  synopsis::SynopsisUpdater updater(base.cfg);
+  const auto report = updater.apply(structure, rows, syn, batch, base.kind);
+  if (dirty_fraction != nullptr) {
+    *dirty_fraction = report.groups_after
+                          ? static_cast<double>(report.dirty_groups) /
+                                static_cast<double>(report.groups_after)
+                          : 0.0;
+  }
+  return report.seconds;
+}
+
+void run_service(const char* name, const Scenario& scenario) {
+  common::Stopwatch w;
+  auto structure = synopsis::SynopsisBuilder(scenario.cfg).build(scenario.rows);
+  auto syn =
+      synopsis::aggregate_all(scenario.rows, structure.index, scenario.kind);
+  const double creation_s = w.elapsed_seconds();
+
+  common::TableWriter table(std::string("Fig. 3 — synopsis updating, ") +
+                            name);
+  table.set_columns({"i%", "added: seconds", "added: dirty groups",
+                     "changed: seconds", "changed: dirty groups"});
+  for (int i = 1; i <= 10; ++i) {
+    double add_s = 0.0, change_s = 0.0, add_dirty = 0.0, change_dirty = 0.0;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      double d = 0.0;
+      add_s += time_update(scenario, i / 100.0, 0.0,
+                           1000 * i + rep, &d);
+      add_dirty += d;
+      change_s += time_update(scenario, 0.0, i / 100.0,
+                              2000 * i + rep, &d);
+      change_dirty += d;
+    }
+    add_s /= kRepeats;
+    change_s /= kRepeats;
+    table.add_row({std::to_string(i), common::TableWriter::fmt(add_s, 4),
+                   common::TableWriter::fmt(add_dirty / kRepeats, 3),
+                   common::TableWriter::fmt(change_s, 4),
+                   common::TableWriter::fmt(change_dirty / kRepeats, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "  full creation: " << common::TableWriter::fmt(creation_s, 3)
+            << " s (updates above should be well below this)\n";
+}
+
+}  // namespace
+}  // namespace at::bench
+
+int main() {
+  using namespace at;
+  using namespace at::bench;
+
+  print_paper_note(
+      "Fig. 3",
+      "(i) every update finishes much faster than full synopsis creation; "
+      "(ii) 'changed' scenarios cost more than 'added' ones (node deletion "
+      "+ insertion vs. insertion only); cost grows with i.");
+
+  {
+    auto wcfg = default_rating_config();
+    wcfg.num_components = 1;
+    workload::RatingWorkloadGen gen(wcfg);
+    auto wl = gen.generate(0, 0);
+    Scenario s{std::move(wl.subsets[0]), default_build_config(25.0),
+               synopsis::AggregationKind::kMean,
+               [gen](common::Rng& rng) { return gen.sample_user(rng); }};
+    run_service("CF recommender", s);
+  }
+  {
+    auto ccfg = default_corpus_config();
+    ccfg.num_components = 1;
+    workload::CorpusGen gen(ccfg);
+    auto wl = gen.generate(0);
+    Scenario s{std::move(wl.shards[0]), default_build_config(12.0),
+               synopsis::AggregationKind::kMerge,
+               [gen](common::Rng& rng) { return gen.sample_doc(rng); }};
+    run_service("web search", s);
+  }
+  return 0;
+}

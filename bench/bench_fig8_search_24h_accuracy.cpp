@@ -1,0 +1,69 @@
+// Fig. 8: hourly accuracy losses of Partial execution vs. AccuracyTrader
+// over the 24-hour diurnal search workload (same deadline).
+//
+// Expected shape (paper): partial execution's loss swings with the
+// diurnal load and reaches catastrophic levels in busy hours;
+// AccuracyTrader's loss stays an order of magnitude smaller all day
+// (13.85x mean reduction).
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace at;
+  using namespace at::bench;
+
+  print_paper_note(
+      "Fig. 8",
+      "hourly losses: partial execution tracks load and collapses in busy "
+      "hours; AccuracyTrader stays small all 24 hours (paper: 13.85x mean "
+      "loss reduction).");
+
+  auto fx = make_search_fixture(12.0, 300);
+  auto scfg = default_sim_config(fx);
+  apply_search_imax(scfg, fx);
+  scfg.session_length_s = 1e9;
+  const workload::DiurnalProfile profile(100.0);
+  const double hour_duration_s = large_scale() ? 360.0 : 90.0;
+
+  common::TableWriter table(
+      "Fig. 8 — 24-hour workload: hourly accuracy loss (%)");
+  table.set_columns(
+      {"hour", "mean rate (req/s)", "Partial execution", "AccuracyTrader"});
+
+  double partial_sum = 0.0, at_sum = 0.0;
+  for (std::size_t hour = 1; hour <= 24; ++hour) {
+    common::Rng rng(8000 + hour);
+    const auto arrivals = sim::nhpp_arrivals(
+        [&](double t) {
+          return profile.rate_in_hour(hour, t / hour_duration_s * 3600.0);
+        },
+        profile.peak_rate(), hour_duration_s, rng);
+
+    auto cfg = scfg;
+    cfg.detail_every = detail_stride(arrivals.size(), 120);
+    sim::ClusterSim sim(cfg, fx.profiles);
+
+    const auto partial_sim =
+        sim.run(core::Technique::kPartialExecution, arrivals);
+    const auto partial = replay_search_accuracy(
+        fx, core::Technique::kPartialExecution, partial_sim, 120);
+    const auto at_sim = sim.run(core::Technique::kAccuracyTrader, arrivals);
+    const auto at = replay_search_accuracy(
+        fx, core::Technique::kAccuracyTrader, at_sim, 120);
+
+    partial_sum += partial.loss_pct;
+    at_sum += at.loss_pct;
+    table.add_row({std::to_string(hour),
+                   common::TableWriter::fmt(profile.hourly_mean(hour), 1),
+                   common::TableWriter::fmt(partial.loss_pct, 2),
+                   common::TableWriter::fmt(at.loss_pct, 2)});
+  }
+  table.print(std::cout);
+  if (at_sum > 0.0) {
+    std::cout << "  mean loss reduction vs partial execution: "
+              << common::TableWriter::fmt(partial_sum / at_sum, 1)
+              << "x (paper: 13.85x)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,178 @@
+// Google-benchmark micro-benchmarks for the hot substrate operations:
+// R-tree construction/queries, incremental SVD epochs, Pearson weights,
+// inverted-index scoring, synopsis aggregation, and raw simulator event
+// throughput. These guard the constant factors the experiment harnesses
+// depend on.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/algorithm1.h"
+#include "linalg/svd.h"
+#include "rtree/rtree.h"
+#include "services/search/inverted_index.h"
+#include "synopsis/aggregate.h"
+#include "synopsis/builder.h"
+
+namespace {
+
+using namespace at;
+
+std::vector<std::pair<std::uint64_t, rtree::Rect>> random_points(
+    std::size_t n, std::size_t dims, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<std::pair<std::uint64_t, rtree::Rect>> items;
+  items.reserve(n);
+  std::vector<double> c(dims);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& x : c) x = rng.uniform(0.0, 100.0);
+    items.emplace_back(i, rtree::Rect::point(c));
+  }
+  return items;
+}
+
+void BM_RTreeInsert(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto items = random_points(n, 3, 1);
+  for (auto _ : state) {
+    rtree::RTree t(3);
+    for (const auto& [id, r] : items) t.insert(id, r);
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RTreeInsert)->Arg(1000)->Arg(4000);
+
+void BM_RTreeBulkLoad(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto items = random_points(n, 3, 2);
+  for (auto _ : state) {
+    auto copy = items;
+    auto t = rtree::RTree::bulk_load(3, std::move(copy));
+    benchmark::DoNotOptimize(t.height());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RTreeBulkLoad)->Arg(1000)->Arg(10000);
+
+void BM_RTreeRangeQuery(benchmark::State& state) {
+  auto items = random_points(20000, 3, 3);
+  auto t = rtree::RTree::bulk_load(3, std::move(items));
+  const rtree::Rect q({40, 40, 40}, {60, 60, 60});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.range_query(q));
+  }
+}
+BENCHMARK(BM_RTreeRangeQuery);
+
+void BM_SvdEpochs(benchmark::State& state) {
+  common::Rng rng(4);
+  linalg::SparseDataset ds;
+  ds.rows = 500;
+  ds.cols = 300;
+  for (std::uint32_t r = 0; r < ds.rows; ++r)
+    for (std::uint32_t c = 0; c < ds.cols; ++c)
+      if (rng.bernoulli(0.15))
+        ds.entries.push_back({r, c, rng.uniform(1.0, 5.0)});
+  linalg::SvdConfig cfg;
+  cfg.rank = 3;
+  cfg.epochs_per_dim = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::incremental_svd(ds, cfg).train_rmse);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(ds.entries.size() * cfg.rank *
+                                cfg.epochs_per_dim));
+}
+BENCHMARK(BM_SvdEpochs)->Arg(10)->Arg(40);
+
+void BM_PearsonWeight(benchmark::State& state) {
+  common::Rng rng(5);
+  synopsis::SparseVector a, b;
+  for (std::uint32_t c = 0; c < 400; ++c) {
+    if (rng.bernoulli(0.2)) a.emplace_back(c, rng.uniform(1.0, 5.0));
+    if (rng.bernoulli(0.2)) b.emplace_back(c, rng.uniform(1.0, 5.0));
+  }
+  const double ma = reco::vector_mean(a);
+  const double mb = reco::vector_mean(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reco::pearson_weight(a, ma, b, mb));
+  }
+}
+BENCHMARK(BM_PearsonWeight);
+
+void BM_IndexTopK(benchmark::State& state) {
+  auto cfg = at::bench::default_corpus_config();
+  cfg.num_components = 1;
+  cfg.docs_per_component = 2000;
+  workload::CorpusGen gen(cfg);
+  auto wl = gen.generate(64);
+  const search::InvertedIndex index(wl.shards[0]);
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    const auto& q = wl.queries[qi++ % wl.queries.size()];
+    benchmark::DoNotOptimize(index.topk(q.terms, 0, 10));
+  }
+}
+BENCHMARK(BM_IndexTopK);
+
+void BM_SynopsisBuild(benchmark::State& state) {
+  auto wcfg = at::bench::default_rating_config();
+  wcfg.num_components = 1;
+  wcfg.users_per_component = static_cast<std::size_t>(state.range(0));
+  workload::RatingWorkloadGen gen(wcfg);
+  auto wl = gen.generate(0, 0);
+  auto bcfg = at::bench::default_build_config(25.0);
+  bcfg.svd.epochs_per_dim = 15;  // keep the micro-bench fast
+  for (auto _ : state) {
+    auto s = synopsis::SynopsisBuilder(bcfg).build(wl.subsets[0]);
+    benchmark::DoNotOptimize(s.num_groups());
+  }
+}
+BENCHMARK(BM_SynopsisBuild)->Arg(300);
+
+void BM_AggregateAll(benchmark::State& state) {
+  auto wcfg = at::bench::default_rating_config();
+  wcfg.num_components = 1;
+  workload::RatingWorkloadGen gen(wcfg);
+  auto wl = gen.generate(0, 0);
+  auto s = synopsis::SynopsisBuilder(at::bench::default_build_config(25.0))
+               .build(wl.subsets[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        synopsis::aggregate_all(wl.subsets[0], s.index,
+                                synopsis::AggregationKind::kMean)
+            .size());
+  }
+}
+BENCHMARK(BM_AggregateAll);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  sim::SimConfig cfg;
+  cfg.num_components = 16;
+  cfg.num_nodes = 4;
+  cfg.us_per_point = 50.0;
+  cfg.session_length_s = 1e9;
+  cfg.detail_every = 1u << 30;
+  std::vector<sim::ComponentProfile> profiles(16);
+  for (auto& p : profiles) {
+    p.num_points = 1000;
+    p.group_sizes.assign(20, 50);
+  }
+  sim::ClusterSim sim(cfg, profiles);
+  common::Rng rng(6);
+  const auto arrivals = sim::poisson_arrivals(50.0, 20.0, rng);
+  for (auto _ : state) {
+    const auto r = sim.run(core::Technique::kAccuracyTrader, arrivals);
+    benchmark::DoNotOptimize(r.subops);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(arrivals.size() * 16));
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Scenario: a small text search engine (the paper's second motivating
+// service) built from real strings through the tokenizer/vocabulary
+// pipeline, sharded over components, answering queries through
+// AccuracyTrader's two-stage processing with a wall-clock deadline.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/algorithm1.h"
+#include "services/search/service.h"
+#include "services/search/text.h"
+
+namespace {
+
+// A tiny hand-written "web" of documents across three topics.
+const char* kDocs[] = {
+    "the cache hierarchy hides memory latency from the processor core",
+    "tail latency in distributed systems grows with fan out and queueing",
+    "a web search engine ranks pages by similarity to the query terms",
+    "queueing delay dominates service latency under heavy load",
+    "inverted index postings map each term to the documents containing it",
+    "processor cores share the last level cache and memory bandwidth",
+    "approximate processing trades result accuracy for latency reduction",
+    "the recommender system predicts ratings from similar minded users",
+    "collaborative filtering scans the user item rating matrix",
+    "the synopsis aggregates similar data points to answer quickly",
+    "replicas and request reissue cut stragglers in distributed storage",
+    "page rank and term frequency drive the ranking of web pages",
+    "memory bandwidth limits throughput of sparse matrix kernels",
+    "deadline driven schedulers skip work that cannot finish in time",
+    "users with similar taste rate the same items alike",
+    "sharded indexes spread the corpus across parallel components",
+};
+
+}  // namespace
+
+int main() {
+  using namespace at;
+
+  // Build the vocabulary and shard the corpus over 2 components.
+  search::Vocabulary vocab;
+  std::vector<synopsis::SparseVector> rows;
+  for (const char* doc : kDocs) rows.push_back(text_to_counts(doc, vocab));
+
+  synopsis::BuildConfig bcfg;
+  bcfg.svd.rank = 2;
+  bcfg.svd.epochs_per_dim = 40;
+  bcfg.size_ratio = 4.0;  // tiny corpus -> small groups
+  bcfg.min_groups = 2;
+
+  std::vector<search::SearchComponent> comps;
+  const std::size_t shard_size = rows.size() / 2;
+  std::uint64_t base = 0;
+  for (std::size_t s = 0; s < 2; ++s) {
+    synopsis::SparseRows shard(vocab.size());
+    const std::size_t lo = s * shard_size;
+    const std::size_t hi = (s == 1) ? rows.size() : lo + shard_size;
+    for (std::size_t d = lo; d < hi; ++d) shard.add_row(rows[d]);
+    comps.emplace_back(std::move(shard), base, bcfg);
+    base += hi - lo;
+  }
+  search::SearchService service(std::move(comps), /*k=*/3);
+
+  const std::string queries[] = {
+      "tail latency under load",
+      "cache memory bandwidth",
+      "similar users rating items",
+  };
+
+  for (const auto& q : queries) {
+    search::SearchRequest request{search::text_to_terms(q, vocab)};
+    std::printf("query: \"%s\"\n", q.c_str());
+
+    // Exact answer for reference.
+    const auto exact = service.exact_topk(request);
+
+    // AccuracyTrader per component under a wall-clock deadline.
+    std::vector<core::ComponentOutcome> outcomes(service.num_components());
+    for (std::size_t c = 0; c < service.num_components(); ++c) {
+      const auto work = service.component(c).analyze(request);
+      core::Algorithm1Config acfg;
+      acfg.deadline_ms = 2.0;
+      core::WallClock clock;
+      const auto trace = core::run_algorithm1(
+          acfg, clock, [&] { return work.correlations; },
+          [&](std::size_t) { /* member scoring already in `work` */ });
+      outcomes[c].sets = static_cast<std::uint32_t>(trace.sets_processed);
+    }
+    const auto approx =
+        service.retrieve(request, core::Technique::kAccuracyTrader, outcomes);
+
+    std::printf("  exact top-%zu:\n", exact.size());
+    for (const auto& d : exact)
+      std::printf("    [%5.2f] %s\n", d.score, kDocs[d.doc]);
+    std::printf("  AccuracyTrader top-%zu (overlap %.0f%%):\n", approx.size(),
+                100.0 * search::topk_overlap(approx, exact));
+    for (const auto& d : approx)
+      std::printf("    [%5.2f] %s\n", d.score, kDocs[d.doc]);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Tiny leveled logger. Benchmarks and examples log progress at INFO;
+// library code logs only at DEBUG so tests stay quiet by default.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace at::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one formatted line to stderr (thread-safe).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace at::common
+
+#define AT_LOG_DEBUG ::at::common::detail::LogStream(::at::common::LogLevel::kDebug)
+#define AT_LOG_INFO ::at::common::detail::LogStream(::at::common::LogLevel::kInfo)
+#define AT_LOG_WARN ::at::common::detail::LogStream(::at::common::LogLevel::kWarn)
+#define AT_LOG_ERROR ::at::common::detail::LogStream(::at::common::LogLevel::kError)

@@ -1,0 +1,138 @@
+// Deterministic, fast pseudo-random number generation for simulation and
+// workload synthesis.
+//
+// All randomness in the repository flows through at::common::Rng so that
+// every experiment is reproducible from a single 64-bit seed. The generator
+// is xoshiro256** (Blackman & Vigna), seeded via splitmix64 so that nearby
+// seeds produce uncorrelated streams.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace at::common {
+
+/// splitmix64 step; used for seeding and for cheap hash-style mixing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x1234abcdULL) { reseed(seed); }
+
+  /// Re-initializes the state from a 64-bit seed via splitmix64.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    // 53 high bits -> double mantissa.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded integer method.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      std::uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    uniform_index(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Standard normal via Box–Muller (cached second value not kept; the
+  /// simulator draws normals rarely enough that simplicity wins).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with given rate (mean 1/rate).
+  double exponential(double rate) {
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    return -std::log(u) / rate;
+  }
+
+  /// Log-normal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Pareto with scale xm and shape alpha (heavy-tailed job sizes).
+  double pareto(double xm, double alpha) {
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Derives an independent child stream; stable for a given (seed, tag).
+  Rng fork(std::uint64_t tag) const {
+    std::uint64_t mix = state_[0] ^ rotl(state_[3], 13) ^
+                        (tag * 0x9e3779b97f4a7c15ULL) ^ (tag << 1 | 1);
+    return Rng(mix);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace at::common

@@ -1,0 +1,204 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace at::common {
+
+void StreamingStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double StreamingStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+void PercentileTracker::merge(const PercentileTracker& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+double PercentileTracker::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (p <= 0.0 || p > 100.0)
+    throw std::invalid_argument("percentile: p must be in (0, 100]");
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double n = static_cast<double>(samples_.size());
+  std::size_t rank =
+      static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  if (rank == 0) rank = 1;
+  if (rank > samples_.size()) rank = samples_.size();
+  return samples_[rank - 1];
+}
+
+double PercentileTracker::mean() const {
+  if (samples_.empty()) return 0.0;
+  double acc = 0.0;
+  for (double s : samples_) acc += s;
+  return acc / static_cast<double>(samples_.size());
+}
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  if (q <= 0.0 || q >= 1.0)
+    throw std::invalid_argument("P2Quantile: q must be in (0, 1)");
+  for (int i = 0; i < 5; ++i) {
+    heights_[i] = 0.0;
+    positions_[i] = static_cast<double>(i + 1);
+  }
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * q_;
+  desired_[2] = 1.0 + 4.0 * q_;
+  desired_[3] = 3.0 + 2.0 * q_;
+  desired_[4] = 5.0;
+  increments_[0] = 0.0;
+  increments_[1] = q_ / 2.0;
+  increments_[2] = q_;
+  increments_[3] = (1.0 + q_) / 2.0;
+  increments_[4] = 1.0;
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) std::sort(heights_, heights_ + 5);
+    return;
+  }
+  ++count_;
+
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double right_gap = positions_[i + 1] - positions_[i];
+    const double left_gap = positions_[i - 1] - positions_[i];
+    if ((d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0)) {
+      const double sign = d >= 0 ? 1.0 : -1.0;
+      // Piecewise-parabolic (P²) interpolation of the marker height.
+      const double qi = heights_[i];
+      const double np = positions_[i] + sign;
+      const double parabolic =
+          qi + sign / (positions_[i + 1] - positions_[i - 1]) *
+                   ((positions_[i] - positions_[i - 1] + sign) *
+                        (heights_[i + 1] - qi) /
+                        (positions_[i + 1] - positions_[i]) +
+                    (positions_[i + 1] - positions_[i] - sign) *
+                        (qi - heights_[i - 1]) /
+                        (positions_[i] - positions_[i - 1]));
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        // Fall back to linear interpolation toward the neighbor.
+        const int j = sign > 0 ? i + 1 : i - 1;
+        heights_[i] = qi + sign * (heights_[j] - qi) /
+                               (positions_[j] - positions_[i]);
+      }
+      positions_[i] = np;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact nearest-rank on the few samples seen so far.
+    std::vector<double> v(heights_, heights_ + count_);
+    std::sort(v.begin(), v.end());
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q_ * static_cast<double>(count_)));
+    if (rank == 0) rank = 1;
+    return v[rank - 1];
+  }
+  return heights_[2];
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must be > lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be >= 1");
+  counts_.resize(bins, 0);
+}
+
+void Histogram::add(double x) {
+  std::size_t idx;
+  if (x < lo_) {
+    idx = 0;
+  } else if (x >= hi_) {
+    idx = counts_.size() - 1;
+  } else {
+    idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar =
+        peak ? counts_[i] * width / peak : 0;
+    os << "[" << bin_lo(i) << ", " << bin_hi(i) << ") "
+       << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace at::common

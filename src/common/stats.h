@@ -1,0 +1,119 @@
+// Statistics utilities used across the simulator and benchmarks:
+//  - StreamingStats: Welford mean/variance/min/max without storing samples.
+//  - PercentileTracker: exact percentiles over stored samples (the paper's
+//    headline metric is the 99.9th percentile component latency, which
+//    requires exact tail resolution at the sample counts we run).
+//  - P2Quantile: constant-space quantile estimate (Jain & Chlamtac's P²),
+//    used where sample storage would be too large (long interference runs).
+//  - Histogram: fixed-width binning for distribution dumps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace at::common {
+
+/// Welford online mean/variance plus min/max.
+class StreamingStats {
+ public:
+  void add(double x);
+  void merge(const StreamingStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 when n < 2).
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores samples; answers arbitrary percentiles exactly.
+///
+/// percentile(p) uses the nearest-rank method on the sorted samples:
+/// the ceil(p/100 * n)-th smallest value. This matches how tail latency
+/// SLOs are typically reported and keeps p = 99.9 meaningful with n >= 1000.
+class PercentileTracker {
+ public:
+  PercentileTracker() = default;
+  explicit PercentileTracker(std::size_t reserve) { samples_.reserve(reserve); }
+
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void merge(const PercentileTracker& other);
+  void clear() {
+    samples_.clear();
+    sorted_ = true;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// p in (0, 100]. Returns 0 for an empty tracker.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  double p99() const { return percentile(99.0); }
+  double p999() const { return percentile(99.9); }
+  double max() const { return percentile(100.0); }
+  double mean() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// P² single-quantile estimator (Jain & Chlamtac, 1985). O(1) space.
+class P2Quantile {
+ public:
+  /// q in (0, 1), e.g. 0.999.
+  explicit P2Quantile(double q);
+
+  void add(double x);
+  /// Current estimate; exact while fewer than 5 samples were seen.
+  double value() const;
+  std::size_t count() const { return count_; }
+
+ private:
+  double q_;
+  std::size_t count_ = 0;
+  double heights_[5];
+  double positions_[5];
+  double desired_[5];
+  double increments_[5];
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+  /// Multi-line ASCII rendering (for example programs).
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace at::common

@@ -1,0 +1,70 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace at::common {
+
+void TableWriter::set_columns(std::vector<std::string> names) {
+  if (!rows_.empty())
+    throw std::logic_error("TableWriter: set_columns after add_row");
+  columns_ = std::move(names);
+}
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size())
+    throw std::invalid_argument("TableWriter: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TableWriter::fmt_int(long long v) { return std::to_string(v); }
+
+std::string TableWriter::to_ascii() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto hline = [&] {
+    std::string s = "+";
+    for (auto w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      s += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+  std::string out = hline() + render_row(columns_) + hline();
+  for (const auto& row : rows_) out += render_row(row);
+  out += hline();
+  return out;
+}
+
+std::string TableWriter::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    os << columns_[c] << (c + 1 < columns_.size() ? "," : "\n");
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << row[c] << (c + 1 < row.size() ? "," : "\n");
+  }
+  return os.str();
+}
+
+void TableWriter::print(std::ostream& os) const {
+  os << "== " << title_ << " ==\n" << to_ascii();
+}
+
+}  // namespace at::common

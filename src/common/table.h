@@ -1,0 +1,45 @@
+// ASCII table / CSV emission for benchmark harnesses.
+//
+// Every bench binary reproduces one paper table or figure; TableWriter
+// formats the rows both as an aligned console table (for reading) and as
+// CSV (for plotting), so bench output is directly comparable to the paper.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace at::common {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before add_row.
+  void set_columns(std::vector<std::string> names);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+
+  /// Aligned, boxed console rendering.
+  std::string to_ascii() const;
+  /// RFC-4180-ish CSV (no quoting of embedded commas needed for our data).
+  std::string to_csv() const;
+
+  /// Prints the ASCII table to the stream, preceded by the title.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace at::common

@@ -1,0 +1,35 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace at::common {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) : s_(s) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: n must be >= 1");
+  if (s < 0.0) throw std::invalid_argument("ZipfDistribution: s must be >= 0");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  const double total = acc;
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding shortfall
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::pmf(std::size_t k) const {
+  if (k >= cdf_.size()) return 0.0;
+  if (k == 0) return cdf_[0];
+  return cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace at::common

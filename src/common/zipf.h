@@ -1,0 +1,40 @@
+// Zipf-distributed integer sampling.
+//
+// Used to synthesize realistic skew: item popularity in the rating-matrix
+// generator, term frequency in the corpus generator, and query term choice
+// in the query-log generator all follow (truncated) Zipf laws.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace at::common {
+
+/// Samples k in [0, n) with P(k) proportional to 1 / (k+1)^s.
+///
+/// Implementation: precomputed cumulative distribution + binary search.
+/// Construction is O(n); sampling is O(log n). n up to a few million is fine
+/// for workload generation (construction happens once per generator).
+class ZipfDistribution {
+ public:
+  /// n: support size (must be >= 1); s: skew exponent (s >= 0; s == 0 is
+  /// the uniform distribution).
+  ZipfDistribution(std::size_t n, double s);
+
+  std::size_t operator()(Rng& rng) const { return sample(rng); }
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of rank k.
+  double pmf(std::size_t k) const;
+
+  std::size_t support_size() const { return cdf_.size(); }
+  double skew() const { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // cdf_[k] = P(X <= k); cdf_.back() == 1.
+};
+
+}  // namespace at::common

@@ -1,0 +1,49 @@
+#include "core/algorithm1.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace at::core {
+
+std::vector<std::size_t> rank_by_correlation(
+    const std::vector<double>& correlations) {
+  std::vector<std::size_t> order(correlations.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return correlations[a] > correlations[b];
+                   });
+  return order;
+}
+
+Algorithm1Trace run_algorithm1(
+    const Algorithm1Config& config, const Clock& clock,
+    const std::function<std::vector<double>()>& stage1,
+    const std::function<void(std::size_t)>& improve) {
+  Algorithm1Trace trace;
+
+  // Line 1: process the synopsis — initial result + correlations. This is
+  // unconditional: every component always answers at least from its
+  // synopsis, which is what bounds AccuracyTrader's tail latency.
+  const std::vector<double> correlations = stage1();
+
+  // Lines 2–3: rank the aggregated data points, then their member sets.
+  const std::vector<std::size_t> ranked = rank_by_correlation(correlations);
+
+  // Lines 4–10: iterative improvement within the deadline and imax.
+  std::size_t i = 0;
+  while (i < ranked.size()) {
+    if (clock.elapsed_ms() >= config.deadline_ms) {
+      trace.stopped_by_deadline = true;
+      break;
+    }
+    if (i + 1 > config.imax) break;  // "i <= imax" with 1-based i
+    improve(ranked[i]);
+    ++i;
+  }
+  trace.sets_processed = i;
+  trace.elapsed_ms = clock.elapsed_ms();
+  return trace;
+}
+
+}  // namespace at::core

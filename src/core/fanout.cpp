@@ -1,0 +1,85 @@
+#include "core/fanout.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "common/stopwatch.h"
+
+namespace at::core {
+
+namespace {
+
+/// Shared per-request state: filled in by component completions, handed to
+/// the merger by whichever completion is last.
+struct RequestState {
+  explicit RequestState(std::size_t n) : results(n) {}
+
+  std::vector<FanOutComponentResult> results;
+  std::atomic<std::size_t> outstanding{0};
+  common::Stopwatch dispatch_time;
+  FanOutCoordinator::MergerFn merger;
+  std::mutex merge_mutex;  // guards the non-atomic result slots ordering
+
+  void finish_one() {
+    if (outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      FanOutResult out;
+      {
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        out.components = std::move(results);
+      }
+      out.latency_ms = dispatch_time.elapsed_ms();
+      if (merger) merger(out);
+    }
+  }
+};
+
+}  // namespace
+
+FanOutCoordinator::FanOutCoordinator(RuntimeConfig per_component,
+                                     std::size_t num_components) {
+  runtimes_.reserve(num_components);
+  for (std::size_t c = 0; c < num_components; ++c) {
+    runtimes_.push_back(std::make_unique<ComponentRuntime>(per_component));
+  }
+}
+
+FanOutCoordinator::~FanOutCoordinator() { shutdown(); }
+
+void FanOutCoordinator::shutdown() {
+  for (auto& r : runtimes_) r->shutdown();
+}
+
+std::size_t FanOutCoordinator::dispatch(const Stage1Fn& stage1,
+                                        const ImproveFn& improve,
+                                        MergerFn merger) {
+  const std::size_t n = runtimes_.size();
+  auto state = std::make_shared<RequestState>(n);
+  state->merger = std::move(merger);
+  // Pre-claim every slot so a fast completion cannot fire the merger
+  // before all submissions happened.
+  state->outstanding.store(n, std::memory_order_relaxed);
+
+  std::size_t accepted = 0;
+  for (std::size_t c = 0; c < n; ++c) {
+    const bool ok = runtimes_[c]->submit(
+        [stage1, c] { return stage1(c); },
+        [improve, c](std::size_t group) { improve(c, group); },
+        [state, c](const JobResult& job) {
+          {
+            std::lock_guard<std::mutex> lock(state->merge_mutex);
+            state->results[c].accepted = true;
+            state->results[c].job = job;
+          }
+          state->finish_one();
+        });
+    if (ok) {
+      ++accepted;
+    } else {
+      // Shed: the slot stays not-accepted; release its latch share now.
+      state->finish_one();
+    }
+  }
+  return accepted;
+}
+
+}  // namespace at::core

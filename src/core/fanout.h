@@ -1,0 +1,69 @@
+// In-process fan-out service coordination: the deployment topology of the
+// paper (one component for accepting/partitioning requests, n parallel
+// processing components, one merger) realized with one ComponentRuntime
+// per component and a completion latch per request.
+//
+// The coordinator is service-agnostic: a request is dispatched as one
+// (stage1, improve) closure pair per component; the merger callback fires
+// on the last component's completion with every component's Algorithm 1
+// trace. Components whose queue rejected the sub-operation are reported as
+// not-accepted (the merger decides how to degrade, e.g. partial results).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/runtime.h"
+
+namespace at::core {
+
+/// Per-request, per-component outcome as observed by the merger.
+struct FanOutComponentResult {
+  bool accepted = false;  // queue admitted the sub-operation
+  JobResult job;          // valid when accepted
+};
+
+struct FanOutResult {
+  std::vector<FanOutComponentResult> components;
+  /// Dispatch-to-last-completion time.
+  double latency_ms = 0.0;
+
+  std::size_t accepted_count() const {
+    std::size_t n = 0;
+    for (const auto& c : components) n += c.accepted;
+    return n;
+  }
+};
+
+class FanOutCoordinator {
+ public:
+  /// stage1(component) -> correlations; improve(component, group).
+  using Stage1Fn = std::function<std::vector<double>(std::size_t)>;
+  using ImproveFn = std::function<void(std::size_t, std::size_t)>;
+  using MergerFn = std::function<void(const FanOutResult&)>;
+
+  /// Spawns `num_components` runtimes, each with the same configuration.
+  FanOutCoordinator(RuntimeConfig per_component, std::size_t num_components);
+  ~FanOutCoordinator();
+
+  FanOutCoordinator(const FanOutCoordinator&) = delete;
+  FanOutCoordinator& operator=(const FanOutCoordinator&) = delete;
+
+  std::size_t num_components() const { return runtimes_.size(); }
+  ComponentRuntime& component(std::size_t c) { return *runtimes_.at(c); }
+
+  /// Fans one request out to every component. `merger` runs exactly once,
+  /// on the thread of the last finishing component (or inline if every
+  /// component rejected). Returns the number of components that accepted.
+  std::size_t dispatch(const Stage1Fn& stage1, const ImproveFn& improve,
+                       MergerFn merger);
+
+  /// Stops every component runtime (drains queues).
+  void shutdown();
+
+ private:
+  std::vector<std::unique_ptr<ComponentRuntime>> runtimes_;
+};
+
+}  // namespace at::core

@@ -1,0 +1,17 @@
+// The per-(request, component) outcome the cluster simulator hands to the
+// services for post-hoc result assembly and accuracy scoring.
+#pragma once
+
+#include <cstdint>
+
+namespace at::core {
+
+struct ComponentOutcome {
+  /// Partial execution: did this component's sub-operation finish before
+  /// the request's deadline (i.e. was its result included in the merge)?
+  bool included = true;
+  /// AccuracyTrader: how many ranked member sets stage 2 processed.
+  std::uint32_t sets = 0;
+};
+
+}  // namespace at::core

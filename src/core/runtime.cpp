@@ -1,0 +1,94 @@
+#include "core/runtime.h"
+
+namespace at::core {
+
+namespace {
+/// Clock adapter: elapsed time since a job was enqueued.
+class SinceEnqueueClock final : public Clock {
+ public:
+  explicit SinceEnqueueClock(const common::Stopwatch& enqueue_time)
+      : enqueue_time_(enqueue_time) {}
+  double elapsed_ms() const override { return enqueue_time_.elapsed_ms(); }
+
+ private:
+  const common::Stopwatch& enqueue_time_;
+};
+}  // namespace
+
+ComponentRuntime::ComponentRuntime(RuntimeConfig config)
+    : config_(config), worker_([this] { worker_loop(); }) {}
+
+ComponentRuntime::~ComponentRuntime() { shutdown(); }
+
+bool ComponentRuntime::submit(Stage1Fn stage1, ImproveFn improve,
+                              CompletionFn done) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ || queue_.size() >= config_.queue_capacity) {
+      ++stats_.rejected;
+      return false;
+    }
+    queue_.push_back(Job{std::move(stage1), std::move(improve),
+                         std::move(done), common::Stopwatch()});
+    ++stats_.accepted;
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::size_t ComponentRuntime::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+RuntimeStats ComponentRuntime::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+common::PercentileTracker ComponentRuntime::latency_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return latency_ms_;
+}
+
+void ComponentRuntime::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && !worker_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void ComponentRuntime::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    JobResult result;
+    result.queue_wait_ms = job.enqueue_time.elapsed_ms();
+    const SinceEnqueueClock clock(job.enqueue_time);
+    result.trace =
+        run_algorithm1(config_.algorithm, clock, job.stage1, job.improve);
+    result.total_latency_ms = job.enqueue_time.elapsed_ms();
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.completed;
+      latency_ms_.add(result.total_latency_ms);
+    }
+    if (job.done) job.done(result);
+  }
+}
+
+}  // namespace at::core

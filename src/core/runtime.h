@@ -1,0 +1,98 @@
+// A live service component running the online module for real: a worker
+// thread drains a bounded FIFO of requests, processing each with
+// Algorithm 1 under a wall-clock deadline measured from *enqueue* time —
+// queueing delay counts against the deadline exactly as l_ela does in the
+// paper, which is what makes the component's latency self-regulating: the
+// longer a request waited, the less improvement work it performs.
+//
+// This is the piece a real deployment embeds into each component process;
+// the discrete-event simulator mirrors its behaviour in virtual time for
+// the large-scale experiments.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/stopwatch.h"
+#include "core/algorithm1.h"
+
+namespace at::core {
+
+struct RuntimeConfig {
+  Algorithm1Config algorithm;
+  /// Requests queued beyond this are rejected at submit (load shedding).
+  std::size_t queue_capacity = 1024;
+};
+
+/// Per-request outcome delivered to the completion callback.
+struct JobResult {
+  Algorithm1Trace trace;
+  double queue_wait_ms = 0.0;
+  double total_latency_ms = 0.0;
+};
+
+struct RuntimeStats {
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::size_t completed = 0;
+};
+
+class ComponentRuntime {
+ public:
+  /// stage1: process the synopsis, return correlations (Algorithm 1 line 1).
+  using Stage1Fn = std::function<std::vector<double>()>;
+  /// improve(group): process one ranked member set (line 7).
+  using ImproveFn = std::function<void(std::size_t)>;
+  /// Called on the worker thread when the request finishes.
+  using CompletionFn = std::function<void(const JobResult&)>;
+
+  explicit ComponentRuntime(RuntimeConfig config);
+  /// Drains outstanding requests, then joins the worker.
+  ~ComponentRuntime();
+
+  ComponentRuntime(const ComponentRuntime&) = delete;
+  ComponentRuntime& operator=(const ComponentRuntime&) = delete;
+
+  /// Enqueues a request. Returns false (and drops it) when the queue is
+  /// full or the runtime is shutting down.
+  bool submit(Stage1Fn stage1, ImproveFn improve, CompletionFn done = {});
+
+  /// Requests currently queued (excluding the one in service).
+  std::size_t pending() const;
+
+  RuntimeStats stats() const;
+
+  /// Copy of the completed-request latency distribution.
+  common::PercentileTracker latency_snapshot() const;
+
+  /// Stops accepting new requests, finishes the queue, joins the worker.
+  /// Idempotent; also called by the destructor.
+  void shutdown();
+
+ private:
+  struct Job {
+    Stage1Fn stage1;
+    ImproveFn improve;
+    CompletionFn done;
+    common::Stopwatch enqueue_time;
+  };
+
+  void worker_loop();
+
+  RuntimeConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  RuntimeStats stats_;
+  common::PercentileTracker latency_ms_;
+  std::thread worker_;
+};
+
+}  // namespace at::core

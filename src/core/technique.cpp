@@ -1,0 +1,24 @@
+#include "core/technique.h"
+
+namespace at::core {
+
+std::string to_string(Technique t) {
+  switch (t) {
+    case Technique::kBasic:
+      return "Basic";
+    case Technique::kRequestReissue:
+      return "Request reissue";
+    case Technique::kPartialExecution:
+      return "Partial execution";
+    case Technique::kAccuracyTrader:
+      return "AccuracyTrader";
+  }
+  return "?";
+}
+
+bool is_approximate(Technique t) {
+  return t == Technique::kPartialExecution ||
+         t == Technique::kAccuracyTrader;
+}
+
+}  // namespace at::core

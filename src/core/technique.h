@@ -1,0 +1,34 @@
+// The four request-processing techniques compared in the paper's
+// evaluation (§4.1 "Compared techniques").
+#pragma once
+
+#include <string>
+
+namespace at::core {
+
+enum class Technique {
+  /// No tail-latency mitigation: every component performs the full exact
+  /// computation and the merger waits for all of them.
+  kBasic,
+  /// Request reissue [Dean & Barroso; Jalaparti et al.; Suresh et al.]:
+  /// a sub-operation outstanding longer than a high percentile (95th) of
+  /// its class's expected latency is duplicated on a replica; the quicker
+  /// copy wins.
+  kRequestReissue,
+  /// Partial execution [He et al. Zeta; Jalaparti et al.]: components
+  /// compute exact results, but the merger only uses those that finish
+  /// before the deadline; late components are skipped.
+  kPartialExecution,
+  /// This paper: every component first answers from its synopsis, then
+  /// improves the result with the most accuracy-correlated parts of its
+  /// input data until the deadline.
+  kAccuracyTrader,
+};
+
+std::string to_string(Technique t);
+
+/// True for techniques that return approximate results (and therefore have
+/// a defined accuracy loss); Basic and Reissue always produce exact results.
+bool is_approximate(Technique t);
+
+}  // namespace at::core

@@ -1,0 +1,36 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+namespace at::linalg {
+
+void Matrix::append_row(const std::vector<double>& values) {
+  if (rows_ == 0 && cols_ == 0) {
+    cols_ = values.size();
+  } else if (values.size() != cols_) {
+    throw std::invalid_argument("Matrix::append_row: width mismatch");
+  }
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+double dot(const double* a, const double* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(const double* a, std::size_t n) {
+  return std::sqrt(dot(a, a, n));
+}
+
+double distance(const double* a, const double* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace at::linalg

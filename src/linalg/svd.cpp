@@ -1,0 +1,160 @@
+#include "linalg/svd.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace at::linalg {
+
+double SvdModel::predict(std::size_t r, std::size_t c) const {
+  double pred = dot(row_factors.row(r), col_factors.row(c),
+                    row_factors.cols());
+  if (has_biases()) {
+    pred += global_mean + row_bias[r] + col_bias[c];
+  }
+  return pred;
+}
+
+namespace {
+
+/// Residual of entry e under the biases plus first `dims` dimensions.
+double residual(const SvdModel& model, const SparseEntry& e,
+                std::size_t dims) {
+  double pred = 0.0;
+  if (model.has_biases()) {
+    pred = model.global_mean + model.row_bias[e.row] + model.col_bias[e.col];
+  }
+  const double* p = model.row_factors.row(e.row);
+  const double* q = model.col_factors.row(e.col);
+  for (std::size_t d = 0; d < dims; ++d) pred += p[d] * q[d];
+  return e.value - pred;
+}
+
+}  // namespace
+
+SvdModel incremental_svd(const SparseDataset& data, const SvdConfig& config) {
+  if (config.rank == 0)
+    throw std::invalid_argument("incremental_svd: rank must be >= 1");
+  if (data.rows == 0 || data.cols == 0)
+    throw std::invalid_argument("incremental_svd: empty dataset dims");
+  for (const auto& e : data.entries) {
+    if (e.row >= data.rows || e.col >= data.cols)
+      throw std::out_of_range("incremental_svd: entry outside dataset dims");
+  }
+
+  common::Rng rng(config.seed);
+  SvdModel model;
+  model.row_factors = Matrix(data.rows, config.rank);
+  model.col_factors = Matrix(data.cols, config.rank);
+  for (std::size_t r = 0; r < data.rows; ++r)
+    for (std::size_t d = 0; d < config.rank; ++d)
+      model.row_factors(r, d) = config.init_scale * (rng.uniform() - 0.5);
+  for (std::size_t c = 0; c < data.cols; ++c)
+    for (std::size_t d = 0; d < config.rank; ++d)
+      model.col_factors(c, d) = config.init_scale * (rng.uniform() - 0.5);
+
+  if (data.entries.empty()) return model;
+
+  if (config.use_biases) {
+    double sum = 0.0;
+    for (const auto& e : data.entries) sum += e.value;
+    model.global_mean = sum / static_cast<double>(data.entries.size());
+    model.row_bias.assign(data.rows, 0.0);
+    model.col_bias.assign(data.cols, 0.0);
+  }
+
+  // Funk-style training: one latent dimension at a time against the
+  // residual of the previously trained dimensions (biases, when enabled,
+  // keep adapting throughout).
+  for (std::size_t d = 0; d < config.rank; ++d) {
+    double prev_rmse = -1.0;
+    for (std::size_t epoch = 0; epoch < config.epochs_per_dim; ++epoch) {
+      double sq_err = 0.0;
+      for (const auto& e : data.entries) {
+        const double err = residual(model, e, d + 1);
+        sq_err += err * err;
+        if (config.use_biases) {
+          double& br = model.row_bias[e.row];
+          double& bc = model.col_bias[e.col];
+          br += config.learning_rate * (err - config.regularization * br);
+          bc += config.learning_rate * (err - config.regularization * bc);
+        }
+        double& p = model.row_factors(e.row, d);
+        double& q = model.col_factors(e.col, d);
+        const double p_old = p;
+        p += config.learning_rate * (err * q - config.regularization * p);
+        q += config.learning_rate * (err * p_old - config.regularization * q);
+      }
+      const double rmse =
+          std::sqrt(sq_err / static_cast<double>(data.entries.size()));
+      if (config.min_improvement > 0.0 && prev_rmse >= 0.0 &&
+          prev_rmse - rmse < config.min_improvement) {
+        break;
+      }
+      prev_rmse = rmse;
+    }
+  }
+  model.train_rmse = reconstruction_rmse(model, data);
+  return model;
+}
+
+double reconstruction_rmse(const SvdModel& model, const SparseDataset& data) {
+  if (data.entries.empty()) return 0.0;
+  double sq = 0.0;
+  for (const auto& e : data.entries) {
+    const double err = e.value - model.predict(e.row, e.col);
+    sq += err * err;
+  }
+  return std::sqrt(sq / static_cast<double>(data.entries.size()));
+}
+
+void fold_in_rows(SvdModel& model, const SparseDataset& new_rows,
+                  const SvdConfig& config) {
+  const std::size_t rank = model.row_factors.cols();
+  if (rank == 0) throw std::invalid_argument("fold_in_rows: untrained model");
+  if (new_rows.cols != model.col_factors.rows())
+    throw std::invalid_argument("fold_in_rows: column dimension mismatch");
+
+  const std::size_t old_rows = model.row_factors.rows();
+  common::Rng rng(config.seed ^ 0xf01dULL);
+
+  if (model.has_biases()) {
+    model.row_bias.resize(old_rows + new_rows.rows, 0.0);
+  }
+
+  Matrix grown(old_rows + new_rows.rows, rank);
+  for (std::size_t r = 0; r < old_rows; ++r)
+    for (std::size_t d = 0; d < rank; ++d)
+      grown(r, d) = model.row_factors(r, d);
+  for (std::size_t r = old_rows; r < grown.rows(); ++r)
+    for (std::size_t d = 0; d < rank; ++d)
+      grown(r, d) = config.init_scale * (rng.uniform() - 0.5);
+  model.row_factors = std::move(grown);
+
+  // Train only the new rows (and their bias terms); column factors and
+  // column biases stay frozen so existing reduced coordinates remain valid.
+  for (std::size_t d = 0; d < rank; ++d) {
+    for (std::size_t epoch = 0; epoch < config.epochs_per_dim; ++epoch) {
+      for (const auto& e : new_rows.entries) {
+        const std::size_t global_row = old_rows + e.row;
+        double pred = 0.0;
+        if (model.has_biases()) {
+          pred = model.global_mean + model.row_bias[global_row] +
+                 model.col_bias[e.col];
+        }
+        const double* p = model.row_factors.row(global_row);
+        const double* q = model.col_factors.row(e.col);
+        for (std::size_t k = 0; k <= d; ++k) pred += p[k] * q[k];
+        const double err = e.value - pred;
+        if (model.has_biases()) {
+          double& br = model.row_bias[global_row];
+          br += config.learning_rate * (err - config.regularization * br);
+        }
+        double& pd = model.row_factors(global_row, d);
+        pd += config.learning_rate *
+              (err * q[d] - config.regularization * pd);
+      }
+    }
+  }
+}
+
+}  // namespace at::linalg

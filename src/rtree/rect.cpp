@@ -1,0 +1,96 @@
+#include "rtree/rect.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace at::rtree {
+
+Rect::Rect(std::vector<double> lo, std::vector<double> hi)
+    : lo_(std::move(lo)), hi_(std::move(hi)) {
+  if (lo_.size() != hi_.size())
+    throw std::invalid_argument("Rect: lo/hi dimension mismatch");
+  for (std::size_t d = 0; d < lo_.size(); ++d) {
+    if (lo_[d] > hi_[d])
+      throw std::invalid_argument("Rect: lo > hi in some dimension");
+  }
+}
+
+Rect Rect::point(std::span<const double> coords) {
+  std::vector<double> v(coords.begin(), coords.end());
+  return Rect(v, v);
+}
+
+bool Rect::contains(const Rect& other) const {
+  for (std::size_t d = 0; d < dims(); ++d) {
+    if (other.lo_[d] < lo_[d] || other.hi_[d] > hi_[d]) return false;
+  }
+  return true;
+}
+
+bool Rect::intersects(const Rect& other) const {
+  for (std::size_t d = 0; d < dims(); ++d) {
+    if (other.hi_[d] < lo_[d] || other.lo_[d] > hi_[d]) return false;
+  }
+  return true;
+}
+
+double Rect::area() const {
+  double a = 1.0;
+  for (std::size_t d = 0; d < dims(); ++d) a *= hi_[d] - lo_[d];
+  return a;
+}
+
+double Rect::margin() const {
+  double m = 0.0;
+  for (std::size_t d = 0; d < dims(); ++d) m += hi_[d] - lo_[d];
+  return m;
+}
+
+void Rect::expand(const Rect& other) {
+  if (lo_.empty()) {
+    *this = other;
+    return;
+  }
+  for (std::size_t d = 0; d < dims(); ++d) {
+    lo_[d] = std::min(lo_[d], other.lo_[d]);
+    hi_[d] = std::max(hi_[d], other.hi_[d]);
+  }
+}
+
+double Rect::enlargement(const Rect& other) const {
+  Rect joined = join(*this, other);
+  return joined.area() - area();
+}
+
+Rect Rect::join(const Rect& a, const Rect& b) {
+  Rect out = a;
+  out.expand(b);
+  return out;
+}
+
+double Rect::min_dist2(std::span<const double> point) const {
+  double acc = 0.0;
+  for (std::size_t d = 0; d < dims(); ++d) {
+    double gap = 0.0;
+    if (point[d] < lo_[d]) {
+      gap = lo_[d] - point[d];
+    } else if (point[d] > hi_[d]) {
+      gap = point[d] - hi_[d];
+    }
+    acc += gap * gap;
+  }
+  return acc;
+}
+
+double Rect::overlap_area(const Rect& other) const {
+  double a = 1.0;
+  for (std::size_t d = 0; d < dims(); ++d) {
+    const double lo = std::max(lo_[d], other.lo_[d]);
+    const double hi = std::min(hi_[d], other.hi_[d]);
+    if (hi <= lo) return 0.0;
+    a *= hi - lo;
+  }
+  return a;
+}
+
+}  // namespace at::rtree

@@ -1,0 +1,59 @@
+// Axis-aligned d-dimensional rectangles (minimum bounding rectangles) for
+// the R-tree. Dimensionality is a runtime parameter: the synopsis pipeline
+// reduces data to j ~ 3 dimensions, but nothing in the tree assumes 3.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace at::rtree {
+
+class Rect {
+ public:
+  Rect() = default;
+  Rect(std::vector<double> lo, std::vector<double> hi);
+
+  /// Degenerate rectangle covering a single point.
+  static Rect point(std::span<const double> coords);
+
+  std::size_t dims() const { return lo_.size(); }
+  const std::vector<double>& lo() const { return lo_; }
+  const std::vector<double>& hi() const { return hi_; }
+  double lo(std::size_t d) const { return lo_[d]; }
+  double hi(std::size_t d) const { return hi_[d]; }
+  double center(std::size_t d) const { return 0.5 * (lo_[d] + hi_[d]); }
+
+  bool contains(const Rect& other) const;
+  bool intersects(const Rect& other) const;
+
+  /// Product of side lengths.
+  double area() const;
+  /// Sum of side lengths (the R*-tree margin metric).
+  double margin() const;
+
+  /// Grows this rectangle to cover `other`.
+  void expand(const Rect& other);
+
+  /// Area increase required to cover `other` (>= 0).
+  double enlargement(const Rect& other) const;
+
+  /// Smallest rectangle covering both.
+  static Rect join(const Rect& a, const Rect& b);
+
+  /// Area of the overlap region (0 when disjoint).
+  double overlap_area(const Rect& other) const;
+
+  /// Squared minimum Euclidean distance from a point to this rectangle
+  /// (0 when the point lies inside). Used by nearest-neighbour search.
+  double min_dist2(std::span<const double> point) const;
+
+  bool operator==(const Rect& other) const {
+    return lo_ == other.lo_ && hi_ == other.hi_;
+  }
+
+ private:
+  std::vector<double> lo_, hi_;
+};
+
+}  // namespace at::rtree

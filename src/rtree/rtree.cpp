@@ -1,0 +1,894 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+
+#include "common/binary_io.h"
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace at::rtree {
+
+struct RTree::Entry {
+  Rect rect;
+  std::uint64_t data_id = 0;    // meaningful when child == nullptr
+  std::unique_ptr<Node> child;  // non-null for internal entries
+
+  bool is_data() const { return child == nullptr; }
+};
+
+struct RTree::Node {
+  std::uint64_t id = 0;
+  std::uint64_t version = 0;
+  std::size_t level = 0;  // 0 = leaf
+  std::vector<Entry> entries;
+
+  bool is_leaf() const { return level == 0; }
+
+  Rect compute_mbr() const {
+    Rect mbr;
+    for (const auto& e : entries) mbr.expand(e.rect);
+    return mbr;
+  }
+
+  std::size_t subtree_size() const {
+    if (is_leaf()) return entries.size();
+    std::size_t n = 0;
+    for (const auto& e : entries) n += e.child->subtree_size();
+    return n;
+  }
+};
+
+RTree::RTree(std::size_t dims, RTreeParams params)
+    : dims_(dims), params_(params) {
+  if (dims_ == 0) throw std::invalid_argument("RTree: dims must be >= 1");
+  if (params_.min_entries < 1 ||
+      params_.min_entries > params_.max_entries / 2 ||
+      params_.max_entries < 2) {
+    throw std::invalid_argument(
+        "RTree: need max_entries >= 2 and 1 <= min_entries <= max_entries/2");
+  }
+  root_ = std::make_unique<Node>();
+  root_->id = next_node_id_++;
+  root_->level = 0;
+  register_node(root_.get());
+}
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+std::size_t RTree::height() const { return root_->level + 1; }
+
+void RTree::register_node(Node* node) { registry_[node->id] = node; }
+
+void RTree::unregister_subtree(Node* node) {
+  registry_.erase(node->id);
+  if (!node->is_leaf()) {
+    for (auto& e : node->entries) unregister_subtree(e.child.get());
+  }
+}
+
+void RTree::bump_versions(const std::vector<Node*>& path) {
+  for (Node* n : path) ++n->version;
+}
+
+RTree::Node* RTree::choose_subtree(Node* node, const Rect& rect,
+                                   std::size_t target_level) {
+  // Descends one step toward target_level by least area enlargement,
+  // breaking ties by smaller area (Guttman's ChooseLeaf).
+  (void)target_level;
+  Entry* best = nullptr;
+  double best_enlargement = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (auto& e : node->entries) {
+    const double enl = e.rect.enlargement(rect);
+    const double area = e.rect.area();
+    if (enl < best_enlargement ||
+        (enl == best_enlargement && area < best_area)) {
+      best = &e;
+      best_enlargement = enl;
+      best_area = area;
+    }
+  }
+  if (best == nullptr)
+    throw std::logic_error("RTree::choose_subtree: internal node is empty");
+  return best->child.get();
+}
+
+void RTree::split_node(Node* node, std::unique_ptr<Node>& sibling_out) {
+  if (params_.split == SplitPolicy::kRStar) {
+    split_rstar(node, sibling_out);
+  } else {
+    split_quadratic(node, sibling_out);
+  }
+}
+
+void RTree::split_rstar(Node* node, std::unique_ptr<Node>& sibling_out) {
+  // R*-tree split (Beckmann et al. 1990): choose the split axis by the
+  // minimum sum of margins over all candidate distributions, then the
+  // distribution on that axis by minimum overlap (minimum total area as
+  // tie-break). Candidates come from sorting by both lower and upper
+  // rectangle bounds.
+  std::vector<Entry> all;
+  all.swap(node->entries);
+  const std::size_t total = all.size();
+  const std::size_t m = params_.min_entries;
+
+  struct Candidate {
+    std::vector<std::size_t> order;  // permutation of entry indices
+    std::size_t split_pos = 0;       // first `split_pos` go left
+    double overlap = 0.0;
+    double area = 0.0;
+  };
+
+  auto evaluate_axis = [&](std::size_t axis, bool by_upper, double& margin_sum,
+                           Candidate& best_candidate) {
+    std::vector<std::size_t> order(total);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double ka = by_upper ? all[a].rect.hi(axis) : all[a].rect.lo(axis);
+      const double kb = by_upper ? all[b].rect.hi(axis) : all[b].rect.lo(axis);
+      return ka < kb;
+    });
+    // Prefix/suffix MBRs for O(n) distribution evaluation.
+    std::vector<Rect> prefix(total), suffix(total);
+    Rect acc;
+    for (std::size_t i = 0; i < total; ++i) {
+      acc.expand(all[order[i]].rect);
+      prefix[i] = acc;
+    }
+    acc = Rect();
+    for (std::size_t i = total; i-- > 0;) {
+      acc.expand(all[order[i]].rect);
+      suffix[i] = acc;
+    }
+    for (std::size_t split = m; split + m <= total; ++split) {
+      const Rect& left = prefix[split - 1];
+      const Rect& right = suffix[split];
+      margin_sum += left.margin() + right.margin();
+      const double overlap = left.overlap_area(right);
+      const double area = left.area() + right.area();
+      if (best_candidate.order.empty() || overlap < best_candidate.overlap ||
+          (overlap == best_candidate.overlap &&
+           area < best_candidate.area)) {
+        best_candidate = Candidate{order, split, overlap, area};
+      }
+    }
+  };
+
+  const std::size_t dims = dims_;
+  double best_margin = std::numeric_limits<double>::infinity();
+  Candidate chosen;
+  for (std::size_t axis = 0; axis < dims; ++axis) {
+    double margin_sum = 0.0;
+    Candidate axis_best;
+    evaluate_axis(axis, false, margin_sum, axis_best);
+    evaluate_axis(axis, true, margin_sum, axis_best);
+    if (margin_sum < best_margin) {
+      best_margin = margin_sum;
+      chosen = std::move(axis_best);
+    }
+  }
+
+  sibling_out = std::make_unique<Node>();
+  sibling_out->id = next_node_id_++;
+  sibling_out->level = node->level;
+  register_node(sibling_out.get());
+
+  for (std::size_t i = 0; i < total; ++i) {
+    Entry& e = all[chosen.order[i]];
+    if (i < chosen.split_pos) {
+      node->entries.push_back(std::move(e));
+    } else {
+      sibling_out->entries.push_back(std::move(e));
+    }
+  }
+  ++node->version;
+  ++sibling_out->version;
+}
+
+void RTree::split_quadratic(Node* node, std::unique_ptr<Node>& sibling_out) {
+  // Guttman quadratic split.
+  std::vector<Entry> all;
+  all.swap(node->entries);
+
+  // Pick seeds: the pair wasting the most area if grouped together.
+  std::size_t seed_a = 0, seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      const double waste = Rect::join(all[i].rect, all[j].rect).area() -
+                           all[i].rect.area() - all[j].rect.area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  sibling_out = std::make_unique<Node>();
+  sibling_out->id = next_node_id_++;
+  sibling_out->level = node->level;
+  register_node(sibling_out.get());
+
+  Rect mbr_a = all[seed_a].rect;
+  Rect mbr_b = all[seed_b].rect;
+  node->entries.push_back(std::move(all[seed_a]));
+  sibling_out->entries.push_back(std::move(all[seed_b]));
+
+  std::vector<std::size_t> rest;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i != seed_a && i != seed_b) rest.push_back(i);
+  }
+
+  while (!rest.empty()) {
+    // If one side must take all remaining entries to reach the minimum,
+    // give it everything.
+    const std::size_t remaining = rest.size();
+    if (node->entries.size() + remaining == params_.min_entries) {
+      for (auto idx : rest) {
+        mbr_a.expand(all[idx].rect);
+        node->entries.push_back(std::move(all[idx]));
+      }
+      break;
+    }
+    if (sibling_out->entries.size() + remaining == params_.min_entries) {
+      for (auto idx : rest) {
+        mbr_b.expand(all[idx].rect);
+        sibling_out->entries.push_back(std::move(all[idx]));
+      }
+      break;
+    }
+
+    // PickNext: entry with the greatest preference for one group.
+    std::size_t pick_pos = 0;
+    double best_diff = -1.0;
+    double d_a_pick = 0.0, d_b_pick = 0.0;
+    for (std::size_t p = 0; p < rest.size(); ++p) {
+      const Rect& r = all[rest[p]].rect;
+      const double da = Rect::join(mbr_a, r).area() - mbr_a.area();
+      const double db = Rect::join(mbr_b, r).area() - mbr_b.area();
+      const double diff = std::abs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick_pos = p;
+        d_a_pick = da;
+        d_b_pick = db;
+      }
+    }
+    const std::size_t idx = rest[pick_pos];
+    rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(pick_pos));
+
+    bool to_a;
+    if (d_a_pick != d_b_pick) {
+      to_a = d_a_pick < d_b_pick;
+    } else if (mbr_a.area() != mbr_b.area()) {
+      to_a = mbr_a.area() < mbr_b.area();
+    } else {
+      to_a = node->entries.size() <= sibling_out->entries.size();
+    }
+    if (to_a) {
+      mbr_a.expand(all[idx].rect);
+      node->entries.push_back(std::move(all[idx]));
+    } else {
+      mbr_b.expand(all[idx].rect);
+      sibling_out->entries.push_back(std::move(all[idx]));
+    }
+  }
+  ++node->version;
+  ++sibling_out->version;
+}
+
+void RTree::insert(std::uint64_t data_id, const Rect& rect) {
+  if (rect.dims() != dims_)
+    throw std::invalid_argument("RTree::insert: rect dimension mismatch");
+  insert_at_level(data_id, rect, nullptr, 0);
+  ++size_;
+}
+
+void RTree::insert_at_level(std::uint64_t data_id, const Rect& rect,
+                            std::unique_ptr<Node> subtree,
+                            std::size_t level) {
+  // Descend to a node at `level` (data entries go into leaves, level 0;
+  // orphaned subtrees from deletion re-enter at their original height).
+  std::vector<Node*> path;
+  Node* node = root_.get();
+  path.push_back(node);
+  while (node->level > level) {
+    node = choose_subtree(node, rect, level);
+    path.push_back(node);
+  }
+
+  Entry entry;
+  entry.rect = rect;
+  entry.data_id = data_id;
+  entry.child = std::move(subtree);
+  node->entries.push_back(std::move(entry));
+  bump_versions(path);
+  adjust_after_insert(path);
+}
+
+void RTree::adjust_after_insert(std::vector<Node*>& path) {
+  // Walk from the modified node back to the root, splitting overflowing
+  // nodes and keeping parent entry rectangles tight.
+  for (std::size_t i = path.size(); i-- > 0;) {
+    Node* node = path[i];
+    std::unique_ptr<Node> sibling;
+    if (node->entries.size() > params_.max_entries) {
+      split_node(node, sibling);
+    }
+
+    if (i == 0) {
+      if (sibling) {
+        // Root split: grow the tree by one level.
+        auto new_root = std::make_unique<Node>();
+        new_root->id = next_node_id_++;
+        new_root->level = node->level + 1;
+
+        Entry left;
+        left.rect = node->compute_mbr();
+        left.child = std::move(root_);
+        Entry right;
+        right.rect = sibling->compute_mbr();
+        right.child = std::move(sibling);
+        new_root->entries.push_back(std::move(left));
+        new_root->entries.push_back(std::move(right));
+        root_ = std::move(new_root);
+        register_node(root_.get());
+      }
+      return;
+    }
+
+    // Refresh this node's rectangle in its parent.
+    Node* parent = path[i - 1];
+    for (auto& e : parent->entries) {
+      if (e.child.get() == node) {
+        e.rect = node->compute_mbr();
+        break;
+      }
+    }
+    if (sibling) {
+      Entry e;
+      e.rect = sibling->compute_mbr();
+      e.child = std::move(sibling);
+      parent->entries.push_back(std::move(e));
+      // Parent may now overflow; handled on the next loop iteration.
+    }
+  }
+}
+
+RTree::Node* RTree::find_leaf(Node* node, std::uint64_t data_id,
+                              const Rect& rect, std::vector<Node*>& path) {
+  path.push_back(node);
+  if (node->is_leaf()) {
+    for (const auto& e : node->entries) {
+      if (e.data_id == data_id && e.rect == rect) return node;
+    }
+    path.pop_back();
+    return nullptr;
+  }
+  for (auto& e : node->entries) {
+    if (e.rect.contains(rect)) {
+      Node* found = find_leaf(e.child.get(), data_id, rect, path);
+      if (found) return found;
+    }
+  }
+  path.pop_back();
+  return nullptr;
+}
+
+bool RTree::erase(std::uint64_t data_id, const Rect& rect) {
+  if (rect.dims() != dims_)
+    throw std::invalid_argument("RTree::erase: rect dimension mismatch");
+  std::vector<Node*> path;
+  Node* leaf = find_leaf(root_.get(), data_id, rect, path);
+  if (leaf == nullptr) return false;
+
+  auto it = std::find_if(leaf->entries.begin(), leaf->entries.end(),
+                         [&](const Entry& e) {
+                           return e.is_data() && e.data_id == data_id &&
+                                  e.rect == rect;
+                         });
+  leaf->entries.erase(it);
+  --size_;
+  bump_versions(path);
+  condense_tree(path);
+  return true;
+}
+
+void RTree::condense_tree(std::vector<Node*>& path) {
+  // Nodes that underflow are removed; their surviving entries re-enter the
+  // tree at the height they came from (Guttman's CondenseTree).
+  struct Orphan {
+    std::unique_ptr<Node> node;
+  };
+  std::vector<Orphan> orphans;
+
+  for (std::size_t i = path.size(); i-- > 1;) {
+    Node* node = path[i];
+    Node* parent = path[i - 1];
+    auto it = std::find_if(
+        parent->entries.begin(), parent->entries.end(),
+        [&](const Entry& e) { return e.child.get() == node; });
+    if (it == parent->entries.end())
+      throw std::logic_error("RTree::condense_tree: broken parent link");
+
+    if (node->entries.size() < params_.min_entries) {
+      orphans.push_back(Orphan{std::move(it->child)});
+      parent->entries.erase(it);
+    } else {
+      it->rect = node->compute_mbr();
+    }
+  }
+
+  // Shrink the root while it is internal with a single child.
+  while (!root_->is_leaf() && root_->entries.size() == 1) {
+    registry_.erase(root_->id);
+    std::unique_ptr<Node> child = std::move(root_->entries.front().child);
+    root_ = std::move(child);
+  }
+  if (!root_->is_leaf() && root_->entries.empty()) {
+    // All children were orphaned; reset to an empty leaf.
+    registry_.erase(root_->id);
+    root_ = std::make_unique<Node>();
+    root_->id = next_node_id_++;
+    root_->level = 0;
+    register_node(root_.get());
+  }
+
+  // Reinsert orphans' contents.
+  for (auto& orphan : orphans) {
+    Node* q = orphan.node.get();
+    registry_.erase(q->id);
+    if (q->is_leaf()) {
+      for (auto& e : q->entries) {
+        insert_at_level(e.data_id, e.rect, nullptr, 0);
+      }
+    } else {
+      for (auto& e : q->entries) {
+        // Children of a level-l node live at level l-1; they must re-enter
+        // as entries of a node at level l.
+        const std::size_t child_level = e.child->level;
+        Rect r = e.rect;
+        if (child_level + 1 > root_->level) {
+          // The tree shrank below the orphan's height; dissolve the child
+          // into its own data entries.
+          std::vector<std::pair<std::uint64_t, Rect>> pending;
+          gather_entries_recursive(e.child.get(), pending);
+          unregister_subtree(e.child.get());
+          for (auto& [id, rect] : pending) insert_at_level(id, rect, nullptr, 0);
+          continue;
+        }
+        unregister_subtree_shallow_reregister(e.child.get());
+        insert_at_level(0, r, std::move(e.child), child_level + 1);
+      }
+    }
+  }
+}
+
+void RTree::collect_ids(const Node* node,
+                        std::vector<std::uint64_t>& out) const {
+  if (node->is_leaf()) {
+    for (const auto& e : node->entries) out.push_back(e.data_id);
+    return;
+  }
+  for (const auto& e : node->entries) collect_ids(e.child.get(), out);
+}
+
+std::vector<std::uint64_t> RTree::range_query(const Rect& query) const {
+  std::vector<std::uint64_t> out;
+  std::deque<const Node*> frontier{root_.get()};
+  while (!frontier.empty()) {
+    const Node* node = frontier.front();
+    frontier.pop_front();
+    for (const auto& e : node->entries) {
+      if (!e.rect.intersects(query)) continue;
+      if (e.is_data()) {
+        out.push_back(e.data_id);
+      } else {
+        frontier.push_back(e.child.get());
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<RTree::Neighbor> RTree::nearest(std::span<const double> point,
+                                            std::size_t k) const {
+  if (point.size() != dims_)
+    throw std::invalid_argument("RTree::nearest: point dimension mismatch");
+  std::vector<Neighbor> out;
+  if (k == 0 || empty()) return out;
+
+  // Best-first search: a frontier of (node or data entry) ordered by
+  // minimum possible distance; pop data entries in true distance order.
+  struct Item {
+    double dist2;
+    bool is_data;
+    std::uint64_t data_id;
+    const Node* node;
+  };
+  struct Worse {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.dist2 != b.dist2) return a.dist2 > b.dist2;
+      return a.data_id > b.data_id;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, Worse> frontier;
+  frontier.push(Item{0.0, false, 0, root_.get()});
+  while (!frontier.empty() && out.size() < k) {
+    const Item item = frontier.top();
+    frontier.pop();
+    if (item.is_data) {
+      out.push_back(Neighbor{item.data_id, item.dist2});
+      continue;
+    }
+    for (const auto& e : item.node->entries) {
+      const double d2 = e.rect.min_dist2(point);
+      if (e.is_data()) {
+        frontier.push(Item{d2, true, e.data_id, nullptr});
+      } else {
+        frontier.push(Item{d2, false, 0, e.child.get()});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<RTree::NodeRef> RTree::nodes_at_level(std::size_t level) const {
+  std::vector<NodeRef> out;
+  std::deque<const Node*> frontier{root_.get()};
+  while (!frontier.empty()) {
+    const Node* node = frontier.front();
+    frontier.pop_front();
+    if (node->level == level) {
+      NodeRef ref;
+      ref.node_id = node->id;
+      ref.version = node->version;
+      ref.level = node->level;
+      ref.mbr = node->compute_mbr();
+      ref.subtree_size = node->subtree_size();
+      out.push_back(std::move(ref));
+      continue;
+    }
+    if (node->level > level) {
+      for (const auto& e : node->entries) frontier.push_back(e.child.get());
+    }
+  }
+  return out;
+}
+
+std::size_t RTree::node_count_at_level(std::size_t level) const {
+  return nodes_at_level(level).size();
+}
+
+std::size_t RTree::select_level(std::size_t max_nodes) const {
+  for (std::size_t level = 0; level <= root_->level; ++level) {
+    if (node_count_at_level(level) <= max_nodes) return level;
+  }
+  return root_->level;
+}
+
+std::vector<std::uint64_t> RTree::subtree_data_ids(
+    std::uint64_t node_id) const {
+  auto it = registry_.find(node_id);
+  if (it == registry_.end())
+    throw std::out_of_range("RTree::subtree_data_ids: unknown node id");
+  std::vector<std::uint64_t> out;
+  collect_ids(it->second, out);
+  return out;
+}
+
+std::uint64_t RTree::node_version(std::uint64_t node_id) const {
+  auto it = registry_.find(node_id);
+  if (it == registry_.end())
+    throw std::out_of_range("RTree::node_version: unknown node id");
+  return it->second->version;
+}
+
+RTreeStats RTree::stats() const {
+  RTreeStats s;
+  s.data_entries = size_;
+  s.height = height();
+  std::deque<const Node*> frontier{root_.get()};
+  while (!frontier.empty()) {
+    const Node* node = frontier.front();
+    frontier.pop_front();
+    ++s.nodes;
+    if (!node->is_leaf()) {
+      for (const auto& e : node->entries) frontier.push_back(e.child.get());
+    }
+  }
+  return s;
+}
+
+void RTree::check_invariants() const {
+  std::size_t counted = 0;
+  std::function<void(const Node*, bool)> walk = [&](const Node* node,
+                                                    bool is_root) {
+    if (!is_root) {
+      if (node->entries.size() < params_.min_entries ||
+          node->entries.size() > params_.max_entries) {
+        throw std::logic_error("RTree invariant: entry count out of bounds");
+      }
+    } else if (node->entries.size() > params_.max_entries) {
+      throw std::logic_error("RTree invariant: root overflow");
+    }
+    auto reg = registry_.find(node->id);
+    if (reg == registry_.end() || reg->second != node)
+      throw std::logic_error("RTree invariant: registry desync");
+    for (const auto& e : node->entries) {
+      if (node->is_leaf()) {
+        if (!e.is_data())
+          throw std::logic_error("RTree invariant: child entry in leaf");
+        ++counted;
+      } else {
+        if (e.is_data())
+          throw std::logic_error("RTree invariant: data entry in internal");
+        if (e.child->level + 1 != node->level)
+          throw std::logic_error("RTree invariant: level discontinuity");
+        const Rect child_mbr = e.child->compute_mbr();
+        if (!(e.rect == child_mbr) && !e.rect.contains(child_mbr))
+          throw std::logic_error("RTree invariant: loose parent rectangle");
+        walk(e.child.get(), false);
+      }
+    }
+  };
+  walk(root_.get(), true);
+  if (counted != size_)
+    throw std::logic_error("RTree invariant: size mismatch");
+}
+
+RTree RTree::bulk_load(std::size_t dims,
+                       std::vector<std::pair<std::uint64_t, Rect>> items,
+                       RTreeParams params) {
+  RTree tree(dims, params);
+  if (items.empty()) return tree;
+
+  // Sort-Tile-Recursive: recursively slab-sort by successive dimensions to
+  // produce a spatially coherent ordering, then chunk sequentially into
+  // nodes. The tail chunk is rebalanced against its predecessor so that no
+  // non-root node underflows min_entries.
+  const std::size_t cap = params.max_entries;
+  const std::size_t min_e = params.min_entries;
+  using Item = std::pair<std::uint64_t, Rect>;
+
+  // Chunk [0, n) into ranges of <= cap entries, each >= min_e when more
+  // than one range exists. Requires min_e <= cap/2 (enforced in the ctor).
+  auto chunk_ranges = [&](std::size_t n) {
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    for (std::size_t i = 0; i < n; i += cap) {
+      ranges.emplace_back(i, std::min(n, i + cap));
+    }
+    if (ranges.size() > 1) {
+      auto& last = ranges.back();
+      auto& prev = ranges[ranges.size() - 2];
+      if (last.second - last.first < min_e) {
+        const std::size_t total = last.second - prev.first;
+        const std::size_t first_half = (total + 1) / 2;
+        prev.second = prev.first + first_half;
+        last.first = prev.second;
+      }
+    }
+    return ranges;
+  };
+
+  // Leaf chunks are emitted *within* slabs (a chunk never straddles a slab
+  // boundary — straddling would splice together points that are far apart
+  // in the last-sorted dimension). Undersized tail chunks are rebalanced
+  // against their predecessor afterwards.
+  std::vector<std::pair<std::size_t, std::size_t>> leaf_ranges;
+  std::function<void(std::size_t, std::size_t, std::size_t)> str_emit =
+      [&](std::size_t lo, std::size_t hi, std::size_t dim) {
+        const std::size_t n = hi - lo;
+        if (n <= cap) {
+          leaf_ranges.emplace_back(lo, hi);
+          return;
+        }
+        std::sort(items.begin() + static_cast<std::ptrdiff_t>(lo),
+                  items.begin() + static_cast<std::ptrdiff_t>(hi),
+                  [dim](const Item& a, const Item& b) {
+                    return a.second.center(dim) < b.second.center(dim);
+                  });
+        if (dim + 1 == dims) {
+          for (std::size_t i = lo; i < hi; i += cap) {
+            leaf_ranges.emplace_back(i, std::min(hi, i + cap));
+          }
+          return;
+        }
+        const double leaves =
+            std::ceil(static_cast<double>(n) / static_cast<double>(cap));
+        const std::size_t slabs = std::max<std::size_t>(
+            1, static_cast<std::size_t>(std::ceil(std::pow(
+                   leaves, 1.0 / static_cast<double>(dims - dim)))));
+        const std::size_t slab_size = (n + slabs - 1) / slabs;
+        for (std::size_t i = lo; i < hi; i += slab_size) {
+          str_emit(i, std::min(hi, i + slab_size), dim + 1);
+        }
+      };
+  str_emit(0, items.size(), 0);
+
+  // Fix undersized chunks against an adjacent neighbour: merge when the
+  // union fits a node, otherwise split the union evenly (both halves land
+  // in [min_entries, max_entries] because min_entries <= max_entries / 2).
+  for (std::size_t k = 0; k < leaf_ranges.size() && leaf_ranges.size() > 1;) {
+    if (leaf_ranges[k].second - leaf_ranges[k].first >= min_e) {
+      ++k;
+      continue;
+    }
+    const std::size_t nb = (k == 0) ? 1 : k - 1;
+    const std::size_t left = std::min(k, nb);
+    const std::size_t right = std::max(k, nb);
+    const std::size_t span_lo = leaf_ranges[left].first;
+    const std::size_t span_hi = leaf_ranges[right].second;
+    const std::size_t total_span = span_hi - span_lo;
+    if (total_span <= cap) {
+      leaf_ranges[left] = {span_lo, span_hi};
+      leaf_ranges.erase(leaf_ranges.begin() +
+                        static_cast<std::ptrdiff_t>(right));
+      k = left;
+    } else {
+      const std::size_t mid = span_lo + (total_span + 1) / 2;
+      leaf_ranges[left] = {span_lo, mid};
+      leaf_ranges[right] = {mid, span_hi};
+      ++k;
+    }
+  }
+
+  // Build leaf nodes.
+  std::vector<std::unique_ptr<Node>> level_nodes;
+  std::size_t total = 0;
+  for (const auto& [lo, hi] : leaf_ranges) {
+    auto node = std::make_unique<Node>();
+    node->id = tree.next_node_id_++;
+    node->level = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      Entry e;
+      e.rect = items[i].second;
+      e.data_id = items[i].first;
+      node->entries.push_back(std::move(e));
+      ++total;
+    }
+    level_nodes.push_back(std::move(node));
+  }
+
+  // Pack upward until a single root remains; the leaf order is spatially
+  // coherent, so sequential chunking keeps siblings coherent too.
+  std::size_t level = 0;
+  while (level_nodes.size() > 1) {
+    ++level;
+    std::vector<std::unique_ptr<Node>> parents;
+    for (const auto& [lo, hi] : chunk_ranges(level_nodes.size())) {
+      auto parent = std::make_unique<Node>();
+      parent->id = tree.next_node_id_++;
+      parent->level = level;
+      for (std::size_t j = lo; j < hi; ++j) {
+        Entry e;
+        e.rect = level_nodes[j]->compute_mbr();
+        e.child = std::move(level_nodes[j]);
+        parent->entries.push_back(std::move(e));
+      }
+      parents.push_back(std::move(parent));
+    }
+    level_nodes = std::move(parents);
+  }
+
+  tree.registry_.clear();
+  tree.root_ = std::move(level_nodes.front());
+  std::function<void(Node*)> reg = [&](Node* node) {
+    tree.register_node(node);
+    if (!node->is_leaf()) {
+      for (auto& e : node->entries) reg(e.child.get());
+    }
+  };
+  reg(tree.root_.get());
+  tree.size_ = total;
+  return tree;
+}
+
+namespace {
+constexpr char kRTreeMagic[4] = {'A', 'T', 'R', 'T'};
+constexpr std::uint32_t kRTreeVersion = 1;
+}  // namespace
+
+void RTree::save(std::ostream& os) const {
+  common::BinaryWriter w(os);
+  w.magic(kRTreeMagic, kRTreeVersion);
+  w.u64(dims_);
+  w.u64(params_.max_entries);
+  w.u64(params_.min_entries);
+  w.u8(params_.split == SplitPolicy::kRStar ? 1 : 0);
+  w.u64(size_);
+  w.u64(next_node_id_);
+
+  std::function<void(const Node*)> write_node = [&](const Node* node) {
+    w.u64(node->id);
+    w.u64(node->version);
+    w.u64(node->level);
+    w.u64(node->entries.size());
+    for (const auto& e : node->entries) {
+      w.vec_f64(e.rect.lo());
+      w.vec_f64(e.rect.hi());
+      w.boolean(e.is_data());
+      if (e.is_data()) {
+        w.u64(e.data_id);
+      } else {
+        write_node(e.child.get());
+      }
+    }
+  };
+  write_node(root_.get());
+}
+
+RTree RTree::load(std::istream& is) {
+  common::BinaryReader r(is);
+  const auto version = r.magic(kRTreeMagic);
+  if (version != kRTreeVersion)
+    throw std::runtime_error("RTree::load: unsupported format version");
+  const auto dims = r.u64();
+  RTreeParams params;
+  params.max_entries = r.u64();
+  params.min_entries = r.u64();
+  params.split = r.u8() != 0 ? SplitPolicy::kRStar : SplitPolicy::kQuadratic;
+  RTree tree(dims, params);
+  const auto size = r.u64();
+  const auto next_id = r.u64();
+
+  std::function<std::unique_ptr<Node>()> read_node =
+      [&]() -> std::unique_ptr<Node> {
+    auto node = std::make_unique<Node>();
+    node->id = r.u64();
+    node->version = r.u64();
+    node->level = r.u64();
+    const auto n_entries = r.u64();
+    node->entries.reserve(n_entries);
+    for (std::uint64_t i = 0; i < n_entries; ++i) {
+      Entry e;
+      auto lo = r.vec_f64();
+      auto hi = r.vec_f64();
+      e.rect = Rect(std::move(lo), std::move(hi));
+      const bool is_data = r.boolean();
+      if (is_data) {
+        e.data_id = r.u64();
+      } else {
+        e.child = read_node();
+      }
+      node->entries.push_back(std::move(e));
+    }
+    return node;
+  };
+
+  tree.registry_.clear();
+  tree.root_ = read_node();
+  tree.size_ = size;
+  tree.next_node_id_ = next_id;
+  std::function<void(Node*)> reg = [&](Node* node) {
+    tree.register_node(node);
+    if (!node->is_leaf()) {
+      for (auto& e : node->entries) reg(e.child.get());
+    }
+  };
+  reg(tree.root_.get());
+  tree.check_invariants();
+  return tree;
+}
+
+void RTree::gather_entries_recursive(
+    Node* node, std::vector<std::pair<std::uint64_t, Rect>>& out) {
+  if (node->is_leaf()) {
+    for (auto& e : node->entries) out.emplace_back(e.data_id, e.rect);
+    return;
+  }
+  for (auto& e : node->entries) gather_entries_recursive(e.child.get(), out);
+}
+
+void RTree::unregister_subtree_shallow_reregister(Node*) {
+  // Subtree nodes stay registered: the subtree is moved, not destroyed.
+}
+
+}  // namespace at::rtree

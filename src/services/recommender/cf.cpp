@@ -1,0 +1,82 @@
+#include "services/recommender/cf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace at::reco {
+
+CfRequest CfRequest::make(synopsis::SparseVector ratings,
+                          std::uint32_t target_item) {
+  CfRequest req;
+  synopsis::normalize(ratings);
+  req.ratings = std::move(ratings);
+  req.rating_mean = vector_mean(req.ratings);
+  req.target_item = target_item;
+  return req;
+}
+
+double vector_mean(const synopsis::SparseVector& v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& [c, val] : v) acc += val;
+  return acc / static_cast<double>(v.size());
+}
+
+double pearson_weight(const synopsis::SparseVector& a, double mean_a,
+                      const synopsis::SparseVector& b, double mean_b) {
+  double num = 0.0, var_a = 0.0, var_b = 0.0;
+  std::size_t co = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first < b[j].first) {
+      ++i;
+    } else if (a[i].first > b[j].first) {
+      ++j;
+    } else {
+      const double da = a[i].second - mean_a;
+      const double db = b[j].second - mean_b;
+      num += da * db;
+      var_a += da * da;
+      var_b += db * db;
+      ++co;
+      ++i;
+      ++j;
+    }
+  }
+  if (co < 2 || var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return num / (std::sqrt(var_a) * std::sqrt(var_b));
+}
+
+double predict(const CfRequest& request, const CfPartial& merged,
+               double min_rating, double max_rating) {
+  double p = request.rating_mean;
+  if (merged.weight_abs > 1e-12) {
+    p += merged.weighted_dev / merged.weight_abs;
+  }
+  return std::clamp(p, min_rating, max_rating);
+}
+
+double rmse(const std::vector<double>& predicted,
+            const std::vector<double>& actual, double range) {
+  if (predicted.size() != actual.size() || predicted.empty()) return 0.0;
+  double sq = 0.0;
+  for (std::size_t k = 0; k < predicted.size(); ++k) {
+    const double err =
+        std::isnan(predicted[k]) ? range : predicted[k] - actual[k];
+    sq += err * err;
+  }
+  return std::sqrt(sq / static_cast<double>(predicted.size()));
+}
+
+double accuracy_from_rmse(double rmse_value, double range) {
+  if (range <= 0.0) return 0.0;
+  return std::clamp(1.0 - rmse_value / range, 0.0, 1.0);
+}
+
+double accuracy_loss_pct(double exact_accuracy, double approx_accuracy) {
+  if (exact_accuracy <= 0.0) return 0.0;
+  return std::max(0.0, (exact_accuracy - approx_accuracy) / exact_accuracy) *
+         100.0;
+}
+
+}  // namespace at::reco

@@ -1,0 +1,77 @@
+// User-based collaborative filtering primitives (paper §3.2).
+//
+// For a request from active user u targeting item i, the predictor
+//  1. computes the Pearson correlation weight between u and every
+//     neighborhood user v who has rated item i, and
+//  2. predicts p(u,i) = r̄_u + Σ_v w_uv (r_vi − r̄_v) / Σ_v |w_uv|.
+// The per-neighbor terms are associative, so partial results from parallel
+// components (and from aggregated vs. original users) merge by addition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "synopsis/sparse_rows.h"
+
+namespace at::reco {
+
+/// A rating-prediction request: the active user's known ratings and the
+/// item whose rating should be predicted.
+struct CfRequest {
+  synopsis::SparseVector ratings;  // (item, rating), normalized
+  double rating_mean = 0.0;        // mean of `ratings` (r̄_u)
+  std::uint32_t target_item = 0;
+
+  /// Builds a request, computing the mean.
+  static CfRequest make(synopsis::SparseVector ratings,
+                        std::uint32_t target_item);
+};
+
+/// Mergeable fragment of a prediction: the numerator and denominator sums
+/// of the weighted-deviation formula.
+struct CfPartial {
+  double weighted_dev = 0.0;  // Σ w_uv (r_vi − r̄_v)
+  double weight_abs = 0.0;    // Σ |w_uv|
+  std::uint32_t neighbors = 0;
+
+  void merge(const CfPartial& other) {
+    weighted_dev += other.weighted_dev;
+    weight_abs += other.weight_abs;
+    neighbors += other.neighbors;
+  }
+  void subtract(const CfPartial& other) {
+    weighted_dev -= other.weighted_dev;
+    weight_abs -= other.weight_abs;
+    neighbors -= other.neighbors;
+  }
+};
+
+/// Pearson correlation between the active user's ratings and a neighbor's
+/// ratings over their co-rated items, deviations taken against each side's
+/// supplied mean. Returns 0 when fewer than 2 co-rated items exist or a
+/// variance vanishes.
+double pearson_weight(const synopsis::SparseVector& a, double mean_a,
+                      const synopsis::SparseVector& b, double mean_b);
+
+/// Mean of a sparse vector's values (0 for empty).
+double vector_mean(const synopsis::SparseVector& v);
+
+/// Final prediction from merged partials; falls back to the active user's
+/// mean when no neighbor carried weight. Clamped to [min_rating, max_rating].
+double predict(const CfRequest& request, const CfPartial& merged,
+               double min_rating, double max_rating);
+
+/// Root-mean-square error between predictions and actual ratings.
+/// Entries where the prediction is NaN (no result produced at all) are
+/// charged the worst-case error `range` — a skipped request cannot be
+/// scored better than a wrong one.
+double rmse(const std::vector<double>& predicted,
+            const std::vector<double>& actual, double range);
+
+/// Maps an RMSE to the paper's accuracy scale: accuracy = 1 − RMSE/range,
+/// clamped to [0, 1]. The accuracy *loss percentage* of an approximate
+/// technique is (A_exact − A_approx)/A_exact × 100.
+double accuracy_from_rmse(double rmse_value, double range);
+double accuracy_loss_pct(double exact_accuracy, double approx_accuracy);
+
+}  // namespace at::reco

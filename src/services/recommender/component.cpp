@@ -1,0 +1,184 @@
+#include "services/recommender/component.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/binary_io.h"
+#include "synopsis/serialize.h"
+
+namespace at::reco {
+
+CfPartial CfComponentWork::exact() const {
+  CfPartial out;
+  for (const auto& p : real_by_group) out.merge(p);
+  return out;
+}
+
+CfPartial CfComponentWork::stage1() const {
+  CfPartial out;
+  for (const auto& p : agg_by_group) out.merge(p);
+  return out;
+}
+
+CfPartial CfComponentWork::after_sets(const std::vector<std::size_t>& ranked,
+                                      std::size_t sets) const {
+  CfPartial out = stage1();
+  const std::size_t n = std::min(sets, ranked.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    out.subtract(agg_by_group[ranked[k]]);
+    out.merge(real_by_group[ranked[k]]);
+  }
+  return out;
+}
+
+RecommenderComponent::RecommenderComponent(synopsis::SparseRows users,
+                                           const synopsis::BuildConfig& config)
+    : users_(std::move(users)), config_(config),
+      structure_(synopsis::SynopsisBuilder(config).build(users_)),
+      synopsis_(synopsis::aggregate_all(users_, structure_.index,
+                                        synopsis::AggregationKind::kMean)) {
+  rebuild_derived();
+}
+
+void RecommenderComponent::rebuild_derived() {
+  const std::size_t n = users_.rows();
+  user_means_.assign(n, 0.0);
+  raters_.assign(users_.cols(), {});
+  for (std::uint32_t u = 0; u < n; ++u) {
+    user_means_[u] = vector_mean(users_.row(u));
+    for (const auto& [item, rating] : users_.row(u)) {
+      (void)rating;
+      raters_[item].push_back(u);
+    }
+  }
+  user_group_.assign(n, 0);
+  const auto& groups = structure_.index.groups();
+  for (std::uint32_t g = 0; g < groups.size(); ++g) {
+    for (auto member : groups[g].members) user_group_[member] = g;
+  }
+  agg_means_.assign(synopsis_.size(), 0.0);
+  for (std::size_t g = 0; g < synopsis_.size(); ++g) {
+    agg_means_[g] = vector_mean(synopsis_.points[g].features);
+  }
+}
+
+std::vector<std::uint32_t> RecommenderComponent::group_sizes() const {
+  std::vector<std::uint32_t> sizes;
+  sizes.reserve(structure_.index.size());
+  for (const auto& g : structure_.index.groups())
+    sizes.push_back(static_cast<std::uint32_t>(g.members.size()));
+  return sizes;
+}
+
+double RecommenderComponent::user_weight(const CfRequest& request,
+                                         std::uint32_t user) const {
+  return pearson_weight(request.ratings, request.rating_mean,
+                        users_.row(user), user_means_[user]);
+}
+
+CfComponentWork RecommenderComponent::analyze(const CfRequest& request) const {
+  const std::size_t m = synopsis_.size();
+  CfComponentWork work;
+  work.correlations.resize(m);
+  work.real_by_group.resize(m);
+  work.agg_by_group.resize(m);
+
+  // Synopsis pass: one Pearson weight per aggregated user; aggregated users
+  // that "rated" the target item also contribute an approximate prediction
+  // term scaled by the number of member users behind that rating.
+  for (std::size_t g = 0; g < m; ++g) {
+    const auto& agg = synopsis_.points[g];
+    const double w = pearson_weight(request.ratings, request.rating_mean,
+                                    agg.features, agg_means_[g]);
+    work.correlations[g] = std::abs(w);
+
+    // Find the aggregated rating of the target item and how many members
+    // back it (the `support` array is aligned with `features`).
+    const auto& f = agg.features;
+    auto it = std::lower_bound(f.begin(), f.end(), request.target_item,
+                               [](const auto& e, std::uint32_t c) {
+                                 return e.first < c;
+                               });
+    if (it != f.end() && it->first == request.target_item && w != 0.0) {
+      const auto idx = static_cast<std::size_t>(it - f.begin());
+      const double backing = agg.support.empty()
+                                 ? agg.member_count
+                                 : static_cast<double>(agg.support[idx]);
+      CfPartial& p = work.agg_by_group[g];
+      p.weighted_dev = backing * w * (it->second - agg_means_[g]);
+      p.weight_abs = backing * std::abs(w);
+      p.neighbors = static_cast<std::uint32_t>(backing);
+    }
+  }
+
+  // Exact pass, decomposed by group: only the subset users who rated the
+  // target item participate in the prediction.
+  if (request.target_item < raters_.size()) {
+    for (auto v : raters_[request.target_item]) {
+      const double w = user_weight(request, v);
+      if (w == 0.0) continue;
+      const double rating_vi = synopsis::value_at(users_.row(v),
+                                                  request.target_item);
+      CfPartial& p = work.real_by_group[user_group_[v]];
+      p.weighted_dev += w * (rating_vi - user_means_[v]);
+      p.weight_abs += std::abs(w);
+      p.neighbors += 1;
+    }
+  }
+  return work;
+}
+
+synopsis::UpdateReport RecommenderComponent::update(
+    const synopsis::UpdateBatch& batch) {
+  synopsis::SynopsisUpdater updater(config_);
+  auto report = updater.apply(structure_, users_, synopsis_, batch,
+                              synopsis::AggregationKind::kMean);
+  rebuild_derived();
+  return report;
+}
+
+RecommenderComponent::RecommenderComponent(LoadedTag,
+                                           synopsis::SparseRows users,
+                                           synopsis::BuildConfig config,
+                                           synopsis::SynopsisStructure
+                                               structure,
+                                           synopsis::Synopsis synopsis)
+    : users_(std::move(users)),
+      config_(config),
+      structure_(std::move(structure)),
+      synopsis_(std::move(synopsis)) {
+  rebuild_derived();
+}
+
+void RecommenderComponent::save(std::ostream& os) const {
+  common::BinaryWriter w(os);
+  w.magic("ATRC", 1);
+  w.u64(config_.svd.rank);
+  w.u64(config_.svd.epochs_per_dim);
+  w.f64(config_.svd.learning_rate);
+  w.f64(config_.svd.regularization);
+  w.f64(config_.size_ratio);
+  w.u64(config_.min_groups);
+  synopsis::save(os, users_);
+  synopsis::save(os, structure_);
+  synopsis::save(os, synopsis_);
+}
+
+RecommenderComponent RecommenderComponent::load(std::istream& is) {
+  common::BinaryReader r(is);
+  r.magic("ATRC");
+  synopsis::BuildConfig config;
+  config.svd.rank = r.u64();
+  config.svd.epochs_per_dim = r.u64();
+  config.svd.learning_rate = r.f64();
+  config.svd.regularization = r.f64();
+  config.size_ratio = r.f64();
+  config.min_groups = r.u64();
+  auto users = synopsis::load_sparse_rows(is);
+  auto structure = synopsis::load_structure(is);
+  auto synopsis = synopsis::load_synopsis(is);
+  return RecommenderComponent(LoadedTag{}, std::move(users), config,
+                              std::move(structure), std::move(synopsis));
+}
+
+}  // namespace at::reco

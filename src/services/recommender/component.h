@@ -1,0 +1,93 @@
+// One parallel service component of the CF recommender: it owns a subset of
+// the user-item rating matrix plus the synopsis built from it, and performs
+// the per-request analysis that every processing technique is evaluated on.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "services/recommender/cf.h"
+#include "synopsis/aggregate.h"
+#include "synopsis/builder.h"
+#include "synopsis/updater.h"
+
+namespace at::reco {
+
+/// Everything a component can contribute to one request, decomposed by
+/// synopsis group so that any technique's result can be assembled:
+///  * Basic/Reissue (exact):  Σ_g real_by_group[g]
+///  * AccuracyTrader with k sets processed: Σ real over the top-k ranked
+///    groups + Σ aggregated terms over the remaining groups
+///  * stage-1 only: Σ_g agg_by_group[g]
+struct CfComponentWork {
+  std::vector<double> correlations;    // |Pearson| per aggregated user
+  std::vector<CfPartial> real_by_group;
+  std::vector<CfPartial> agg_by_group;
+
+  CfPartial exact() const;
+  CfPartial stage1() const;
+  /// Partial after processing the top `sets` groups of `ranked` (the rest
+  /// contribute their aggregated approximations).
+  CfPartial after_sets(const std::vector<std::size_t>& ranked,
+                       std::size_t sets) const;
+};
+
+class RecommenderComponent {
+ public:
+  /// Builds the synopsis (steps 1–3) over the given user subset.
+  RecommenderComponent(synopsis::SparseRows users,
+                       const synopsis::BuildConfig& config);
+
+  std::size_t num_users() const { return users_.rows(); }
+  std::size_t num_items() const { return users_.cols(); }
+  std::size_t num_groups() const { return structure_.index.size(); }
+
+  const synopsis::SynopsisStructure& structure() const { return structure_; }
+  const synopsis::Synopsis& synopsis() const { return synopsis_; }
+  const synopsis::SparseRows& users() const { return users_; }
+
+  /// Member counts per group, in group order (the sim's cost model input).
+  std::vector<std::uint32_t> group_sizes() const;
+
+  /// Per-request decomposition (see CfComponentWork). Cost notes: the
+  /// correlations and aggregated terms scan the synopsis (m aggregated
+  /// users); the real terms scan only the subset users who rated the
+  /// target item, via the item->raters postings.
+  CfComponentWork analyze(const CfRequest& request) const;
+
+  /// Pearson weight between the request and one original user (exposed for
+  /// the Fig. 4 "highly related users" evaluation).
+  double user_weight(const CfRequest& request, std::uint32_t user) const;
+  double user_mean(std::uint32_t user) const { return user_means_.at(user); }
+
+  /// Applies an input-data change batch through the synopsis updater.
+  synopsis::UpdateReport update(const synopsis::UpdateBatch& batch);
+
+  /// Persists the component (subset + synopsis structure + aggregated
+  /// synopsis); a reloaded component serves requests and continues
+  /// incremental updates identically.
+  void save(std::ostream& os) const;
+  static RecommenderComponent load(std::istream& is);
+
+ private:
+  struct LoadedTag {};
+  RecommenderComponent(LoadedTag, synopsis::SparseRows users,
+                       synopsis::BuildConfig config,
+                       synopsis::SynopsisStructure structure,
+                       synopsis::Synopsis synopsis);
+
+  void rebuild_derived();  // means, postings, user->group map
+
+  synopsis::SparseRows users_;
+  synopsis::BuildConfig config_;
+  synopsis::SynopsisStructure structure_;
+  synopsis::Synopsis synopsis_;
+
+  std::vector<double> user_means_;
+  std::vector<double> agg_means_;                    // per aggregated user
+  std::vector<std::vector<std::uint32_t>> raters_;   // item -> user ids
+  std::vector<std::uint32_t> user_group_;            // user -> group index
+};
+
+}  // namespace at::reco

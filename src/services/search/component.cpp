@@ -1,0 +1,165 @@
+#include "services/search/component.h"
+
+#include "common/binary_io.h"
+#include "synopsis/serialize.h"
+
+namespace at::search {
+
+SearchComponent::SearchComponent(synopsis::SparseRows docs,
+                                 std::uint64_t doc_id_base,
+                                 const synopsis::BuildConfig& config,
+                                 ScorerParams scorer)
+    : docs_(std::move(docs)),
+      doc_id_base_(doc_id_base),
+      config_(config),
+      scorer_(scorer),
+      structure_(synopsis::SynopsisBuilder(config).build(docs_)),
+      synopsis_(synopsis::aggregate_all(docs_, structure_.index,
+                                        synopsis::AggregationKind::kMerge)),
+      index_(docs_, scorer) {
+  rebuild_index();
+}
+
+void SearchComponent::rebuild_index() {
+  doc_group_.assign(docs_.rows(), 0);
+  const auto& groups = structure_.index.groups();
+  for (std::uint32_t g = 0; g < groups.size(); ++g) {
+    for (auto member : groups[g].members) doc_group_[member] = g;
+  }
+  agg_length_.assign(synopsis_.size(), 0.0);
+  for (std::size_t g = 0; g < synopsis_.size(); ++g) {
+    double len = 0.0;
+    for (const auto& [term, count] : synopsis_.points[g].features)
+      len += count;
+    agg_length_[g] = len;
+  }
+}
+
+std::vector<std::uint32_t> SearchComponent::doc_frequencies() const {
+  std::vector<std::uint32_t> dfs(docs_.cols(), 0);
+  for (std::uint32_t t = 0; t < docs_.cols(); ++t)
+    dfs[t] = index_.doc_frequency(t);
+  return dfs;
+}
+
+void SearchComponent::set_global_idf(
+    std::shared_ptr<const std::vector<double>> idf) {
+  global_idf_ = idf;
+  index_.set_global_idf(std::move(idf));
+}
+
+std::vector<std::uint32_t> SearchComponent::group_sizes() const {
+  std::vector<std::uint32_t> sizes;
+  sizes.reserve(structure_.index.size());
+  for (const auto& g : structure_.index.groups())
+    sizes.push_back(static_cast<std::uint32_t>(g.members.size()));
+  return sizes;
+}
+
+SearchComponentWork SearchComponent::analyze(
+    const SearchRequest& request) const {
+  SearchComponentWork work;
+  const std::size_t m = synopsis_.size();
+  work.correlations.resize(m, 0.0);
+  work.scored_by_group.resize(m);
+
+  // Synopsis pass: score each merged page against the query; a higher
+  // similarity means the group's member pages are, on average, more likely
+  // to contain the actual top pages.
+  for (std::size_t g = 0; g < m; ++g) {
+    work.correlations[g] = index_.score_counts(
+        request.terms, synopsis_.points[g].features, agg_length_[g]);
+  }
+
+  // Exact pass, decomposed by group.
+  std::vector<ScoredDoc> scored;
+  index_.score_query(request.terms, doc_id_base_, scored);
+  for (const auto& d : scored) {
+    const auto local = static_cast<std::uint32_t>(d.doc - doc_id_base_);
+    work.scored_by_group[doc_group_[local]].push_back(d);
+  }
+  return work;
+}
+
+std::vector<ScoredDoc> SearchComponent::exact_topk(
+    const SearchRequest& request, std::size_t k) const {
+  return index_.topk(request.terms, doc_id_base_, k);
+}
+
+std::vector<std::uint64_t> SearchComponent::group_member_docs(
+    std::size_t g) const {
+  const auto& members = structure_.index.groups().at(g).members;
+  std::vector<std::uint64_t> out;
+  out.reserve(members.size());
+  for (auto m : members) out.push_back(doc_id_base_ + m);
+  return out;
+}
+
+SearchComponent::SearchComponent(LoadedTag, synopsis::SparseRows docs,
+                                 std::uint64_t doc_id_base,
+                                 synopsis::BuildConfig config,
+                                 ScorerParams scorer,
+                                 synopsis::SynopsisStructure structure,
+                                 synopsis::Synopsis synopsis)
+    : docs_(std::move(docs)),
+      doc_id_base_(doc_id_base),
+      config_(config),
+      scorer_(scorer),
+      structure_(std::move(structure)),
+      synopsis_(std::move(synopsis)),
+      index_(docs_, scorer) {
+  rebuild_index();
+}
+
+void SearchComponent::save(std::ostream& os) const {
+  common::BinaryWriter w(os);
+  w.magic("ATSC", 1);
+  w.u64(doc_id_base_);
+  w.u64(config_.svd.rank);
+  w.u64(config_.svd.epochs_per_dim);
+  w.f64(config_.svd.learning_rate);
+  w.f64(config_.svd.regularization);
+  w.f64(config_.size_ratio);
+  w.u64(config_.min_groups);
+  w.u8(scorer_.scorer == Scorer::kBm25 ? 1 : 0);
+  w.f64(scorer_.bm25_k1);
+  w.f64(scorer_.bm25_b);
+  synopsis::save(os, docs_);
+  synopsis::save(os, structure_);
+  synopsis::save(os, synopsis_);
+}
+
+SearchComponent SearchComponent::load(std::istream& is) {
+  common::BinaryReader r(is);
+  r.magic("ATSC");
+  const auto doc_id_base = r.u64();
+  synopsis::BuildConfig config;
+  config.svd.rank = r.u64();
+  config.svd.epochs_per_dim = r.u64();
+  config.svd.learning_rate = r.f64();
+  config.svd.regularization = r.f64();
+  config.size_ratio = r.f64();
+  config.min_groups = r.u64();
+  ScorerParams scorer;
+  scorer.scorer = r.u8() != 0 ? Scorer::kBm25 : Scorer::kTfIdf;
+  scorer.bm25_k1 = r.f64();
+  scorer.bm25_b = r.f64();
+  auto docs = synopsis::load_sparse_rows(is);
+  auto structure = synopsis::load_structure(is);
+  auto synopsis = synopsis::load_synopsis(is);
+  return SearchComponent(LoadedTag{}, std::move(docs), doc_id_base, config,
+                         scorer, std::move(structure), std::move(synopsis));
+}
+
+synopsis::UpdateReport SearchComponent::update(
+    const synopsis::UpdateBatch& batch) {
+  synopsis::SynopsisUpdater updater(config_);
+  auto report = updater.apply(structure_, docs_, synopsis_, batch,
+                              synopsis::AggregationKind::kMerge);
+  index_ = InvertedIndex(docs_, scorer_);
+  if (global_idf_ != nullptr) index_.set_global_idf(global_idf_);
+  rebuild_index();
+  return report;
+}
+
+}  // namespace at::search

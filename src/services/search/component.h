@@ -1,0 +1,101 @@
+// One parallel component of the search service: a shard of the web-page
+// corpus, its inverted index, and the synopsis of merged ("aggregated")
+// pages built over it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "services/search/inverted_index.h"
+#include "services/search/topk.h"
+#include "synopsis/aggregate.h"
+#include "synopsis/builder.h"
+#include "synopsis/updater.h"
+
+namespace at::search {
+
+struct SearchRequest {
+  std::vector<std::uint32_t> terms;  // query term ids
+};
+
+/// Per-request decomposition of one component's contribution:
+///  * correlations[g] — the aggregated page g's similarity score to the
+///    query (the paper's correlation estimate for text services);
+///  * scored_by_group[g] — the *exactly scored* member pages of group g
+///    that match the query (global doc ids).
+/// Exact processing is the union over all groups; AccuracyTrader with k
+/// sets processed contributes the union over the top-k ranked groups.
+struct SearchComponentWork {
+  std::vector<double> correlations;
+  std::vector<std::vector<ScoredDoc>> scored_by_group;
+};
+
+class SearchComponent {
+ public:
+  /// `docs`: row = page, col = term id, value = occurrence count.
+  /// `doc_id_base`: offset of this shard's pages in the global id space.
+  /// `scorer`: ranking function (Lucene-classic TF-IDF by default, BM25
+  /// available); applied to both exact scoring and aggregated pages.
+  SearchComponent(synopsis::SparseRows docs, std::uint64_t doc_id_base,
+                  const synopsis::BuildConfig& config,
+                  ScorerParams scorer = {});
+
+  std::size_t num_docs() const { return docs_.rows(); }
+  std::size_t num_groups() const { return structure_.index.size(); }
+  std::uint64_t doc_id_base() const { return doc_id_base_; }
+  const synopsis::SynopsisStructure& structure() const { return structure_; }
+  const synopsis::Synopsis& synopsis() const { return synopsis_; }
+  const InvertedIndex& index() const { return index_; }
+
+  /// Per-term document frequencies (for building the corpus-global idf).
+  std::vector<std::uint32_t> doc_frequencies() const;
+  /// Installs the corpus-global idf table used in all scoring.
+  void set_global_idf(std::shared_ptr<const std::vector<double>> idf);
+
+  std::vector<std::uint32_t> group_sizes() const;
+
+  /// Full per-request analysis (synopsis scores + exact member scores).
+  SearchComponentWork analyze(const SearchRequest& request) const;
+
+  /// Exact local top-k (all groups).
+  std::vector<ScoredDoc> exact_topk(const SearchRequest& request,
+                                    std::size_t k) const;
+
+  /// Global doc ids of group g's members, in member order. Used for the
+  /// stage-1-only fallback: when no group was processed exactly, the
+  /// initial result returns members of the best-ranked aggregated pages
+  /// (an approximation; individual member scores are unknown until their
+  /// group is processed).
+  std::vector<std::uint64_t> group_member_docs(std::size_t g) const;
+
+  /// Applies an input-data change batch; rebuilds the inverted index.
+  synopsis::UpdateReport update(const synopsis::UpdateBatch& batch);
+
+  /// Persists the shard (documents + synopsis structure + aggregated
+  /// synopsis + scorer); the inverted index is rebuilt on load.
+  void save(std::ostream& os) const;
+  static SearchComponent load(std::istream& is);
+
+ private:
+  struct LoadedTag {};
+  SearchComponent(LoadedTag, synopsis::SparseRows docs,
+                  std::uint64_t doc_id_base, synopsis::BuildConfig config,
+                  ScorerParams scorer, synopsis::SynopsisStructure structure,
+                  synopsis::Synopsis synopsis);
+
+  void rebuild_index();
+
+  synopsis::SparseRows docs_;
+  std::uint64_t doc_id_base_;
+  synopsis::BuildConfig config_;
+  ScorerParams scorer_;
+  synopsis::SynopsisStructure structure_;
+  synopsis::Synopsis synopsis_;
+  InvertedIndex index_;
+  std::vector<std::uint32_t> doc_group_;  // local doc -> group index
+  std::vector<double> agg_length_;        // merged length per aggregated page
+  std::shared_ptr<const std::vector<double>> global_idf_;
+};
+
+}  // namespace at::search

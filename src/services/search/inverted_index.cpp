@@ -1,0 +1,130 @@
+#include "services/search/inverted_index.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace at::search {
+
+InvertedIndex::InvertedIndex(const synopsis::SparseRows& docs,
+                             ScorerParams scorer)
+    : scorer_(scorer) {
+  postings_.resize(docs.cols());
+  doc_length_.resize(docs.rows(), 0.0);
+  double total_len = 0.0;
+  for (std::uint32_t d = 0; d < docs.rows(); ++d) {
+    double len = 0.0;
+    for (const auto& [term, count] : docs.row(d)) {
+      postings_[term].push_back(Posting{d, count});
+      len += count;
+    }
+    doc_length_[d] = len;
+    total_len += len;
+  }
+  mean_doc_length_ =
+      docs.rows() > 0 ? total_len / static_cast<double>(docs.rows()) : 0.0;
+}
+
+const std::vector<Posting>& InvertedIndex::postings(std::uint32_t term) const {
+  static const std::vector<Posting> kEmpty;
+  if (term >= postings_.size()) return kEmpty;
+  return postings_[term];
+}
+
+std::uint32_t InvertedIndex::doc_frequency(std::uint32_t term) const {
+  if (term >= postings_.size()) return 0;
+  return static_cast<std::uint32_t>(postings_[term].size());
+}
+
+double InvertedIndex::idf(std::uint32_t term) const {
+  const double n = static_cast<double>(num_docs());
+  const double df = static_cast<double>(doc_frequency(term));
+  return std::log(1.0 + n / (1.0 + df));
+}
+
+void InvertedIndex::set_global_idf(
+    std::shared_ptr<const std::vector<double>> idf) {
+  global_idf_ = std::move(idf);
+}
+
+double InvertedIndex::idf_for(std::uint32_t term) const {
+  if (global_idf_ != nullptr) {
+    if (term < global_idf_->size()) return (*global_idf_)[term];
+    return 0.0;
+  }
+  return idf(term);
+}
+
+double InvertedIndex::term_doc_score(double tf, double idf,
+                                     double doc_len) const {
+  if (tf <= 0.0 || idf <= 0.0) return 0.0;
+  if (scorer_.scorer == Scorer::kBm25) {
+    const double k1 = scorer_.bm25_k1;
+    const double b = scorer_.bm25_b;
+    const double avg = mean_doc_length_ > 0.0 ? mean_doc_length_ : 1.0;
+    const double norm = k1 * (1.0 - b + b * doc_len / avg);
+    return idf * (tf * (k1 + 1.0)) / (tf + norm);
+  }
+  // Lucene-classic: sqrt(tf) * idf with 1/sqrt(dl) length normalization.
+  const double len_norm = doc_len > 0.0 ? 1.0 / std::sqrt(doc_len) : 0.0;
+  return std::sqrt(tf) * idf * len_norm;
+}
+
+void InvertedIndex::score_query(const std::vector<std::uint32_t>& terms,
+                                std::uint64_t doc_id_base,
+                                std::vector<ScoredDoc>& out) const {
+  // Term-at-a-time accumulation over matching docs only.
+  std::unordered_map<std::uint32_t, double> acc;
+  for (auto term : terms) {
+    const double w = idf_for(term);
+    if (w <= 0.0) continue;
+    for (const auto& p : postings(term)) {
+      acc[p.doc] += term_doc_score(p.tf, w, doc_length_[p.doc]);
+    }
+  }
+  out.reserve(out.size() + acc.size());
+  for (const auto& [doc, score] : acc) {
+    if (score <= 0.0) continue;
+    out.push_back(ScoredDoc{score, doc_id_base + doc});
+  }
+}
+
+std::vector<ScoredDoc> InvertedIndex::topk(
+    const std::vector<std::uint32_t>& terms, std::uint64_t doc_id_base,
+    std::size_t k) const {
+  std::vector<ScoredDoc> scored;
+  score_query(terms, doc_id_base, scored);
+  TopK top(k);
+  for (const auto& d : scored) top.offer(d);
+  return top.take();
+}
+
+double InvertedIndex::score_counts(const std::vector<std::uint32_t>& terms,
+                                   const synopsis::SparseVector& counts,
+                                   double length) const {
+  double score = 0.0;
+  for (auto term : terms) {
+    const double tf = synopsis::value_at(counts, term);
+    if (tf <= 0.0) continue;
+    score += term_doc_score(tf, idf_for(term), length);
+  }
+  return score;
+}
+
+std::vector<double> merge_idf(
+    const std::vector<std::vector<std::uint32_t>>& dfs,
+    std::size_t total_docs) {
+  std::size_t vocab = 0;
+  for (const auto& v : dfs) vocab = std::max(vocab, v.size());
+  std::vector<double> idf(vocab, 0.0);
+  for (std::size_t t = 0; t < vocab; ++t) {
+    std::uint64_t df = 0;
+    for (const auto& v : dfs) {
+      if (t < v.size()) df += v[t];
+    }
+    idf[t] = std::log(1.0 + static_cast<double>(total_docs) /
+                                (1.0 + static_cast<double>(df)));
+  }
+  return idf;
+}
+
+}  // namespace at::search

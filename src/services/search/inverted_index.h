@@ -1,0 +1,96 @@
+// Inverted index + TF-IDF scoring for the web search service (paper §3.2,
+// Lucene-style): postings map each term to the documents containing it,
+// and a query's matching documents are scored by
+//   score(d, q) = Σ_{t ∈ q}  sqrt(tf_{t,d}) * idf_t / sqrt(dl_d)
+// with idf_t = ln(1 + N / (1 + df_t)). The idf table can be swapped for a
+// service-global one so scores merge consistently across components.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "services/search/topk.h"
+#include "synopsis/sparse_rows.h"
+
+namespace at::search {
+
+struct Posting {
+  std::uint32_t doc = 0;  // local document id
+  double tf = 0.0;        // term occurrence count
+};
+
+/// Ranking function.
+enum class Scorer {
+  /// sqrt(tf) * idf / sqrt(dl) — the Lucene-classic practical scoring used
+  /// by the paper's evaluation service.
+  kTfIdf,
+  /// Okapi BM25 with the standard k1/b saturation and length normalization.
+  kBm25,
+};
+
+struct ScorerParams {
+  Scorer scorer = Scorer::kTfIdf;
+  double bm25_k1 = 1.2;
+  double bm25_b = 0.75;
+};
+
+class InvertedIndex {
+ public:
+  /// Builds the index from document rows (row = doc, col = term, value =
+  /// occurrence count).
+  explicit InvertedIndex(const synopsis::SparseRows& docs,
+                         ScorerParams scorer = {});
+
+  std::size_t num_docs() const { return doc_length_.size(); }
+  std::size_t vocab_size() const { return postings_.size(); }
+
+  const std::vector<Posting>& postings(std::uint32_t term) const;
+  std::uint32_t doc_frequency(std::uint32_t term) const;
+  double doc_length(std::uint32_t doc) const { return doc_length_.at(doc); }
+
+  /// Local idf of a term (from this index's own document counts).
+  double idf(std::uint32_t term) const;
+
+  /// Overrides idf lookups with a shared (e.g. corpus-global) table.
+  void set_global_idf(std::shared_ptr<const std::vector<double>> idf);
+
+  /// Scores every document matching at least one query term; results are
+  /// appended to `out` (unsorted). `doc_id_base` offsets local ids into the
+  /// global doc-id space.
+  void score_query(const std::vector<std::uint32_t>& terms,
+                   std::uint64_t doc_id_base,
+                   std::vector<ScoredDoc>& out) const;
+
+  /// Convenience: score + rank, returning the top k.
+  std::vector<ScoredDoc> topk(const std::vector<std::uint32_t>& terms,
+                              std::uint64_t doc_id_base, std::size_t k) const;
+
+  /// Scores one document against a query given raw term counts and length
+  /// (used to score aggregated/merged pages with the same formula).
+  double score_counts(const std::vector<std::uint32_t>& terms,
+                      const synopsis::SparseVector& counts,
+                      double length) const;
+
+  const ScorerParams& scorer() const { return scorer_; }
+  double mean_doc_length() const { return mean_doc_length_; }
+
+ private:
+  double idf_for(std::uint32_t term) const;
+  double term_doc_score(double tf, double idf, double doc_len) const;
+
+  ScorerParams scorer_;
+  std::vector<std::vector<Posting>> postings_;
+  std::vector<double> doc_length_;  // total term count per doc
+  double mean_doc_length_ = 0.0;
+  std::shared_ptr<const std::vector<double>> global_idf_;
+};
+
+/// Builds a corpus-global idf table from per-component document frequencies.
+/// `dfs` holds each component's per-term document frequency; `total_docs`
+/// is the corpus document count.
+std::vector<double> merge_idf(
+    const std::vector<std::vector<std::uint32_t>>& dfs,
+    std::size_t total_docs);
+
+}  // namespace at::search

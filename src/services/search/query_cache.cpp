@@ -1,0 +1,73 @@
+#include "services/search/query_cache.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace at::search {
+
+QueryCache::QueryCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0)
+    throw std::invalid_argument("QueryCache: capacity must be >= 1");
+}
+
+std::vector<std::uint32_t> QueryCache::canonical_key(
+    const std::vector<std::uint32_t>& terms) {
+  std::vector<std::uint32_t> key = terms;
+  std::sort(key.begin(), key.end());
+  key.erase(std::unique(key.begin(), key.end()), key.end());
+  return key;
+}
+
+bool QueryCache::lookup(const std::vector<std::uint32_t>& terms,
+                        std::vector<ScoredDoc>* out) {
+  const Key key = canonical_key(terms);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  if (out != nullptr) *out = it->second->result;
+  return true;
+}
+
+void QueryCache::insert(const std::vector<std::uint32_t>& terms,
+                        std::vector<ScoredDoc> result) {
+  Key key = canonical_key(terms);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->result = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{key, std::move(result)});
+  index_[std::move(key)] = lru_.begin();
+  ++stats_.insertions;
+}
+
+void QueryCache::invalidate_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  ++stats_.invalidations;
+}
+
+std::size_t QueryCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+QueryCacheStats QueryCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace at::search

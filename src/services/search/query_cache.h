@@ -1,0 +1,74 @@
+// LRU query-result cache. The paper's search service consults it first:
+// "if a query request does not hit the query cache, the search engine
+// scans its index file..." — high-frequency queries short-circuit the
+// whole two-stage pipeline.
+//
+// Keys are canonicalized (terms sorted, duplicates removed) so "a b" and
+// "b a" share an entry. Thread-safe; the service invalidates the cache
+// whenever a component's input data changes.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "services/search/topk.h"
+
+namespace at::search {
+
+struct QueryCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;
+
+  double hit_rate() const {
+    const auto total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+class QueryCache {
+ public:
+  explicit QueryCache(std::size_t capacity);
+
+  /// Returns the cached result and refreshes its recency, or nullopt-like
+  /// empty optional semantics via bool + out param: true on hit.
+  bool lookup(const std::vector<std::uint32_t>& terms,
+              std::vector<ScoredDoc>* out);
+
+  /// Inserts (or refreshes) the result for a query; evicts the least
+  /// recently used entry when full.
+  void insert(const std::vector<std::uint32_t>& terms,
+              std::vector<ScoredDoc> result);
+
+  /// Drops everything (input data changed; all cached answers are stale).
+  void invalidate_all();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  QueryCacheStats stats() const;
+
+  /// Canonical cache key of a term list: sorted and deduplicated.
+  static std::vector<std::uint32_t> canonical_key(
+      const std::vector<std::uint32_t>& terms);
+
+ private:
+  using Key = std::vector<std::uint32_t>;
+  struct Entry {
+    Key key;
+    std::vector<ScoredDoc> result;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recent
+  std::map<Key, std::list<Entry>::iterator> index_;
+  QueryCacheStats stats_;
+};
+
+}  // namespace at::search

@@ -1,0 +1,155 @@
+#include "services/search/service.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/algorithm1.h"
+
+namespace at::search {
+
+SearchService::SearchService(std::vector<SearchComponent> components,
+                             std::size_t k)
+    : components_(std::move(components)), k_(k) {
+  if (components_.empty())
+    throw std::invalid_argument("SearchService: no components");
+  std::vector<std::vector<std::uint32_t>> dfs;
+  dfs.reserve(components_.size());
+  for (const auto& c : components_) {
+    dfs.push_back(c.doc_frequencies());
+    total_docs_ += c.num_docs();
+  }
+  auto idf = std::make_shared<const std::vector<double>>(
+      merge_idf(dfs, total_docs_));
+  for (auto& c : components_) c.set_global_idf(idf);
+}
+
+void SearchService::enable_query_cache(std::size_t capacity) {
+  cache_ = std::make_unique<QueryCache>(capacity);
+}
+
+synopsis::UpdateReport SearchService::update_component(
+    std::size_t c, const synopsis::UpdateBatch& batch) {
+  auto report = components_.at(c).update(batch);
+  if (cache_ != nullptr) cache_->invalidate_all();
+  return report;
+}
+
+std::vector<ScoredDoc> SearchService::exact_topk(
+    const SearchRequest& request) const {
+  if (cache_ != nullptr) {
+    std::vector<ScoredDoc> cached;
+    if (cache_->lookup(request.terms, &cached)) return cached;
+  }
+  TopK top(k_);
+  for (const auto& comp : components_) {
+    for (const auto& d : comp.exact_topk(request, k_)) top.offer(d);
+  }
+  auto result = top.take();
+  if (cache_ != nullptr) cache_->insert(request.terms, result);
+  return result;
+}
+
+std::vector<ScoredDoc> SearchService::retrieve(
+    const SearchRequest& request, core::Technique technique,
+    const std::vector<ComponentOutcome>& outcomes) const {
+  using core::Technique;
+  if (technique == Technique::kBasic ||
+      technique == Technique::kRequestReissue) {
+    return exact_topk(request);
+  }
+  if (outcomes.size() != components_.size())
+    throw std::invalid_argument("SearchService::retrieve: outcome mismatch");
+
+  if (technique == Technique::kPartialExecution) {
+    TopK top(k_);
+    for (std::size_t c = 0; c < components_.size(); ++c) {
+      if (!outcomes[c].included) continue;
+      for (const auto& d : components_[c].exact_topk(request, k_))
+        top.offer(d);
+    }
+    return top.take();
+  }
+
+  // AccuracyTrader: union of the exactly scored pages from each
+  // component's processed ranked sets.
+  TopK top(k_);
+  struct PendingGroup {
+    double correlation;
+    std::size_t comp;
+    std::size_t group;
+  };
+  std::vector<PendingGroup> unprocessed;
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    const SearchComponentWork work = components_[c].analyze(request);
+    const auto ranked = core::rank_by_correlation(work.correlations);
+    const std::size_t sets =
+        std::min<std::size_t>(outcomes[c].sets, ranked.size());
+    for (std::size_t i = 0; i < sets; ++i) {
+      for (const auto& d : work.scored_by_group[ranked[i]]) top.offer(d);
+    }
+    for (std::size_t i = sets; i < ranked.size(); ++i) {
+      unprocessed.push_back(
+          PendingGroup{work.correlations[ranked[i]], c, ranked[i]});
+    }
+  }
+  std::vector<ScoredDoc> result = top.take();
+
+  // Stage-1 padding: too few exactly-scored pages (e.g. zero sets fit the
+  // deadline) — fall back on the synopsis ranking, best groups first.
+  if (result.size() < k_) {
+    std::sort(unprocessed.begin(), unprocessed.end(),
+              [](const PendingGroup& a, const PendingGroup& b) {
+                if (a.correlation != b.correlation)
+                  return a.correlation > b.correlation;
+                if (a.comp != b.comp) return a.comp < b.comp;
+                return a.group < b.group;
+              });
+    for (const auto& pg : unprocessed) {
+      if (result.size() >= k_) break;
+      if (pg.correlation <= 0.0) break;  // no query overlap at all
+      for (auto doc : components_[pg.comp].group_member_docs(pg.group)) {
+        if (result.size() >= k_) break;
+        const bool dup =
+            std::any_of(result.begin(), result.end(),
+                        [doc](const ScoredDoc& d) { return d.doc == doc; });
+        if (!dup) result.push_back(ScoredDoc{0.0, doc});
+      }
+    }
+  }
+  return result;
+}
+
+SearchEvalResult SearchService::evaluate(
+    const std::vector<SearchRequest>& requests, core::Technique technique,
+    const std::function<std::vector<ComponentOutcome>(std::size_t)>&
+        outcome_for) const {
+  SearchEvalResult result;
+  result.requests = requests.size();
+  if (requests.empty()) return result;
+
+  double acc = 0.0;
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const auto actual = exact_topk(requests[r]);
+    std::vector<ScoredDoc> retrieved;
+    if (technique == core::Technique::kBasic ||
+        technique == core::Technique::kRequestReissue) {
+      retrieved = actual;
+    } else {
+      retrieved = retrieve(requests[r], technique, outcome_for(r));
+    }
+    acc += topk_overlap(retrieved, actual);
+  }
+  result.accuracy = acc / static_cast<double>(requests.size());
+  result.loss_pct = (1.0 - result.accuracy) * 100.0;
+  return result;
+}
+
+SearchEvalResult SearchService::evaluate_uniform(
+    const std::vector<SearchRequest>& requests, core::Technique technique,
+    ComponentOutcome outcome) const {
+  const std::vector<ComponentOutcome> uniform(components_.size(), outcome);
+  return evaluate(requests, technique,
+                  [&uniform](std::size_t) { return uniform; });
+}
+
+}  // namespace at::search

@@ -1,0 +1,82 @@
+// The fan-out search service: a query is dispatched to every shard
+// component; local results merge into the global top-k, whose overlap with
+// the exact top-k is the paper's accuracy metric.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/outcome.h"
+#include "core/technique.h"
+#include "services/search/component.h"
+#include "services/search/query_cache.h"
+
+namespace at::search {
+
+/// Per-component outcome observed by the simulator for one request.
+using ComponentOutcome = core::ComponentOutcome;
+
+struct SearchEvalResult {
+  double accuracy = 0.0;     // mean top-k overlap with exact results
+  double loss_pct = 0.0;     // (1 - accuracy) * 100 relative to exact
+  std::size_t requests = 0;
+};
+
+class SearchService {
+ public:
+  /// Builds the service over per-shard components and installs a shared
+  /// corpus-global idf so scores are comparable across shards.
+  SearchService(std::vector<SearchComponent> components, std::size_t k = 10);
+
+  std::size_t num_components() const { return components_.size(); }
+  const SearchComponent& component(std::size_t i) const {
+    return components_.at(i);
+  }
+  SearchComponent& component(std::size_t i) { return components_.at(i); }
+  std::size_t k() const { return k_; }
+  std::size_t total_docs() const { return total_docs_; }
+
+  /// Enables the LRU query cache consulted by exact_topk (paper §3.2: the
+  /// engine scans its index only "if a query request does not hit the
+  /// query cache").
+  void enable_query_cache(std::size_t capacity);
+  const QueryCache* query_cache() const { return cache_.get(); }
+
+  /// Routes an input-data change batch to component `c` and invalidates
+  /// the query cache (every cached answer is potentially stale).
+  synopsis::UpdateReport update_component(std::size_t c,
+                                          const synopsis::UpdateBatch& batch);
+
+  /// Exact global top-k (served from the query cache when enabled).
+  std::vector<ScoredDoc> exact_topk(const SearchRequest& request) const;
+
+  /// Retrieved top-k under a technique given per-component outcomes.
+  /// For AccuracyTrader, if fewer than k exactly-scored pages exist in the
+  /// processed sets, the result is padded from the initial (stage-1)
+  /// synopsis ranking: member pages of the globally best-ranked
+  /// *unprocessed* aggregated pages, in correlation order.
+  std::vector<ScoredDoc> retrieve(
+      const SearchRequest& request, core::Technique technique,
+      const std::vector<ComponentOutcome>& outcomes) const;
+
+  /// Mean accuracy over a request batch; `outcome_for(r)` supplies request
+  /// r's per-component outcomes.
+  SearchEvalResult evaluate(
+      const std::vector<SearchRequest>& requests, core::Technique technique,
+      const std::function<std::vector<ComponentOutcome>(std::size_t)>&
+          outcome_for) const;
+
+  SearchEvalResult evaluate_uniform(const std::vector<SearchRequest>& requests,
+                                    core::Technique technique,
+                                    ComponentOutcome outcome) const;
+
+ private:
+  std::vector<SearchComponent> components_;
+  std::size_t k_;
+  std::size_t total_docs_ = 0;
+  std::unique_ptr<QueryCache> cache_;
+};
+
+}  // namespace at::search

@@ -1,0 +1,57 @@
+#include "services/search/text.h"
+
+#include <cctype>
+
+namespace at::search {
+
+std::uint32_t Vocabulary::intern(std::string_view word) {
+  auto it = ids_.find(std::string(word));
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(words_.size());
+  words_.emplace_back(word);
+  ids_.emplace(words_.back(), id);
+  return id;
+}
+
+std::uint32_t Vocabulary::lookup(std::string_view word) const {
+  auto it = ids_.find(std::string(word));
+  return it == ids_.end() ? kNotFound : it->second;
+}
+
+std::vector<std::string> tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char ch : text) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+synopsis::SparseVector text_to_counts(std::string_view text,
+                                      Vocabulary& vocab) {
+  synopsis::SparseVector counts;
+  for (const auto& token : tokenize(text)) {
+    counts.emplace_back(vocab.intern(token), 1.0);
+  }
+  synopsis::normalize(counts);  // sorts and sums duplicate terms
+  return counts;
+}
+
+std::vector<std::uint32_t> text_to_terms(std::string_view text,
+                                         const Vocabulary& vocab) {
+  std::vector<std::uint32_t> terms;
+  for (const auto& token : tokenize(text)) {
+    const auto id = vocab.lookup(token);
+    if (id != Vocabulary::kNotFound) terms.push_back(id);
+  }
+  return terms;
+}
+
+}  // namespace at::search

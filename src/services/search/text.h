@@ -1,0 +1,48 @@
+// Text handling for the search service: a string<->id vocabulary and a
+// simple tokenizer. The synthetic corpus generator works directly in term
+// ids; the vocabulary exists so the examples can index and query real text
+// through the same pipeline (the paper's step 1 converts each web page to
+// a numeric point whose attributes are word occurrence counts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "synopsis/sparse_rows.h"
+
+namespace at::search {
+
+class Vocabulary {
+ public:
+  /// Returns the id of `word`, inserting it if new.
+  std::uint32_t intern(std::string_view word);
+
+  /// Returns the id of `word` or kNotFound.
+  std::uint32_t lookup(std::string_view word) const;
+
+  const std::string& word(std::uint32_t id) const { return words_.at(id); }
+  std::size_t size() const { return words_.size(); }
+
+  static constexpr std::uint32_t kNotFound = 0xffffffffu;
+
+ private:
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  std::vector<std::string> words_;
+};
+
+/// Lower-cases and splits on non-alphanumeric characters.
+std::vector<std::string> tokenize(std::string_view text);
+
+/// Tokenizes and interns, producing a term-count sparse vector (a document
+/// row suitable for SparseRows / the inverted index).
+synopsis::SparseVector text_to_counts(std::string_view text, Vocabulary& vocab);
+
+/// Tokenizes against a frozen vocabulary (unknown words dropped), producing
+/// query term ids.
+std::vector<std::uint32_t> text_to_terms(std::string_view text,
+                                         const Vocabulary& vocab);
+
+}  // namespace at::search

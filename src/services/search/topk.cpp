@@ -1,0 +1,49 @@
+#include "services/search/topk.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace at::search {
+
+namespace {
+// std::push_heap with this comparator keeps the *worst* element at front.
+bool heap_cmp(const ScoredDoc& a, const ScoredDoc& b) { return better(a, b); }
+}  // namespace
+
+TopK::TopK(std::size_t k) : k_(k) {
+  if (k == 0) throw std::invalid_argument("TopK: k must be >= 1");
+  heap_.reserve(k + 1);
+}
+
+void TopK::offer(const ScoredDoc& d) {
+  if (heap_.size() < k_) {
+    heap_.push_back(d);
+    std::push_heap(heap_.begin(), heap_.end(), heap_cmp);
+    return;
+  }
+  if (better(d, heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), heap_cmp);
+    heap_.back() = d;
+    std::push_heap(heap_.begin(), heap_.end(), heap_cmp);
+  }
+}
+
+std::vector<ScoredDoc> TopK::take() const {
+  std::vector<ScoredDoc> out = heap_;
+  std::sort(out.begin(), out.end(), better);
+  return out;
+}
+
+double topk_overlap(const std::vector<ScoredDoc>& retrieved,
+                    const std::vector<ScoredDoc>& actual) {
+  if (actual.empty()) return 1.0;
+  std::unordered_set<std::uint64_t> got;
+  got.reserve(retrieved.size());
+  for (const auto& d : retrieved) got.insert(d.doc);
+  std::size_t hit = 0;
+  for (const auto& d : actual) hit += got.count(d.doc);
+  return static_cast<double>(hit) / static_cast<double>(actual.size());
+}
+
+}  // namespace at::search

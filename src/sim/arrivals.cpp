@@ -1,0 +1,48 @@
+#include "sim/arrivals.h"
+
+#include <stdexcept>
+
+namespace at::sim {
+
+std::vector<double> poisson_arrivals(double rate_per_s, double duration_s,
+                                     common::Rng& rng) {
+  if (rate_per_s <= 0.0)
+    throw std::invalid_argument("poisson_arrivals: rate must be > 0");
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(rate_per_s * duration_s * 1.1) + 8);
+  double t = rng.exponential(rate_per_s);
+  while (t < duration_s) {
+    times.push_back(t);
+    t += rng.exponential(rate_per_s);
+  }
+  return times;
+}
+
+std::vector<double> nhpp_arrivals(const std::function<double(double)>& rate_at,
+                                  double rate_max, double duration_s,
+                                  common::Rng& rng) {
+  if (rate_max <= 0.0)
+    throw std::invalid_argument("nhpp_arrivals: rate_max must be > 0");
+  std::vector<double> times;
+  double t = 0.0;
+  for (;;) {
+    t += rng.exponential(rate_max);
+    if (t >= duration_s) break;
+    const double r = rate_at(t);
+    if (r > rate_max)
+      throw std::invalid_argument("nhpp_arrivals: rate_at exceeds rate_max");
+    if (rng.uniform() < r / rate_max) times.push_back(t);
+  }
+  return times;
+}
+
+std::vector<double> uniform_arrivals(double rate_per_s, double duration_s) {
+  if (rate_per_s <= 0.0)
+    throw std::invalid_argument("uniform_arrivals: rate must be > 0");
+  std::vector<double> times;
+  const double gap = 1.0 / rate_per_s;
+  for (double t = gap * 0.5; t < duration_s; t += gap) times.push_back(t);
+  return times;
+}
+
+}  // namespace at::sim

@@ -1,0 +1,25 @@
+// Open-loop request arrival processes.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace at::sim {
+
+/// Homogeneous Poisson arrivals at `rate_per_s` over [0, duration_s).
+/// Returns ascending arrival times in seconds.
+std::vector<double> poisson_arrivals(double rate_per_s, double duration_s,
+                                     common::Rng& rng);
+
+/// Non-homogeneous Poisson arrivals by thinning. `rate_at(t)` must be
+/// bounded by `rate_max` over [0, duration_s).
+std::vector<double> nhpp_arrivals(const std::function<double(double)>& rate_at,
+                                  double rate_max, double duration_s,
+                                  common::Rng& rng);
+
+/// Deterministic, evenly spaced arrivals (useful in tests).
+std::vector<double> uniform_arrivals(double rate_per_s, double duration_s);
+
+}  // namespace at::sim

@@ -1,0 +1,341 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "core/algorithm1.h"
+
+namespace at::sim {
+
+namespace {
+constexpr std::uint64_t kNone = ~0ull;
+}  // namespace
+
+ClusterSim::ClusterSim(SimConfig config, std::vector<ComponentProfile> profiles)
+    : config_(std::move(config)), profiles_(std::move(profiles)) {
+  if (profiles_.size() != config_.num_components)
+    throw std::invalid_argument("ClusterSim: profile count mismatch");
+  if (config_.num_nodes == 0)
+    throw std::invalid_argument("ClusterSim: need at least one node");
+  for (const auto& p : profiles_) {
+    if (p.num_points == 0 || p.group_sizes.empty())
+      throw std::invalid_argument("ClusterSim: empty component profile");
+  }
+}
+
+double ClusterSim::mean_exact_service_ms() const {
+  double acc = 0.0;
+  for (const auto& p : profiles_)
+    acc += static_cast<double>(p.num_points) * config_.us_per_point / 1e3;
+  return acc / static_cast<double>(profiles_.size());
+}
+
+double ClusterSim::mean_synopsis_service_ms() const {
+  double acc = 0.0;
+  for (const auto& p : profiles_) {
+    acc += static_cast<double>(p.group_sizes.size()) * config_.us_per_point *
+           config_.synopsis_point_factor / 1e3;
+  }
+  return acc / static_cast<double>(profiles_.size());
+}
+
+SimResult ClusterSim::run(core::Technique technique,
+                          const std::vector<double>& arrival_times_s) const {
+  using core::Technique;
+
+  struct SubOp {
+    std::uint64_t req = 0;
+    std::uint32_t data_comp = 0;    // which subset it processes
+    std::uint32_t server_comp = 0;  // which component's queue executes it
+    bool is_replica = false;
+    std::uint64_t twin = kNone;
+    double submit_ms = 0.0;
+    double start_ms = 0.0;      // when service began (valid once started)
+    bool logical_done = false;  // this (req, data_comp) sub-op has a result
+    bool canceled = false;
+    bool started = false;
+  };
+  struct Request {
+    double submit_ms = 0.0;
+    std::uint32_t outstanding = 0;
+    double last_complete_ms = 0.0;
+    bool record_detail = false;
+    std::vector<core::ComponentOutcome> outcomes;
+  };
+  struct Server {
+    std::deque<std::uint64_t> queue;
+    bool busy = false;
+  };
+
+  const std::size_t n_comp = config_.num_components;
+  SimResult result;
+  result.technique = technique;
+  result.requests = arrival_times_s.size();
+
+  // Per-run deterministic randomness: identical across techniques so the
+  // comparison isolates the technique, not the noise.
+  common::Rng rng(config_.seed);
+  InterferenceTimeline interference =
+      config_.interference_trace.empty()
+          ? InterferenceTimeline(config_.interference, config_.num_nodes,
+                                 config_.seed ^ 0x1f2e3d4cULL)
+          : InterferenceTimeline(config_.interference_trace,
+                                 config_.num_nodes);
+  std::vector<double> node_speed(config_.num_nodes);
+  for (auto& s : node_speed)
+    s = rng.uniform(config_.node_speed_min, config_.node_speed_max);
+
+  // Sessions cover the arrival horizon.
+  const double horizon_s =
+      arrival_times_s.empty() ? 0.0 : arrival_times_s.back();
+  const std::size_t n_sessions =
+      static_cast<std::size_t>(horizon_s / config_.session_length_s) + 1;
+  result.sessions.resize(n_sessions);
+  for (std::size_t s = 0; s < n_sessions; ++s) {
+    result.sessions[s].start_s =
+        static_cast<double>(s) * config_.session_length_s;
+    result.sessions[s].end_s = result.sessions[s].start_s +
+                               config_.session_length_s;
+  }
+  auto session_of = [&](double submit_ms) -> SessionStats& {
+    auto idx = static_cast<std::size_t>(submit_ms / 1e3 /
+                                        config_.session_length_s);
+    if (idx >= n_sessions) idx = n_sessions - 1;
+    return result.sessions[idx];
+  };
+
+  std::vector<Request> requests(arrival_times_s.size());
+  std::vector<SubOp> subops;
+  subops.reserve(arrival_times_s.size() * n_comp * 11 / 10 + 16);
+  std::vector<Server> servers(n_comp);
+
+  // Hedging threshold for request reissue: the 95th percentile of the
+  // *expected* latency of this class of sub-operations (paper §4.1). The
+  // estimate adapts to observed latencies but is clamped to a sane
+  // multiple of the nominal service time — under overload the observed
+  // distribution diverges, and an unbounded threshold would simply switch
+  // hedging off (the expectation is a property of the sub-operation
+  // class, not of the current backlog).
+  common::P2Quantile latency_quantile(config_.reissue_quantile);
+  const double init_threshold_ms =
+      mean_exact_service_ms() * config_.reissue_init_factor +
+      config_.base_overhead_ms;
+  const double max_threshold_ms =
+      mean_exact_service_ms() *
+          std::max(config_.reissue_init_factor,
+                   config_.interference.cpu_slowdown_max * 2.0) +
+      config_.base_overhead_ms;
+  auto reissue_threshold_ms = [&]() {
+    if (latency_quantile.count() < 100) return init_threshold_ms;
+    return std::clamp(latency_quantile.value(), config_.base_overhead_ms,
+                      max_threshold_ms);
+  };
+
+  EventQueue eq;
+  for (std::size_t i = 0; i < arrival_times_s.size(); ++i) {
+    eq.push(arrival_times_s[i] * 1e3, EventKind::kArrival, i);
+  }
+
+  // Starts serving `op_id` on its server at `now_ms`; schedules completion.
+  auto start_service = [&](std::uint64_t op_id, double now_ms) {
+    SubOp& op = subops[op_id];
+    op.started = true;
+    op.start_ms = now_ms;
+    // Tied-request semantics (Dean & Barroso): the first copy to *start*
+    // cancels its still-queued twin, so hedging load-balances across
+    // queues without duplicating work. Copies that both started (the
+    // twin was already running when this one was dispatched) race to
+    // completion.
+    if (op.twin != kNone) {
+      SubOp& twin = subops[op.twin];
+      if (!twin.started) twin.canceled = true;
+    }
+    const std::size_t node = op.server_comp % config_.num_nodes;
+    const double slow =
+        node_speed[node] * interference.slowdown(node, now_ms / 1e3);
+    const ComponentProfile& prof = profiles_[op.data_comp];
+
+    double demand_ms = config_.base_overhead_ms;
+    if (technique == Technique::kAccuracyTrader) {
+      // Drive the real Algorithm 1 with a virtual clock; elapsed time
+      // includes the queueing delay already incurred, exactly as l_ela in
+      // the paper counts from request submission.
+      core::VirtualClock clock(now_ms - op.submit_ms);
+      const std::size_t m = prof.group_sizes.size();
+      double work_ms = 0.0;
+      auto stage1 = [&]() {
+        const double syn_ms = static_cast<double>(m) * config_.us_per_point *
+                              config_.synopsis_point_factor / 1e3 * slow;
+        clock.advance(syn_ms);
+        work_ms += syn_ms;
+        // The simulator does not know real correlations (the services
+        // replay them on real data); ranking order does not affect cost
+        // because R-tree groups are size-balanced.
+        return std::vector<double>(m, 0.0);
+      };
+      auto improve = [&](std::size_t g) {
+        const double set_ms = static_cast<double>(prof.group_sizes[g]) *
+                              config_.us_per_point / 1e3 * slow;
+        clock.advance(set_ms);
+        work_ms += set_ms;
+      };
+      core::Algorithm1Config acfg;
+      acfg.deadline_ms = config_.deadline_ms;
+      acfg.imax = config_.imax;
+      const auto trace = core::run_algorithm1(acfg, clock, stage1, improve);
+      demand_ms += work_ms;
+      // Remember how many ranked sets fit (for accuracy replay).
+      Request& req = requests[op.req];
+      if (req.record_detail && !op.is_replica) {
+        req.outcomes[op.data_comp].sets =
+            static_cast<std::uint32_t>(trace.sets_processed);
+      }
+    } else {
+      demand_ms += static_cast<double>(prof.num_points) *
+                   config_.us_per_point / 1e3 * slow;
+    }
+    eq.push(now_ms + demand_ms, EventKind::kServiceComplete, op_id);
+  };
+
+  auto pump_server = [&](std::uint32_t comp, double now_ms) {
+    Server& srv = servers[comp];
+    if (srv.busy) return;
+    while (!srv.queue.empty()) {
+      const std::uint64_t op_id = srv.queue.front();
+      srv.queue.pop_front();
+      if (subops[op_id].canceled) {
+        ++result.replica_cancels;
+        continue;
+      }
+      srv.busy = true;
+      start_service(op_id, now_ms);
+      return;
+    }
+  };
+
+  auto enqueue_subop = [&](std::uint64_t op_id, double now_ms) {
+    servers[subops[op_id].server_comp].queue.push_back(op_id);
+    pump_server(subops[op_id].server_comp, now_ms);
+  };
+
+  // Called when the logical (req, data_comp) sub-operation first completes.
+  auto logical_complete = [&](SubOp& op, double now_ms) {
+    op.logical_done = true;
+    if (op.twin != kNone) {
+      SubOp& twin = subops[op.twin];
+      twin.logical_done = true;
+      if (!twin.started) twin.canceled = true;
+      if (op.is_replica) ++result.reissue_wins;
+    }
+    Request& req = requests[op.req];
+    const double latency_ms = now_ms - req.submit_ms;
+    result.subop_latency_ms.add(latency_ms);
+    result.subop_wait_ms.add(op.start_ms - op.submit_ms);
+    session_of(req.submit_ms).subop_latency_ms.add(latency_ms);
+    ++result.subops;
+    if (technique == Technique::kRequestReissue) {
+      // The hedging threshold tracks the expected latency distribution of
+      // this class of sub-operations (paper §4.1: 95th percentile).
+      latency_quantile.add(latency_ms);
+    }
+
+    if (req.record_detail) {
+      req.outcomes[op.data_comp].included =
+          latency_ms <= config_.deadline_ms;
+    }
+    req.last_complete_ms = std::max(req.last_complete_ms, now_ms);
+    if (--req.outstanding == 0) {
+      // Merger semantics: partial execution answers at the deadline with
+      // whatever arrived; all other techniques wait for every component.
+      const double request_latency =
+          technique == Technique::kPartialExecution
+              ? config_.deadline_ms
+              : req.last_complete_ms - req.submit_ms;
+      result.request_latency_ms.add(request_latency);
+      auto& sess = session_of(req.submit_ms);
+      sess.request_latency_ms.add(request_latency);
+      ++sess.requests;
+      if (req.record_detail) {
+        RequestDetail detail;
+        detail.request_id = op.req;
+        detail.submit_ms = req.submit_ms;
+        detail.latency_ms = request_latency;
+        detail.outcomes = std::move(req.outcomes);
+        result.details.push_back(std::move(detail));
+      }
+    }
+  };
+
+  while (!eq.empty()) {
+    const Event ev = eq.pop();
+    switch (ev.kind) {
+      case EventKind::kArrival: {
+        const std::uint64_t rid = ev.a;
+        Request& req = requests[rid];
+        req.submit_ms = ev.time_ms;
+        req.outstanding = static_cast<std::uint32_t>(n_comp);
+        req.record_detail = (rid % config_.detail_every) == 0;
+        if (req.record_detail) req.outcomes.resize(n_comp);
+
+        for (std::uint32_t c = 0; c < n_comp; ++c) {
+          SubOp op;
+          op.req = rid;
+          op.data_comp = c;
+          op.server_comp = c;
+          op.submit_ms = ev.time_ms;
+          subops.push_back(op);
+          const std::uint64_t op_id = subops.size() - 1;
+          enqueue_subop(op_id, ev.time_ms);
+          if (technique == Technique::kRequestReissue) {
+            eq.push(ev.time_ms + reissue_threshold_ms(),
+                    EventKind::kReissueCheck, op_id);
+          }
+        }
+        break;
+      }
+      case EventKind::kServiceComplete: {
+        SubOp& op = subops[ev.a];
+        servers[op.server_comp].busy = false;
+        if (!op.logical_done) {
+          logical_complete(op, ev.time_ms);
+        }
+        // else: the twin already produced the result; this was wasted work.
+        pump_server(op.server_comp, ev.time_ms);
+        break;
+      }
+      case EventKind::kReissueCheck: {
+        SubOp& op = subops[ev.a];
+        if (op.logical_done || op.twin != kNone) break;
+        SubOp replica;
+        replica.req = op.req;
+        replica.data_comp = op.data_comp;
+        // Replica placement: prefer a component on a *different node* (a
+        // replica co-located with the straggling primary would suffer the
+        // same interference), starting the search half-way around the ring.
+        replica.server_comp = op.data_comp;
+        const std::size_t primary_node = op.data_comp % config_.num_nodes;
+        for (std::size_t off = 0; off < n_comp; ++off) {
+          const auto cand = static_cast<std::uint32_t>(
+              (op.data_comp + n_comp / 2 + off) % n_comp);
+          if (cand == op.data_comp) continue;
+          replica.server_comp = cand;
+          if (cand % config_.num_nodes != primary_node) break;
+        }
+        replica.is_replica = true;
+        replica.submit_ms = op.submit_ms;
+        subops.push_back(replica);
+        const std::uint64_t replica_id = subops.size() - 1;
+        subops[ev.a].twin = replica_id;
+        subops[replica_id].twin = ev.a;
+        ++result.reissues;
+        enqueue_subop(replica_id, ev.time_ms);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace at::sim

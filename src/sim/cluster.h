@@ -1,0 +1,145 @@
+// Discrete-event simulator of the paper's deployment: a fan-out online
+// service of n parallel components (one per input-data subset) hosted on a
+// smaller set of nodes, with co-located MapReduce interference, evaluated
+// under the four request-processing techniques.
+//
+// What is simulated vs. computed for real:
+//  * Time is virtual. Each component is a FIFO single server; a
+//    sub-operation's service demand is derived from the amount of data the
+//    technique actually touches (full subset scan, or synopsis + ranked
+//    member sets under AccuracyTrader) times a per-point cost, scaled by
+//    node speed and the interference slowdown at service start.
+//  * AccuracyTrader's deadline/imax logic is NOT re-implemented here: the
+//    simulator drives core::run_algorithm1 with a VirtualClock, so the very
+//    code a live component would run decides how many sets fit.
+//  * Result *content* is not simulated. The simulator records, per request
+//    and component, the outcome (included-before-deadline flags, number of
+//    sets processed); the services replay those outcomes on the real data
+//    to measure accuracy.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/outcome.h"
+#include "core/technique.h"
+#include "sim/event_queue.h"
+#include "sim/interference.h"
+
+namespace at::sim {
+
+/// Cost/profile description of one component's data.
+struct ComponentProfile {
+  /// Original data points in the subset (exact scan cost driver).
+  std::uint32_t num_points = 0;
+  /// Member count of each synopsis group, in group order. Also defines the
+  /// synopsis size (#groups) for stage-1 cost.
+  std::vector<std::uint32_t> group_sizes;
+};
+
+struct SimConfig {
+  std::size_t num_components = 16;
+  /// Physical nodes; components map round-robin. Interference and the
+  /// static speed factor are per node.
+  std::size_t num_nodes = 8;
+
+  /// l_spe for AccuracyTrader and partial execution, in ms.
+  double deadline_ms = 100.0;
+  /// i_max for AccuracyTrader (max ranked sets per component).
+  std::size_t imax = std::numeric_limits<std::size_t>::max();
+
+  /// Hedging quantile for request reissue (the paper uses the 95th).
+  double reissue_quantile = 0.95;
+  /// Initial hedging threshold before enough latency samples exist, as a
+  /// multiple of the mean exact service time.
+  double reissue_init_factor = 3.0;
+
+  /// Work model: microseconds per original data point scanned.
+  double us_per_point = 2.0;
+  /// An aggregated (synopsis) point costs this multiple of an original
+  /// point (denser features).
+  double synopsis_point_factor = 2.0;
+  /// Fixed per-sub-operation overhead (dispatch, merge share), ms.
+  double base_overhead_ms = 0.3;
+
+  /// Static per-node speed heterogeneity: service multiplier drawn
+  /// uniformly from [speed_min, speed_max] per node.
+  double node_speed_min = 0.9;
+  double node_speed_max = 1.2;
+
+  InterferenceConfig interference;
+  /// When non-empty, replaces the synthetic interference process with an
+  /// explicit job trace (e.g. workload::generate_swim_trace), replayed
+  /// identically across runs and techniques.
+  std::vector<InterferenceJob> interference_trace;
+
+  std::uint64_t seed = 1;
+
+  /// Stats are additionally sliced into sessions of this length.
+  double session_length_s = 60.0;
+  /// Record per-request outcome detail for every k-th request (1 = all).
+  std::size_t detail_every = 1;
+};
+
+/// Outcome detail for one (sampled) request.
+struct RequestDetail {
+  std::uint64_t request_id = 0;
+  double submit_ms = 0.0;
+  double latency_ms = 0.0;  // merger-observed request latency
+  std::vector<core::ComponentOutcome> outcomes;  // one per component
+};
+
+struct SessionStats {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::size_t requests = 0;
+  common::PercentileTracker subop_latency_ms;
+  common::PercentileTracker request_latency_ms;
+};
+
+struct SimResult {
+  core::Technique technique = core::Technique::kBasic;
+  std::size_t requests = 0;
+  std::size_t subops = 0;
+  std::size_t reissues = 0;        // replicas actually dispatched
+  std::size_t reissue_wins = 0;    // replica finished before the primary
+  std::size_t replica_cancels = 0; // replicas cancelled while still queued
+  common::PercentileTracker subop_latency_ms;
+  common::PercentileTracker request_latency_ms;
+  /// Queueing delay of each logical sub-operation (latency = wait +
+  /// service); exposes where the tail comes from.
+  common::PercentileTracker subop_wait_ms;
+  std::vector<SessionStats> sessions;
+  std::vector<RequestDetail> details;
+
+  /// The paper's headline metric.
+  double p999_component_ms() const { return subop_latency_ms.percentile(99.9); }
+};
+
+class ClusterSim {
+ public:
+  /// `profiles` must have num_components entries.
+  ClusterSim(SimConfig config, std::vector<ComponentProfile> profiles);
+
+  const SimConfig& config() const { return config_; }
+
+  /// Runs one experiment: the given arrival times (seconds, ascending)
+  /// processed under `technique`. Each call is independent (fresh queues,
+  /// same seeds — techniques are compared on identical randomness).
+  SimResult run(core::Technique technique,
+                const std::vector<double>& arrival_times_s) const;
+
+  /// Mean exact service demand (ms) across components, before slowdowns.
+  double mean_exact_service_ms() const;
+  /// Mean synopsis (stage-1) demand (ms) across components.
+  double mean_synopsis_service_ms() const;
+
+ private:
+  SimConfig config_;
+  std::vector<ComponentProfile> profiles_;
+};
+
+}  // namespace at::sim

@@ -1,0 +1,19 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace at::sim {
+
+void EventQueue::push(double time_ms, EventKind kind, std::uint64_t a,
+                      std::uint64_t b) {
+  heap_.push(Event{time_ms, next_seq_++, kind, a, b});
+}
+
+Event EventQueue::pop() {
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty");
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace at::sim

@@ -1,0 +1,50 @@
+// Discrete-event calendar: a time-ordered priority queue with FIFO
+// tie-breaking (events at the same instant fire in scheduling order, which
+// keeps the simulator deterministic).
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace at::sim {
+
+enum class EventKind : std::uint8_t {
+  kArrival,          // a request enters the service
+  kServiceComplete,  // a component finishes its current sub-operation
+  kReissueCheck,     // hedging timer for a sub-operation fired
+};
+
+struct Event {
+  double time_ms = 0.0;
+  std::uint64_t seq = 0;  // insertion order, breaks time ties
+  EventKind kind = EventKind::kArrival;
+  std::uint64_t a = 0;    // payload: request id / sub-op id / component id
+  std::uint64_t b = 0;
+};
+
+class EventQueue {
+ public:
+  void push(double time_ms, EventKind kind, std::uint64_t a = 0,
+            std::uint64_t b = 0);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Removes and returns the earliest event.
+  Event pop();
+
+  const Event& peek() const { return heap_.top(); }
+
+ private:
+  struct Later {
+    bool operator()(const Event& x, const Event& y) const {
+      if (x.time_ms != y.time_ms) return x.time_ms > y.time_ms;
+      return x.seq > y.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace at::sim

@@ -1,0 +1,89 @@
+#include "sim/interference.h"
+
+#include <algorithm>
+
+namespace at::sim {
+
+InterferenceTimeline::InterferenceTimeline(const InterferenceConfig& config,
+                                           std::size_t num_nodes,
+                                           std::uint64_t seed)
+    : config_(config) {
+  common::Rng parent(seed);
+  nodes_.reserve(num_nodes);
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    nodes_.emplace_back(parent.fork(n + 1));
+  }
+}
+
+InterferenceTimeline::InterferenceTimeline(std::vector<InterferenceJob> trace,
+                                           std::size_t num_nodes) {
+  config_.enabled = true;
+  common::Rng unused(0);
+  nodes_.reserve(num_nodes);
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    nodes_.emplace_back(unused);
+    nodes_.back().from_trace = true;
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const InterferenceJob& a, const InterferenceJob& b) {
+              if (a.node != b.node) return a.node < b.node;
+              return a.start_s < b.start_s;
+            });
+  for (const auto& job : trace) {
+    if (job.node >= num_nodes) continue;
+    NodeState& node = nodes_[job.node];
+    double start = job.start_s;
+    // Overlap resolution: a job starting inside the previous one begins
+    // when the previous job ends.
+    if (!node.jobs.empty() && start < node.jobs.back().end_s) {
+      start = node.jobs.back().end_s;
+    }
+    if (start >= job.end_s) continue;
+    node.jobs.push_back(Interval{start, job.end_s, job.factor});
+  }
+}
+
+void InterferenceTimeline::extend(NodeState& node, double until_s) {
+  if (node.from_trace) return;
+  while (node.generated_until_s <= until_s) {
+    const double idle = node.rng.exponential(1.0 / config_.mean_idle_s);
+    const double start = node.generated_until_s + idle;
+    const double duration =
+        node.rng.lognormal(config_.duration_mu, config_.duration_sigma);
+    const bool cpu = node.rng.bernoulli(config_.cpu_job_fraction);
+    const double factor =
+        cpu ? node.rng.uniform(config_.cpu_slowdown_min,
+                               config_.cpu_slowdown_max)
+            : node.rng.uniform(config_.io_slowdown_min,
+                               config_.io_slowdown_max);
+    node.jobs.push_back(Interval{start, start + duration, factor});
+    node.generated_until_s = start + duration;
+  }
+}
+
+double InterferenceTimeline::slowdown(std::size_t node_idx, double t_s) {
+  if (!config_.enabled) return 1.0;
+  NodeState& node = nodes_.at(node_idx);
+  extend(node, t_s);
+  // Binary search for the first job ending after t.
+  auto it = std::lower_bound(
+      node.jobs.begin(), node.jobs.end(), t_s,
+      [](const Interval& iv, double t) { return iv.end_s <= t; });
+  if (it != node.jobs.end() && it->start_s <= t_s) return it->factor;
+  return 1.0;
+}
+
+double InterferenceTimeline::busy_fraction(std::size_t node_idx,
+                                           double horizon_s) {
+  if (!config_.enabled || horizon_s <= 0.0) return 0.0;
+  NodeState& node = nodes_.at(node_idx);
+  extend(node, horizon_s);
+  double busy = 0.0;
+  for (const auto& iv : node.jobs) {
+    if (iv.start_s >= horizon_s) break;
+    busy += std::min(iv.end_s, horizon_s) - iv.start_s;
+  }
+  return busy / horizon_s;
+}
+
+}  // namespace at::sim

@@ -1,0 +1,89 @@
+// Co-located MapReduce interference model.
+//
+// The paper stresses its testbed by co-locating each service VM with
+// Hadoop jobs replayed from the Facebook SWIM trace (a mix of short
+// CPU-bound WordCount jobs and IO-bound Sort jobs, 1 MB–10 GB inputs).
+// What the service sees is a time-varying, node-correlated slowdown. This
+// model reproduces exactly that: per node, an alternating renewal process
+// of idle gaps (exponential) and jobs (log-normal durations, heavy upper
+// tail from the size range) whose class determines a multiplicative
+// service-rate degradation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace at::sim {
+
+struct InterferenceConfig {
+  bool enabled = true;
+  /// Mean idle seconds between consecutive jobs on a node.
+  double mean_idle_s = 15.0;
+  /// Fraction of jobs that are CPU-bound (WordCount-like); the rest are
+  /// IO-bound (Sort-like).
+  double cpu_job_fraction = 0.5;
+  /// Log-normal job-duration parameters (seconds): median exp(mu).
+  double duration_mu = 1.0;     // ~2.7 s median
+  double duration_sigma = 1.1;  // occasional multi-minute stragglers
+  /// Per-class slowdown factor ranges (service time multiplier while the
+  /// job runs).
+  double cpu_slowdown_min = 1.6;
+  double cpu_slowdown_max = 2.8;
+  double io_slowdown_min = 1.15;
+  double io_slowdown_max = 1.7;
+};
+
+/// One co-located batch job occupying a node for an interval and degrading
+/// its service rate by `factor`.
+struct InterferenceJob {
+  std::size_t node = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double factor = 1.0;  // service-time multiplier while running
+};
+
+/// Lazily generated per-node slowdown timeline. Queries may arrive in any
+/// time order; each node's job list is extended on demand and cached.
+class InterferenceTimeline {
+ public:
+  InterferenceTimeline(const InterferenceConfig& config,
+                       std::size_t num_nodes, std::uint64_t seed);
+
+  /// Builds a timeline from an explicit job trace (e.g. a SWIM-style
+  /// replay, workload::generate_swim_trace). Jobs outside [0, inf) per
+  /// node are kept as-is; overlapping jobs resolve to the later one.
+  InterferenceTimeline(std::vector<InterferenceJob> trace,
+                       std::size_t num_nodes);
+
+  /// Service-time multiplier (>= 1) on `node` at time `t_s` seconds.
+  double slowdown(std::size_t node, double t_s);
+
+  /// Fraction of [0, horizon_s] during which `node` runs a job (generated
+  /// on demand; used by tests and calibration).
+  double busy_fraction(std::size_t node, double horizon_s);
+
+ private:
+  struct Interval {
+    double start_s;
+    double end_s;
+    double factor;
+  };
+  struct NodeState {
+    common::Rng rng;
+    std::vector<Interval> jobs;
+    double generated_until_s = 0.0;
+    bool from_trace = false;  // explicit trace: never extend
+
+    explicit NodeState(common::Rng r) : rng(r) {}
+  };
+
+  void extend(NodeState& node, double until_s);
+
+  InterferenceConfig config_;
+  std::vector<NodeState> nodes_;
+};
+
+}  // namespace at::sim

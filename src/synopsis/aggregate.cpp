@@ -1,0 +1,63 @@
+#include "synopsis/aggregate.h"
+
+#include <map>
+
+namespace at::synopsis {
+
+std::size_t Synopsis::total_features() const {
+  std::size_t n = 0;
+  for (const auto& p : points) n += p.features.size();
+  return n;
+}
+
+AggregatedPoint aggregate_group(const SparseRows& data,
+                                const IndexGroup& group,
+                                AggregationKind kind) {
+  AggregatedPoint out;
+  out.node_id = group.node_id;
+  out.member_count = static_cast<std::uint32_t>(group.members.size());
+
+  // Accumulate (sum, count) per attribute across members. std::map keeps
+  // attributes sorted so the output SparseVector is normalized by
+  // construction.
+  std::map<std::uint32_t, std::pair<double, std::uint32_t>> acc;
+  for (auto row_id : group.members) {
+    for (const auto& [c, val] : data.row(row_id)) {
+      auto& slot = acc[c];
+      slot.first += val;
+      slot.second += 1;
+    }
+  }
+
+  out.features.reserve(acc.size());
+  if (kind == AggregationKind::kMean) {
+    out.support.reserve(acc.size());
+    for (const auto& [c, sum_count] : acc) {
+      out.features.emplace_back(
+          c, sum_count.first / static_cast<double>(sum_count.second));
+      out.support.push_back(sum_count.second);
+    }
+  } else {
+    for (const auto& [c, sum_count] : acc) {
+      out.features.emplace_back(c, sum_count.first);
+    }
+  }
+  return out;
+}
+
+Synopsis aggregate_all(const SparseRows& data, const IndexFile& index,
+                       AggregationKind kind, common::ThreadPool* pool) {
+  Synopsis synopsis;
+  synopsis.points.resize(index.size());
+  auto task = [&](std::size_t gi) {
+    synopsis.points[gi] = aggregate_group(data, index.groups()[gi], kind);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(index.size(), task);
+  } else {
+    for (std::size_t gi = 0; gi < index.size(); ++gi) task(gi);
+  }
+  return synopsis;
+}
+
+}  // namespace at::synopsis

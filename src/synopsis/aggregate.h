@@ -1,0 +1,61 @@
+// Synopsis creation step 3: information aggregation of original data points.
+//
+// For numeric data (ratings) the aggregated value of an attribute is the
+// mean over the members that *have* the attribute — e.g. an aggregated
+// user's rating on item i is the average rating of the member users who
+// rated i. For text data the aggregated page simply merges the members'
+// contents, i.e. term counts are summed.
+//
+// The paper runs this step on Spark because it is the most expensive one
+// (O(k*v)); here the per-group tasks run on a shared-memory thread pool.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "synopsis/index_file.h"
+#include "synopsis/sparse_rows.h"
+
+namespace at::synopsis {
+
+enum class AggregationKind {
+  kMean,   // numeric datasets: per-attribute mean over members having it
+  kMerge,  // text datasets: merged contents (term counts summed)
+};
+
+/// One aggregated data point of the synopsis.
+struct AggregatedPoint {
+  std::uint64_t node_id = 0;   // backing R-tree node (links to IndexGroup)
+  std::uint32_t member_count = 0;
+  SparseVector features;       // aggregated attribute values
+  /// For kMean: per-attribute member counts aligned with `features`
+  /// (attribute c was present in support[k] members, features[k] is their
+  /// mean). Empty for kMerge.
+  std::vector<std::uint32_t> support;
+};
+
+/// The synopsis proper: one aggregated point per index group, in index
+/// group order.
+struct Synopsis {
+  std::vector<AggregatedPoint> points;
+
+  std::size_t size() const { return points.size(); }
+  bool empty() const { return points.empty(); }
+
+  /// Sum of sparse feature entries across points — the synopsis "size"
+  /// that must stay ~ratio× smaller than the input data.
+  std::size_t total_features() const;
+};
+
+/// Aggregates one group of rows.
+AggregatedPoint aggregate_group(const SparseRows& data, const IndexGroup& group,
+                                AggregationKind kind);
+
+/// Aggregates every group of the index file. When `pool` is non-null the
+/// groups are processed in parallel.
+Synopsis aggregate_all(const SparseRows& data, const IndexFile& index,
+                       AggregationKind kind,
+                       common::ThreadPool* pool = nullptr);
+
+}  // namespace at::synopsis

@@ -1,0 +1,49 @@
+#include "synopsis/multiresolution.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace at::synopsis {
+
+MultiResolutionSynopsis::MultiResolutionSynopsis(
+    const SynopsisStructure& structure, const SparseRows& data,
+    AggregationKind kind, std::size_t min_groups, common::ThreadPool* pool) {
+  const std::size_t height = structure.tree.height();
+  for (std::size_t tree_level = 0; tree_level < height; ++tree_level) {
+    if (structure.tree.node_count_at_level(tree_level) < min_groups &&
+        tree_level > 0) {
+      break;  // coarser levels only get smaller
+    }
+    ResolutionLevel level;
+    level.tree_level = tree_level;
+    level.index = SynopsisBuilder::derive_index(structure.tree, tree_level);
+    level.index.validate_partition(data.rows());
+    level.synopsis = aggregate_all(data, level.index, kind, pool);
+    levels_.push_back(std::move(level));
+  }
+  if (levels_.empty())
+    throw std::logic_error("MultiResolutionSynopsis: no usable level");
+}
+
+std::size_t MultiResolutionSynopsis::pick_for_budget(
+    std::size_t budget_groups) const {
+  for (std::size_t r = 0; r < levels_.size(); ++r) {
+    if (levels_[r].groups() <= budget_groups) return r;
+  }
+  return levels_.size() - 1;  // coarsest available
+}
+
+std::size_t MultiResolutionSynopsis::pick_for_deadline(
+    double remaining_ms, double ms_per_group, double improve_fraction) const {
+  if (ms_per_group <= 0.0)
+    throw std::invalid_argument(
+        "MultiResolutionSynopsis: ms_per_group must be > 0");
+  improve_fraction = std::clamp(improve_fraction, 0.0, 1.0);
+  const double stage1_budget_ms =
+      std::max(0.0, remaining_ms) * (1.0 - improve_fraction);
+  const auto budget_groups =
+      static_cast<std::size_t>(stage1_budget_ms / ms_per_group);
+  return pick_for_budget(std::max<std::size_t>(budget_groups, 1));
+}
+
+}  // namespace at::synopsis

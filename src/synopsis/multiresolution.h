@@ -1,0 +1,65 @@
+// Load-adaptive synopsis selection — the extension the paper points to in
+// §2.3: "applying a load-adaptive approach that dynamically selects a
+// synopsis of a different size according to the current load is possible
+// and it is studied in our previous work [SARP], but it is beyond the
+// scope of this paper."
+//
+// The R-tree already contains every candidate granularity: the nodes at
+// each level are a complete synopsis of the subset at a different
+// approximation ratio. This module materializes aggregated synopses for a
+// range of levels and answers the online question "given the time budget
+// this request has left, which resolution should stage 1 use?" — under
+// light load a fine synopsis (more groups, better ranking and initial
+// result), under heavy load a coarse one (cheaper mandatory pass).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "synopsis/aggregate.h"
+#include "synopsis/builder.h"
+
+namespace at::synopsis {
+
+/// One granularity: the index and aggregation of a single tree level.
+struct ResolutionLevel {
+  std::size_t tree_level = 0;
+  IndexFile index;
+  Synopsis synopsis;
+
+  std::size_t groups() const { return index.size(); }
+};
+
+class MultiResolutionSynopsis {
+ public:
+  /// Materializes every tree level of `structure` from the finest (leaf
+  /// level, resolution 0) to the coarsest that still has at least
+  /// `min_groups` groups. Each level's index partitions the data.
+  MultiResolutionSynopsis(const SynopsisStructure& structure,
+                          const SparseRows& data, AggregationKind kind,
+                          std::size_t min_groups = 2,
+                          common::ThreadPool* pool = nullptr);
+
+  std::size_t levels() const { return levels_.size(); }
+  /// resolution 0 = finest.
+  const ResolutionLevel& level(std::size_t resolution) const {
+    return levels_.at(resolution);
+  }
+
+  /// Finest resolution whose group count does not exceed `budget_groups`
+  /// (i.e. whose mandatory stage-1 cost fits the budget). Falls back to
+  /// the coarsest level when even that exceeds the budget.
+  std::size_t pick_for_budget(std::size_t budget_groups) const;
+
+  /// Convenience policy: translate a remaining-time budget into a group
+  /// budget given the per-group stage-1 processing cost, reserving
+  /// `improve_fraction` of the budget for stage 2.
+  std::size_t pick_for_deadline(double remaining_ms, double ms_per_group,
+                                double improve_fraction = 0.6) const;
+
+ private:
+  std::vector<ResolutionLevel> levels_;  // [0] = finest
+};
+
+}  // namespace at::synopsis

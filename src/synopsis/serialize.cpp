@@ -1,0 +1,187 @@
+#include "synopsis/serialize.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/binary_io.h"
+#include "rtree/rtree.h"
+
+namespace at::synopsis {
+
+namespace {
+constexpr char kRowsMagic[4] = {'A', 'T', 'S', 'R'};
+constexpr char kMatrixMagic[4] = {'A', 'T', 'M', 'X'};
+constexpr char kSvdMagic[4] = {'A', 'T', 'S', 'V'};
+constexpr char kIndexMagic[4] = {'A', 'T', 'I', 'X'};
+constexpr char kSynMagic[4] = {'A', 'T', 'S', 'Y'};
+constexpr char kStructMagic[4] = {'A', 'T', 'S', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_sparse_vector(common::BinaryWriter& w, const SparseVector& v) {
+  w.u64(v.size());
+  for (const auto& [c, val] : v) {
+    w.u32(c);
+    w.f64(val);
+  }
+}
+
+SparseVector read_sparse_vector(common::BinaryReader& r) {
+  const auto n = r.u64();
+  SparseVector v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto c = r.u32();
+    const double val = r.f64();
+    v.emplace_back(c, val);
+  }
+  return v;
+}
+}  // namespace
+
+void save(std::ostream& os, const SparseRows& rows) {
+  common::BinaryWriter w(os);
+  w.magic(kRowsMagic, kVersion);
+  w.u64(rows.cols());
+  w.u64(rows.rows());
+  for (std::uint32_t r = 0; r < rows.rows(); ++r) {
+    write_sparse_vector(w, rows.row(r));
+  }
+}
+
+SparseRows load_sparse_rows(std::istream& is) {
+  common::BinaryReader r(is);
+  r.magic(kRowsMagic);
+  const auto cols = r.u64();
+  const auto n = r.u64();
+  SparseRows rows(cols);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    rows.add_row(read_sparse_vector(r));
+  }
+  return rows;
+}
+
+void save(std::ostream& os, const linalg::Matrix& m) {
+  common::BinaryWriter w(os);
+  w.magic(kMatrixMagic, kVersion);
+  w.u64(m.rows());
+  w.u64(m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) w.f64(m(r, c));
+  }
+}
+
+linalg::Matrix load_matrix(std::istream& is) {
+  common::BinaryReader r(is);
+  r.magic(kMatrixMagic);
+  const auto rows = r.u64();
+  const auto cols = r.u64();
+  linalg::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = r.f64();
+  }
+  return m;
+}
+
+void save(std::ostream& os, const linalg::SvdModel& model) {
+  common::BinaryWriter w(os);
+  w.magic(kSvdMagic, kVersion);
+  w.f64(model.train_rmse);
+  w.f64(model.global_mean);
+  w.vec_f64(model.row_bias);
+  w.vec_f64(model.col_bias);
+  save(os, model.row_factors);
+  save(os, model.col_factors);
+}
+
+linalg::SvdModel load_svd_model(std::istream& is) {
+  common::BinaryReader r(is);
+  r.magic(kSvdMagic);
+  linalg::SvdModel model;
+  model.train_rmse = r.f64();
+  model.global_mean = r.f64();
+  model.row_bias = r.vec_f64();
+  model.col_bias = r.vec_f64();
+  model.row_factors = load_matrix(is);
+  model.col_factors = load_matrix(is);
+  return model;
+}
+
+void save(std::ostream& os, const IndexFile& index) {
+  common::BinaryWriter w(os);
+  w.magic(kIndexMagic, kVersion);
+  w.u64(index.size());
+  for (const auto& g : index.groups()) {
+    w.u64(g.node_id);
+    w.u64(g.version);
+    w.vec_u32(g.members);
+  }
+}
+
+IndexFile load_index_file(std::istream& is) {
+  common::BinaryReader r(is);
+  r.magic(kIndexMagic);
+  const auto n = r.u64();
+  std::vector<IndexGroup> groups;
+  groups.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    IndexGroup g;
+    g.node_id = r.u64();
+    g.version = r.u64();
+    g.members = r.vec_u32();
+    groups.push_back(std::move(g));
+  }
+  return IndexFile(std::move(groups));
+}
+
+void save(std::ostream& os, const Synopsis& synopsis) {
+  common::BinaryWriter w(os);
+  w.magic(kSynMagic, kVersion);
+  w.u64(synopsis.points.size());
+  for (const auto& p : synopsis.points) {
+    w.u64(p.node_id);
+    w.u32(p.member_count);
+    write_sparse_vector(w, p.features);
+    w.vec_u32(p.support);
+  }
+}
+
+Synopsis load_synopsis(std::istream& is) {
+  common::BinaryReader r(is);
+  r.magic(kSynMagic);
+  const auto n = r.u64();
+  Synopsis synopsis;
+  synopsis.points.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    AggregatedPoint p;
+    p.node_id = r.u64();
+    p.member_count = r.u32();
+    p.features = read_sparse_vector(r);
+    p.support = r.vec_u32();
+    synopsis.points.push_back(std::move(p));
+  }
+  return synopsis;
+}
+
+void save(std::ostream& os, const SynopsisStructure& s) {
+  common::BinaryWriter w(os);
+  w.magic(kStructMagic, kVersion);
+  w.u64(s.level);
+  save(os, s.svd);
+  save(os, s.reduced);
+  s.tree.save(os);
+  save(os, s.index);
+}
+
+SynopsisStructure load_structure(std::istream& is) {
+  common::BinaryReader r(is);
+  r.magic(kStructMagic);
+  const auto level = r.u64();
+  linalg::SvdModel svd = load_svd_model(is);
+  linalg::Matrix reduced = load_matrix(is);
+  rtree::RTree tree = rtree::RTree::load(is);
+  IndexFile index = load_index_file(is);
+  return SynopsisStructure{std::move(svd), std::move(reduced),
+                           std::move(tree), level, std::move(index)};
+}
+
+}  // namespace at::synopsis

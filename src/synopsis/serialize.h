@@ -1,0 +1,37 @@
+// Persistence for the offline artifacts (paper §3.1: "once the synopsis is
+// generated, the R-tree and the index file are stored and they can be used
+// as the starting point of synopsis updating").
+//
+// A saved SynopsisStructure round-trips everything needed to (a) serve
+// stage-1 queries and (b) continue incremental updates: the SVD model,
+// the reduced coordinates, the R-tree (with stable node ids/versions so
+// dirty-tracking survives the reload), the selected level and index file.
+#pragma once
+
+#include <iosfwd>
+
+#include "linalg/svd.h"
+#include "synopsis/aggregate.h"
+#include "synopsis/builder.h"
+
+namespace at::synopsis {
+
+void save(std::ostream& os, const SparseRows& rows);
+SparseRows load_sparse_rows(std::istream& is);
+
+void save(std::ostream& os, const linalg::Matrix& m);
+linalg::Matrix load_matrix(std::istream& is);
+
+void save(std::ostream& os, const linalg::SvdModel& model);
+linalg::SvdModel load_svd_model(std::istream& is);
+
+void save(std::ostream& os, const IndexFile& index);
+IndexFile load_index_file(std::istream& is);
+
+void save(std::ostream& os, const Synopsis& synopsis);
+Synopsis load_synopsis(std::istream& is);
+
+void save(std::ostream& os, const SynopsisStructure& s);
+SynopsisStructure load_structure(std::istream& is);
+
+}  // namespace at::synopsis

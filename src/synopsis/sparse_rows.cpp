@@ -1,0 +1,110 @@
+#include "synopsis/sparse_rows.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace at::synopsis {
+
+void normalize(SparseVector& v) {
+  std::sort(v.begin(), v.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  SparseVector merged;
+  merged.reserve(v.size());
+  for (const auto& [c, val] : v) {
+    if (!merged.empty() && merged.back().first == c) {
+      merged.back().second += val;
+    } else {
+      merged.emplace_back(c, val);
+    }
+  }
+  v = std::move(merged);
+}
+
+double value_at(const SparseVector& v, std::uint32_t c) {
+  auto it = std::lower_bound(
+      v.begin(), v.end(), c,
+      [](const auto& entry, std::uint32_t col) { return entry.first < col; });
+  if (it != v.end() && it->first == c) return it->second;
+  return 0.0;
+}
+
+double dot(const SparseVector& a, const SparseVector& b) {
+  double acc = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first < b[j].first) {
+      ++i;
+    } else if (a[i].first > b[j].first) {
+      ++j;
+    } else {
+      acc += a[i].second * b[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  return acc;
+}
+
+double norm(const SparseVector& v) {
+  double acc = 0.0;
+  for (const auto& [c, val] : v) acc += val * val;
+  return std::sqrt(acc);
+}
+
+double cosine(const SparseVector& a, const SparseVector& b) {
+  const double na = norm(a);
+  const double nb = norm(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot(a, b) / (na * nb);
+}
+
+std::uint32_t SparseRows::add_row(SparseVector v) {
+  normalize(v);
+  if (!v.empty() && v.back().first >= cols_)
+    throw std::out_of_range("SparseRows::add_row: column out of range");
+  rows_.push_back(std::move(v));
+  return static_cast<std::uint32_t>(rows_.size() - 1);
+}
+
+void SparseRows::replace_row(std::uint32_t row, SparseVector v) {
+  normalize(v);
+  if (!v.empty() && v.back().first >= cols_)
+    throw std::out_of_range("SparseRows::replace_row: column out of range");
+  rows_.at(row) = std::move(v);
+}
+
+std::size_t SparseRows::total_entries() const {
+  std::size_t n = 0;
+  for (const auto& r : rows_) n += r.size();
+  return n;
+}
+
+linalg::SparseDataset SparseRows::to_dataset() const {
+  linalg::SparseDataset ds;
+  ds.rows = rows_.size();
+  ds.cols = cols_;
+  ds.entries.reserve(total_entries());
+  for (std::uint32_t r = 0; r < rows_.size(); ++r) {
+    for (const auto& [c, val] : rows_[r]) {
+      ds.entries.push_back({r, c, val});
+    }
+  }
+  return ds;
+}
+
+linalg::SparseDataset SparseRows::tail_dataset(std::uint32_t first) const {
+  if (first > rows_.size())
+    throw std::out_of_range("SparseRows::tail_dataset: first out of range");
+  linalg::SparseDataset ds;
+  ds.rows = rows_.size() - first;
+  ds.cols = cols_;
+  for (std::uint32_t r = first; r < rows_.size(); ++r) {
+    for (const auto& [c, val] : rows_[r]) {
+      ds.entries.push_back({r - first, c, val});
+    }
+  }
+  return ds;
+}
+
+}  // namespace at::synopsis

@@ -1,0 +1,67 @@
+// Row-oriented sparse data: the common representation of a component's
+// input-data subset.
+//
+// Both services map naturally onto sparse rows:
+//  * recommender: row = user, column = item, value = rating;
+//  * search engine: row = web page, column = term id, value = occurrence
+//    count (the paper's step 1 explicitly converts text to exactly this
+//    numeric form before dimensionality reduction).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace at::synopsis {
+
+/// One sparse feature vector: (column index, value) pairs sorted by column.
+using SparseVector = std::vector<std::pair<std::uint32_t, double>>;
+
+/// Sorts by column index and merges duplicate columns (values summed).
+void normalize(SparseVector& v);
+
+/// Value at column c, or 0 if absent (binary search).
+double value_at(const SparseVector& v, std::uint32_t c);
+
+/// Dot product of two normalized sparse vectors.
+double dot(const SparseVector& a, const SparseVector& b);
+
+/// Euclidean norm.
+double norm(const SparseVector& v);
+
+/// Cosine similarity (0 when either vector is empty/zero).
+double cosine(const SparseVector& a, const SparseVector& b);
+
+/// A dynamic collection of sparse rows with a fixed column universe.
+class SparseRows {
+ public:
+  explicit SparseRows(std::size_t cols) : cols_(cols) {}
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return cols_; }
+
+  /// Appends a row (normalized on insert); returns its row id.
+  std::uint32_t add_row(SparseVector v);
+
+  /// Replaces row content in place (used for "changed data points").
+  void replace_row(std::uint32_t row, SparseVector v);
+
+  const SparseVector& row(std::uint32_t r) const { return rows_.at(r); }
+
+  std::size_t total_entries() const;
+
+  /// Converts to the COO form consumed by the incremental SVD.
+  linalg::SparseDataset to_dataset() const;
+
+  /// COO form of a contiguous row span [first, rows()), re-indexed so the
+  /// first row becomes row 0 (used for SVD fold-in of appended rows).
+  linalg::SparseDataset tail_dataset(std::uint32_t first) const;
+
+ private:
+  std::size_t cols_;
+  std::vector<SparseVector> rows_;
+};
+
+}  // namespace at::synopsis

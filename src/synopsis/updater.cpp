@@ -1,0 +1,162 @@
+#include "synopsis/updater.h"
+
+#include <cmath>
+#include <span>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/stopwatch.h"
+
+namespace at::synopsis {
+
+void SynopsisUpdater::retrain_row(linalg::SvdModel& svd, std::uint32_t row,
+                                  const SparseVector& content) const {
+  const std::size_t rank = svd.row_factors.cols();
+  double* p = svd.row_factors.row(row);
+  // Warm start from the current coordinates; train dimension-by-dimension
+  // against frozen column factors, exactly like fold-in.
+  for (std::size_t d = 0; d < rank; ++d) {
+    for (std::size_t epoch = 0; epoch < config_.svd.epochs_per_dim; ++epoch) {
+      for (const auto& [c, val] : content) {
+        const double* q = svd.col_factors.row(c);
+        double pred = 0.0;
+        if (svd.has_biases()) {
+          pred = svd.global_mean + svd.row_bias[row] + svd.col_bias[c];
+        }
+        for (std::size_t k = 0; k <= d; ++k) pred += p[k] * q[k];
+        const double err = val - pred;
+        if (svd.has_biases()) {
+          double& br = svd.row_bias[row];
+          br += config_.svd.learning_rate *
+                (err - config_.svd.regularization * br);
+        }
+        p[d] += config_.svd.learning_rate *
+                (err * q[d] - config_.svd.regularization * p[d]);
+      }
+    }
+  }
+}
+
+UpdateReport SynopsisUpdater::apply(SynopsisStructure& s, SparseRows& data,
+                                    Synopsis& synopsis,
+                                    const UpdateBatch& batch,
+                                    AggregationKind kind,
+                                    common::ThreadPool* pool) const {
+  common::Stopwatch timer;
+  UpdateReport report;
+  report.groups_before = s.index.size();
+
+  const std::size_t rank = s.svd.row_factors.cols();
+
+  // --- additions -----------------------------------------------------------
+  if (!batch.added.empty()) {
+    const auto first_new = static_cast<std::uint32_t>(data.rows());
+    for (const auto& v : batch.added) {
+      SparseVector copy = v;
+      data.add_row(std::move(copy));
+    }
+    // Fold the appended rows into the SVD (column factors frozen).
+    linalg::SparseDataset tail = data.tail_dataset(first_new);
+    linalg::fold_in_rows(s.svd, tail, config_.svd);
+
+    // Mirror the new coordinates into `reduced` and insert leaf entries.
+    linalg::Matrix grown(data.rows(), rank);
+    for (std::size_t r = 0; r < s.reduced.rows(); ++r)
+      for (std::size_t d = 0; d < rank; ++d) grown(r, d) = s.reduced(r, d);
+    for (std::size_t r = first_new; r < data.rows(); ++r)
+      for (std::size_t d = 0; d < rank; ++d)
+        grown(r, d) = s.svd.row_factors(r, d);
+    s.reduced = std::move(grown);
+
+    for (std::uint32_t r = first_new; r < data.rows(); ++r) {
+      s.tree.insert_point(r,
+                          std::span<const double>(s.reduced.row(r), rank));
+    }
+    report.points_added = batch.added.size();
+  }
+
+  // --- changes --------------------------------------------------------------
+  for (const auto& [row, content] : batch.changed) {
+    if (row >= data.rows())
+      throw std::out_of_range("SynopsisUpdater: changed row out of range");
+    SparseVector normalized = content;
+    normalize(normalized);
+    data.replace_row(row, normalized);
+
+    // Delete the stale leaf entry, retrain the row's coordinates, re-insert.
+    const rtree::Rect old_rect =
+        rtree::Rect::point(std::span<const double>(s.reduced.row(row), rank));
+    if (!s.tree.erase(row, old_rect))
+      throw std::logic_error("SynopsisUpdater: stale point missing in tree");
+
+    retrain_row(s.svd, row, normalized);
+    for (std::size_t d = 0; d < rank; ++d)
+      s.reduced(row, d) = s.svd.row_factors(row, d);
+    s.tree.insert_point(row,
+                        std::span<const double>(s.reduced.row(row), rank));
+  }
+  report.points_changed = batch.changed.size();
+
+  // --- re-derive the index file and re-aggregate dirty groups ---------------
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::size_t>>
+      old_groups;  // node_id -> (version, old group index)
+  for (std::size_t gi = 0; gi < s.index.size(); ++gi) {
+    const auto& g = s.index.groups()[gi];
+    old_groups[g.node_id] = {g.version, gi};
+  }
+
+  // Level selection with hysteresis: re-deriving the index at a different
+  // tree level invalidates every cached aggregation, so the update keeps
+  // the current level unless the freshly picked one is decisively closer
+  // to the target group count (0.5 in log-ratio, i.e. ~1.65x).
+  std::size_t level = SynopsisBuilder::pick_level(
+      s.tree, data.rows(), config_.size_ratio, config_.min_groups);
+  if (level != s.level && s.level < s.tree.height()) {
+    const double target =
+        std::max(static_cast<double>(config_.min_groups),
+                 std::ceil(static_cast<double>(data.rows()) /
+                           config_.size_ratio));
+    auto gap = [&](std::size_t lv) {
+      const auto count = s.tree.node_count_at_level(lv);
+      if (count < config_.min_groups) return 1e18;
+      return std::abs(std::log(static_cast<double>(count) / target));
+    };
+    if (gap(s.level) <= gap(level) + 0.5) level = s.level;
+  }
+  IndexFile new_index = SynopsisBuilder::derive_index(s.tree, level);
+  new_index.validate_partition(data.rows());
+
+  Synopsis new_synopsis;
+  new_synopsis.points.resize(new_index.size());
+  std::vector<std::size_t> dirty;
+  for (std::size_t gi = 0; gi < new_index.size(); ++gi) {
+    const auto& g = new_index.groups()[gi];
+    auto it = old_groups.find(g.node_id);
+    if (it != old_groups.end() && it->second.first == g.version) {
+      new_synopsis.points[gi] = synopsis.points[it->second.second];
+      ++report.clean_groups;
+    } else {
+      dirty.push_back(gi);
+    }
+  }
+  auto re_aggregate = [&](std::size_t k) {
+    const std::size_t gi = dirty[k];
+    new_synopsis.points[gi] =
+        aggregate_group(data, new_index.groups()[gi], kind);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(dirty.size(), re_aggregate);
+  } else {
+    for (std::size_t k = 0; k < dirty.size(); ++k) re_aggregate(k);
+  }
+  report.dirty_groups = dirty.size();
+
+  s.level = level;
+  s.index = std::move(new_index);
+  synopsis = std::move(new_synopsis);
+  report.groups_after = s.index.size();
+  report.seconds = timer.elapsed_seconds();
+  return report;
+}
+
+}  // namespace at::synopsis

@@ -1,0 +1,64 @@
+#include "workload/diurnal.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace at::workload {
+
+namespace {
+// Relative load at the *end* of each hour h (anchor[0] is midnight at the
+// start of the day). Shaped after the paper's Fig. 7(a): night trough,
+// steep morning ramp through hour 9, steady hours 10–11, afternoon
+// plateau, evening peak around hours 20–22, decay through hour 24.
+constexpr double kAnchors[25] = {
+    0.42,  // 00:00
+    0.30, 0.18, 0.12, 0.10, 0.10, 0.14,        // hours 1-6: night trough
+    0.22, 0.35, 0.68,                          // hours 7-9: morning ramp
+    0.72, 0.74, 0.72,                          // hours 10-12: steady
+    0.66, 0.70, 0.76, 0.80, 0.78, 0.74,        // hours 13-18: plateau
+    0.78, 0.90, 1.00, 0.95,                    // hours 19-22: evening peak
+    0.72, 0.42,                                // hours 23-24: decay
+};
+}  // namespace
+
+DiurnalProfile::DiurnalProfile(double peak_rate_per_s) : peak_(peak_rate_per_s) {
+  if (peak_ <= 0.0)
+    throw std::invalid_argument("DiurnalProfile: peak rate must be > 0");
+}
+
+double DiurnalProfile::anchor(std::size_t h) {
+  if (h > 24) throw std::out_of_range("DiurnalProfile::anchor: h > 24");
+  return kAnchors[h];
+}
+
+double DiurnalProfile::rate_at(double t_s) const {
+  double t = std::fmod(t_s, 86400.0);
+  if (t < 0) t += 86400.0;
+  const double hour_f = t / 3600.0;
+  const auto h0 = static_cast<std::size_t>(hour_f);
+  const double frac = hour_f - static_cast<double>(h0);
+  const double rel =
+      kAnchors[h0] + (kAnchors[h0 + 1] - kAnchors[h0]) * frac;
+  return rel * peak_;
+}
+
+double DiurnalProfile::rate_in_hour(std::size_t hour,
+                                    double t_in_hour_s) const {
+  if (hour < 1 || hour > 24)
+    throw std::out_of_range("DiurnalProfile: hour must be in [1, 24]");
+  return rate_at(static_cast<double>(hour - 1) * 3600.0 + t_in_hour_s);
+}
+
+double DiurnalProfile::hourly_mean(std::size_t hour) const {
+  if (hour < 1 || hour > 24)
+    throw std::out_of_range("DiurnalProfile: hour must be in [1, 24]");
+  return 0.5 * (kAnchors[hour - 1] + kAnchors[hour]) * peak_;
+}
+
+std::vector<double> DiurnalProfile::hourly_means() const {
+  std::vector<double> out(24);
+  for (std::size_t h = 1; h <= 24; ++h) out[h - 1] = hourly_mean(h);
+  return out;
+}
+
+}  // namespace at::workload

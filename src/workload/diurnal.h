@@ -1,0 +1,42 @@
+// The 24-hour diurnal arrival-rate profile of the search workload.
+//
+// The paper replays a 24-hour Sogou query log (Fig. 7(a)); the three hours
+// it studies in detail are hour 9 (rising morning ramp), hour 10 (steady)
+// and hour 24 (decaying tail of the day). This profile reproduces that
+// shape: hourly anchor rates with linear interpolation inside each hour,
+// so hour 9 is increasing, hour 10 is flat, and hour 24 is decreasing.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace at::workload {
+
+class DiurnalProfile {
+ public:
+  /// `peak_rate_per_s`: the highest instantaneous request rate of the day.
+  explicit DiurnalProfile(double peak_rate_per_s);
+
+  /// Instantaneous rate at absolute day time `t_s` seconds in [0, 86400).
+  double rate_at(double t_s) const;
+
+  /// Instantaneous rate `t_in_hour_s` seconds into 1-based `hour` (1..24).
+  double rate_in_hour(std::size_t hour, double t_in_hour_s) const;
+
+  /// Mean rate of 1-based hour (1..24).
+  double hourly_mean(std::size_t hour) const;
+
+  /// All 24 hourly means, index 0 = hour 1.
+  std::vector<double> hourly_means() const;
+
+  double peak_rate() const { return peak_; }
+
+  /// Relative anchor value at hour boundary h (0..24), before scaling.
+  static double anchor(std::size_t h);
+
+ private:
+  double peak_;
+};
+
+}  // namespace at::workload

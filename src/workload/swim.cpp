@@ -1,0 +1,57 @@
+#include "workload/swim.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace at::workload {
+
+std::vector<SwimJob> generate_swim_trace(const SwimConfig& config,
+                                         std::size_t num_nodes,
+                                         double horizon_s,
+                                         std::uint64_t seed) {
+  if (config.jobs_per_node_per_min <= 0.0)
+    throw std::invalid_argument("generate_swim_trace: rate must be > 0");
+  common::Rng parent(seed);
+  std::vector<SwimJob> out;
+  const double rate_per_s = config.jobs_per_node_per_min / 60.0;
+
+  for (std::size_t node = 0; node < num_nodes; ++node) {
+    common::Rng rng = parent.fork(node + 100);
+    double t = rng.exponential(rate_per_s);
+    while (t < horizon_s) {
+      SwimJob job;
+      job.input_mb =
+          std::clamp(rng.lognormal(config.size_mu_log_mb,
+                                   config.size_sigma_log),
+                     config.min_size_mb, config.max_size_mb);
+      job.cpu_bound = rng.bernoulli(config.cpu_fraction);
+      const double seconds_per_gb = job.cpu_bound
+                                        ? config.cpu_seconds_per_gb
+                                        : config.io_seconds_per_gb;
+      const double duration = std::max(
+          config.min_duration_s, job.input_mb / 1024.0 * seconds_per_gb);
+      job.interval.node = node;
+      job.interval.start_s = t;
+      job.interval.end_s = t + duration;
+      job.interval.factor =
+          job.cpu_bound
+              ? rng.uniform(config.cpu_slowdown_min, config.cpu_slowdown_max)
+              : rng.uniform(config.io_slowdown_min, config.io_slowdown_max);
+      out.push_back(job);
+      t = job.interval.end_s + rng.exponential(rate_per_s);
+    }
+  }
+  return out;
+}
+
+std::vector<sim::InterferenceJob> to_interference(
+    const std::vector<SwimJob>& jobs) {
+  std::vector<sim::InterferenceJob> out;
+  out.reserve(jobs.size());
+  for (const auto& j : jobs) out.push_back(j.interval);
+  return out;
+}
+
+}  // namespace at::workload

@@ -1,0 +1,60 @@
+// SWIM-style MapReduce interference trace generation.
+//
+// The paper co-locates its service VMs with Hadoop jobs replayed by
+// BigDataBench-MT from the Facebook production trace published with SWIM
+// (Statistical Workload Injector for MapReduce): a heavy-tailed stream of
+// short jobs, mixing CPU-bound WordCount and IO-bound Sort, with input
+// sizes from 1 MB to 10 GB. This generator reproduces those statistics as
+// an explicit job trace that sim::InterferenceTimeline can replay, so the
+// same interference schedule can be inspected, stored, and applied
+// identically across techniques.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/interference.h"
+
+namespace at::workload {
+
+struct SwimConfig {
+  /// Mean job arrivals per node per minute (Poisson).
+  double jobs_per_node_per_min = 3.0;
+  /// Log-normal input-size distribution in MB; defaults span the paper's
+  /// 1 MB – 10 GB range with a heavy upper tail (median ~64 MB).
+  double size_mu_log_mb = 4.16;   // ln(64)
+  double size_sigma_log = 2.0;
+  double min_size_mb = 1.0;
+  double max_size_mb = 10240.0;
+  /// Job runtime model: seconds per GB of input, by class.
+  double cpu_seconds_per_gb = 18.0;  // WordCount-like
+  double io_seconds_per_gb = 10.0;   // Sort-like (IO-parallel)
+  double min_duration_s = 0.5;
+  /// Class mix and per-class service-rate degradation while running.
+  double cpu_fraction = 0.5;
+  double cpu_slowdown_min = 1.6;
+  double cpu_slowdown_max = 2.8;
+  double io_slowdown_min = 1.15;
+  double io_slowdown_max = 1.7;
+};
+
+/// One generated job with its workload-level attributes (the sim only
+/// needs the embedded interference interval; the rest supports analysis).
+struct SwimJob {
+  sim::InterferenceJob interval;
+  double input_mb = 0.0;
+  bool cpu_bound = false;
+};
+
+/// Generates the full trace for `num_nodes` nodes over [0, horizon_s).
+std::vector<SwimJob> generate_swim_trace(const SwimConfig& config,
+                                         std::size_t num_nodes,
+                                         double horizon_s,
+                                         std::uint64_t seed);
+
+/// Projects a SWIM trace onto the interference intervals the simulator
+/// consumes.
+std::vector<sim::InterferenceJob> to_interference(
+    const std::vector<SwimJob>& jobs);
+
+}  // namespace at::workload

@@ -1,0 +1,320 @@
+// Unit tests for the dense matrix helpers and the incremental SVD.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+#include "linalg/svd.h"
+
+namespace at::linalg {
+namespace {
+
+TEST(Matrix, IndexingRoundTrip) {
+  Matrix m(3, 4);
+  m(1, 2) = 7.5;
+  EXPECT_DOUBLE_EQ(m(1, 2), 7.5);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+}
+
+TEST(Matrix, AtThrowsOutOfRange) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+}
+
+TEST(Matrix, RowPointerIsContiguous) {
+  Matrix m(2, 3);
+  m(1, 0) = 1.0;
+  m(1, 1) = 2.0;
+  m(1, 2) = 3.0;
+  const double* r = m.row(1);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 3.0);
+}
+
+TEST(Matrix, AppendRowGrowsAndChecksWidth) {
+  Matrix m;
+  m.append_row({1.0, 2.0});
+  m.append_row({3.0, 4.0});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_THROW(m.append_row({1.0}), std::invalid_argument);
+}
+
+TEST(VectorOps, DotNormDistance) {
+  const double a[3] = {1.0, 2.0, 2.0};
+  const double b[3] = {2.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(dot(a, b, 3), 4.0);
+  EXPECT_DOUBLE_EQ(norm2(a, 3), 3.0);
+  EXPECT_DOUBLE_EQ(distance(a, a, 3), 0.0);
+  EXPECT_NEAR(distance(a, b, 3), std::sqrt(1 + 4 + 1), 1e-12);
+}
+
+SparseDataset rank1_dataset(std::size_t rows, std::size_t cols) {
+  // value(r, c) = u_r * v_c — exactly rank 1, fully observed.
+  SparseDataset ds;
+  ds.rows = rows;
+  ds.cols = cols;
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      const double u = 1.0 + 0.1 * r;
+      const double v = 0.5 + 0.2 * c;
+      ds.entries.push_back({r, c, u * v});
+    }
+  }
+  return ds;
+}
+
+TEST(Svd, RecoversRank1Structure) {
+  const auto ds = rank1_dataset(20, 15);
+  SvdConfig cfg;
+  cfg.rank = 1;
+  cfg.epochs_per_dim = 300;
+  cfg.learning_rate = 0.02;
+  cfg.regularization = 0.0;
+  const SvdModel model = incremental_svd(ds, cfg);
+  EXPECT_LT(reconstruction_rmse(model, ds), 0.02);
+}
+
+TEST(Svd, HigherRankNeverWorse) {
+  common::Rng rng(5);
+  SparseDataset ds;
+  ds.rows = 30;
+  ds.cols = 20;
+  for (std::uint32_t r = 0; r < ds.rows; ++r)
+    for (std::uint32_t c = 0; c < ds.cols; ++c)
+      if (rng.bernoulli(0.6))
+        ds.entries.push_back({r, c, rng.uniform(1.0, 5.0)});
+
+  SvdConfig cfg;
+  cfg.epochs_per_dim = 120;
+  cfg.regularization = 0.0;
+  cfg.rank = 1;
+  const double e1 = incremental_svd(ds, cfg).train_rmse;
+  cfg.rank = 4;
+  const double e4 = incremental_svd(ds, cfg).train_rmse;
+  EXPECT_LE(e4, e1 + 1e-6);
+}
+
+TEST(Svd, SimilarRowsGetSimilarFactors) {
+  // Two blocks of identical rows: within-block factor distance must be
+  // far below between-block distance — the property synopsis grouping
+  // relies on.
+  SparseDataset ds;
+  ds.rows = 20;
+  ds.cols = 12;
+  for (std::uint32_t r = 0; r < 20; ++r) {
+    const bool block_a = r < 10;
+    for (std::uint32_t c = 0; c < 12; ++c) {
+      const double v = block_a ? (c < 6 ? 5.0 : 1.0) : (c < 6 ? 1.0 : 5.0);
+      ds.entries.push_back({r, c, v});
+    }
+  }
+  SvdConfig cfg;
+  cfg.rank = 2;
+  cfg.epochs_per_dim = 200;
+  const SvdModel m = incremental_svd(ds, cfg);
+  const double within =
+      distance(m.row_factors.row(0), m.row_factors.row(5), 2);
+  const double between =
+      distance(m.row_factors.row(0), m.row_factors.row(15), 2);
+  EXPECT_LT(within * 5.0, between);
+}
+
+TEST(Svd, DeterministicForSeed) {
+  const auto ds = rank1_dataset(10, 8);
+  SvdConfig cfg;
+  cfg.rank = 2;
+  cfg.epochs_per_dim = 50;
+  const SvdModel a = incremental_svd(ds, cfg);
+  const SvdModel b = incremental_svd(ds, cfg);
+  for (std::size_t r = 0; r < ds.rows; ++r)
+    for (std::size_t d = 0; d < cfg.rank; ++d)
+      EXPECT_DOUBLE_EQ(a.row_factors(r, d), b.row_factors(r, d));
+}
+
+TEST(Svd, RejectsBadConfig) {
+  const auto ds = rank1_dataset(4, 4);
+  SvdConfig cfg;
+  cfg.rank = 0;
+  EXPECT_THROW(incremental_svd(ds, cfg), std::invalid_argument);
+}
+
+TEST(Svd, RejectsEntryOutOfBounds) {
+  SparseDataset ds;
+  ds.rows = 2;
+  ds.cols = 2;
+  ds.entries.push_back({5, 0, 1.0});
+  EXPECT_THROW(incremental_svd(ds, SvdConfig{}), std::out_of_range);
+}
+
+TEST(Svd, EmptyEntriesYieldInitializedModel) {
+  SparseDataset ds;
+  ds.rows = 3;
+  ds.cols = 3;
+  SvdConfig cfg;
+  cfg.rank = 2;
+  const SvdModel m = incremental_svd(ds, cfg);
+  EXPECT_EQ(m.row_factors.rows(), 3u);
+  EXPECT_DOUBLE_EQ(m.train_rmse, 0.0);
+}
+
+TEST(Svd, EarlyStoppingReducesWork) {
+  const auto ds = rank1_dataset(15, 10);
+  SvdConfig cfg;
+  cfg.rank = 1;
+  cfg.epochs_per_dim = 5000;
+  cfg.min_improvement = 1e-7;
+  const SvdModel m = incremental_svd(ds, cfg);  // must terminate quickly
+  EXPECT_LT(reconstruction_rmse(m, ds), 0.1);
+}
+
+TEST(Svd, FoldInNewRowsKeepsOldCoordinates) {
+  const auto ds = rank1_dataset(12, 10);
+  SvdConfig cfg;
+  cfg.rank = 2;
+  cfg.epochs_per_dim = 150;
+  SvdModel model = incremental_svd(ds, cfg);
+  const double before = model.row_factors(3, 0);
+
+  SparseDataset extra;
+  extra.rows = 2;
+  extra.cols = 10;
+  for (std::uint32_t c = 0; c < 10; ++c) {
+    extra.entries.push_back({0, c, (1.0 + 0.1 * 12) * (0.5 + 0.2 * c)});
+    extra.entries.push_back({1, c, (1.0 + 0.1 * 13) * (0.5 + 0.2 * c)});
+  }
+  fold_in_rows(model, extra, cfg);
+  EXPECT_EQ(model.row_factors.rows(), 14u);
+  EXPECT_DOUBLE_EQ(model.row_factors(3, 0), before);  // frozen
+
+  // Folded rows should reconstruct their entries reasonably well.
+  double err = 0.0;
+  for (const auto& e : extra.entries) {
+    const double p = model.predict(12 + e.row, e.col);
+    err += (p - e.value) * (p - e.value);
+  }
+  err = std::sqrt(err / static_cast<double>(extra.entries.size()));
+  EXPECT_LT(err, 0.6);
+}
+
+TEST(Svd, FoldInRejectsColumnMismatch) {
+  const auto ds = rank1_dataset(6, 5);
+  SvdConfig cfg;
+  cfg.rank = 1;
+  cfg.epochs_per_dim = 30;
+  SvdModel model = incremental_svd(ds, cfg);
+  SparseDataset extra;
+  extra.rows = 1;
+  extra.cols = 99;
+  EXPECT_THROW(fold_in_rows(model, extra, cfg), std::invalid_argument);
+}
+
+TEST(SvdBiases, AbsorbSystematicOffsets) {
+  // Data = strong row/col offsets + weak rank-1 interaction: the biased
+  // model should reconstruct far better at equal rank.
+  common::Rng rng(71);
+  SparseDataset ds;
+  ds.rows = 40;
+  ds.cols = 30;
+  std::vector<double> row_off(ds.rows), col_off(ds.cols);
+  for (auto& v : row_off) v = rng.normal(0.0, 1.5);
+  for (auto& v : col_off) v = rng.normal(0.0, 1.5);
+  for (std::uint32_t r = 0; r < ds.rows; ++r) {
+    for (std::uint32_t c = 0; c < ds.cols; ++c) {
+      if (!rng.bernoulli(0.7)) continue;
+      const double interaction = 0.3 * (1.0 + 0.02 * r) * (1.0 + 0.03 * c);
+      ds.entries.push_back(
+          {r, c, 3.0 + row_off[r] + col_off[c] + interaction});
+    }
+  }
+  SvdConfig cfg;
+  cfg.rank = 1;
+  cfg.epochs_per_dim = 150;
+  const double plain = incremental_svd(ds, cfg).train_rmse;
+  cfg.use_biases = true;
+  const double biased = incremental_svd(ds, cfg).train_rmse;
+  EXPECT_LT(biased, plain * 0.6);
+}
+
+TEST(SvdBiases, PredictIncludesBiasTerms) {
+  SparseDataset ds;
+  ds.rows = 4;
+  ds.cols = 4;
+  for (std::uint32_t r = 0; r < 4; ++r)
+    for (std::uint32_t c = 0; c < 4; ++c)
+      ds.entries.push_back({r, c, 2.0 + 0.5 * r - 0.25 * c});
+  SvdConfig cfg;
+  cfg.rank = 1;
+  cfg.epochs_per_dim = 300;
+  cfg.use_biases = true;
+  const SvdModel m = incremental_svd(ds, cfg);
+  EXPECT_TRUE(m.has_biases());
+  EXPECT_NEAR(m.predict(3, 0), 3.5, 0.25);
+  EXPECT_NEAR(m.predict(0, 3), 1.25, 0.25);
+}
+
+TEST(SvdBiases, FoldInTrainsNewRowBias) {
+  SparseDataset ds;
+  ds.rows = 10;
+  ds.cols = 6;
+  for (std::uint32_t r = 0; r < 10; ++r)
+    for (std::uint32_t c = 0; c < 6; ++c)
+      ds.entries.push_back({r, c, 3.0 + 0.1 * c});
+  SvdConfig cfg;
+  cfg.rank = 1;
+  cfg.epochs_per_dim = 150;
+  cfg.use_biases = true;
+  SvdModel model = incremental_svd(ds, cfg);
+
+  // New row systematically 2 higher: its bias must pick that up.
+  SparseDataset extra;
+  extra.rows = 1;
+  extra.cols = 6;
+  for (std::uint32_t c = 0; c < 6; ++c)
+    extra.entries.push_back({0, c, 5.0 + 0.1 * c});
+  fold_in_rows(model, extra, cfg);
+  ASSERT_EQ(model.row_bias.size(), 11u);
+  double err = 0.0;
+  for (const auto& e : extra.entries) {
+    const double p = model.predict(10, e.col);
+    err += std::abs(p - e.value);
+  }
+  EXPECT_LT(err / 6.0, 0.7);
+}
+
+// Parameterized sweep: reconstruction error stays sane across shapes.
+class SvdShapes
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(SvdShapes, ReconstructionErrorBounded) {
+  const auto [rows, cols] = GetParam();
+  common::Rng rng(rows * 31 + cols);
+  SparseDataset ds;
+  ds.rows = rows;
+  ds.cols = cols;
+  // Low-rank plus noise.
+  for (std::uint32_t r = 0; r < rows; ++r)
+    for (std::uint32_t c = 0; c < cols; ++c)
+      ds.entries.push_back(
+          {r, c,
+           (1.0 + 0.05 * r) * (1.0 + 0.07 * c) + rng.normal(0.0, 0.05)});
+  SvdConfig cfg;
+  cfg.rank = 3;
+  cfg.epochs_per_dim = 80;
+  const SvdModel m = incremental_svd(ds, cfg);
+  EXPECT_LT(m.train_rmse, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdShapes,
+                         ::testing::Values(std::make_tuple(5, 40),
+                                           std::make_tuple(40, 5),
+                                           std::make_tuple(16, 16),
+                                           std::make_tuple(64, 8),
+                                           std::make_tuple(8, 64)));
+
+}  // namespace
+}  // namespace at::linalg

@@ -1,0 +1,449 @@
+// CF recommender tests: Pearson math, prediction identities, component
+// decomposition properties, service-level technique semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/algorithm1.h"
+#include "services/recommender/cf.h"
+#include "services/recommender/component.h"
+#include "services/recommender/service.h"
+#include "workload/ratings.h"
+
+namespace at::reco {
+namespace {
+
+synopsis::BuildConfig test_build_config() {
+  synopsis::BuildConfig cfg;
+  cfg.svd.rank = 2;
+  cfg.svd.epochs_per_dim = 50;
+  cfg.size_ratio = 10.0;
+  return cfg;
+}
+
+TEST(Pearson, PerfectPositiveCorrelation) {
+  synopsis::SparseVector a{{0, 1.0}, {1, 2.0}, {2, 3.0}};
+  synopsis::SparseVector b{{0, 2.0}, {1, 4.0}, {2, 6.0}};
+  EXPECT_NEAR(pearson_weight(a, 2.0, b, 4.0), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegativeCorrelation) {
+  synopsis::SparseVector a{{0, 1.0}, {1, 2.0}, {2, 3.0}};
+  synopsis::SparseVector b{{0, 3.0}, {1, 2.0}, {2, 1.0}};
+  EXPECT_NEAR(pearson_weight(a, 2.0, b, 2.0), -1.0, 1e-12);
+}
+
+TEST(Pearson, RangeBound) {
+  synopsis::SparseVector a{{0, 5.0}, {1, 1.0}, {3, 4.0}, {7, 2.0}};
+  synopsis::SparseVector b{{0, 2.0}, {1, 4.0}, {3, 3.0}, {9, 5.0}};
+  const double w = pearson_weight(a, 3.0, b, 3.5);
+  EXPECT_GE(w, -1.0);
+  EXPECT_LE(w, 1.0);
+}
+
+TEST(Pearson, RequiresTwoCoRatedItems) {
+  synopsis::SparseVector a{{0, 5.0}};
+  synopsis::SparseVector b{{0, 5.0}};
+  EXPECT_DOUBLE_EQ(pearson_weight(a, 5.0, b, 5.0), 0.0);
+  synopsis::SparseVector c{{5, 1.0}};
+  EXPECT_DOUBLE_EQ(pearson_weight(a, 5.0, c, 1.0), 0.0);  // disjoint
+}
+
+TEST(Pearson, ZeroVarianceIsZeroWeight) {
+  synopsis::SparseVector flat{{0, 3.0}, {1, 3.0}, {2, 3.0}};
+  synopsis::SparseVector other{{0, 1.0}, {1, 2.0}, {2, 5.0}};
+  EXPECT_DOUBLE_EQ(pearson_weight(flat, 3.0, other, 8.0 / 3.0), 0.0);
+}
+
+TEST(CfRequestBuild, ComputesMean) {
+  const auto req = CfRequest::make({{3, 2.0}, {1, 4.0}}, 9);
+  EXPECT_DOUBLE_EQ(req.rating_mean, 3.0);
+  EXPECT_EQ(req.target_item, 9u);
+  EXPECT_EQ(req.ratings[0].first, 1u);  // normalized
+}
+
+TEST(Predict, FallsBackToUserMean) {
+  const auto req = CfRequest::make({{0, 4.0}, {1, 2.0}}, 5);
+  CfPartial empty;
+  EXPECT_DOUBLE_EQ(predict(req, empty, 1.0, 5.0), 3.0);
+}
+
+TEST(Predict, WeightedDeviationAndClamp) {
+  const auto req = CfRequest::make({{0, 4.0}, {1, 4.0}}, 5);
+  CfPartial p;
+  p.weighted_dev = 2.0;
+  p.weight_abs = 1.0;
+  EXPECT_DOUBLE_EQ(predict(req, p, 1.0, 5.0), 5.0);  // 4 + 2 clamped to 5
+  p.weighted_dev = -10.0;
+  EXPECT_DOUBLE_EQ(predict(req, p, 1.0, 5.0), 1.0);
+}
+
+TEST(PartialAlgebra, MergeSubtractRoundTrip) {
+  CfPartial a{1.0, 2.0, 3};
+  const CfPartial b{0.5, 0.25, 1};
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.weighted_dev, 1.5);
+  a.subtract(b);
+  EXPECT_DOUBLE_EQ(a.weighted_dev, 1.0);
+  EXPECT_DOUBLE_EQ(a.weight_abs, 2.0);
+  EXPECT_EQ(a.neighbors, 3u);
+}
+
+TEST(Pearson, SymmetryProperty) {
+  common::Rng rng(71);
+  for (int trial = 0; trial < 50; ++trial) {
+    synopsis::SparseVector a, b;
+    for (std::uint32_t c = 0; c < 40; ++c) {
+      if (rng.bernoulli(0.5)) a.emplace_back(c, rng.uniform(1.0, 5.0));
+      if (rng.bernoulli(0.5)) b.emplace_back(c, rng.uniform(1.0, 5.0));
+    }
+    const double ma = vector_mean(a);
+    const double mb = vector_mean(b);
+    EXPECT_NEAR(pearson_weight(a, ma, b, mb), pearson_weight(b, mb, a, ma),
+                1e-12);
+  }
+}
+
+TEST(Pearson, InvariantToAffineRescaling) {
+  // Pearson is invariant to positive linear transforms of either side
+  // when the means transform accordingly.
+  synopsis::SparseVector a{{0, 1.0}, {1, 3.0}, {2, 5.0}, {3, 2.0}};
+  synopsis::SparseVector b{{0, 2.0}, {1, 5.0}, {2, 9.0}, {3, 4.0}};
+  synopsis::SparseVector b2;
+  for (auto [c, v] : b) b2.emplace_back(c, 10.0 + 2.0 * v);
+  const double ma = vector_mean(a);
+  EXPECT_NEAR(pearson_weight(a, ma, b, vector_mean(b)),
+              pearson_weight(a, ma, b2, vector_mean(b2)), 1e-12);
+}
+
+// Prediction clamping property across rating ranges.
+class PredictClamp
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(PredictClamp, AlwaysWithinRange) {
+  const auto [lo, hi] = GetParam();
+  common::Rng rng(81);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto req = CfRequest::make(
+        {{0, rng.uniform(lo, hi)}, {1, rng.uniform(lo, hi)}}, 5);
+    CfPartial p;
+    p.weighted_dev = rng.normal(0.0, 10.0);
+    p.weight_abs = rng.uniform(0.0, 2.0);
+    const double pred = predict(req, p, lo, hi);
+    EXPECT_GE(pred, lo);
+    EXPECT_LE(pred, hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, PredictClamp,
+    ::testing::Values(std::make_pair(1.0, 5.0), std::make_pair(0.0, 1.0),
+                      std::make_pair(-10.0, 10.0),
+                      std::make_pair(1.0, 10.0)));
+
+TEST(Rmse, KnownValuesAndNanPenalty) {
+  EXPECT_DOUBLE_EQ(rmse({1.0, 3.0}, {1.0, 1.0}, 4.0), std::sqrt(2.0));
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(rmse({nan}, {3.0}, 4.0), 4.0);  // worst-case charge
+}
+
+TEST(AccuracyMapping, Monotone) {
+  EXPECT_DOUBLE_EQ(accuracy_from_rmse(0.0, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy_from_rmse(4.0, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(accuracy_from_rmse(8.0, 4.0), 0.0);  // clamped
+  EXPECT_GT(accuracy_from_rmse(1.0, 4.0), accuracy_from_rmse(2.0, 4.0));
+  EXPECT_DOUBLE_EQ(accuracy_loss_pct(0.8, 0.6), 25.0);
+  EXPECT_DOUBLE_EQ(accuracy_loss_pct(0.8, 0.9), 0.0);  // no negative loss
+}
+
+class ComponentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::RatingConfig cfg;
+    cfg.num_components = 1;
+    cfg.users_per_component = 150;
+    cfg.num_items = 80;
+    cfg.num_clusters = 6;
+    cfg.seed = 42;
+    workload::RatingWorkloadGen gen(cfg);
+    workload_ = gen.generate(30, 2);
+    component_ = std::make_unique<RecommenderComponent>(
+        std::move(workload_.subsets[0]), test_build_config());
+  }
+
+  workload::RatingWorkload workload_;
+  std::unique_ptr<RecommenderComponent> component_;
+};
+
+TEST_F(ComponentTest, SynopsisCompressed) {
+  EXPECT_GE(component_->num_groups(), 2u);
+  EXPECT_LE(component_->num_groups() * 5, component_->num_users());
+  const auto sizes = component_->group_sizes();
+  std::size_t total = 0;
+  for (auto s : sizes) total += s;
+  EXPECT_EQ(total, component_->num_users());
+}
+
+TEST_F(ComponentTest, ExactEqualsSumOfGroups) {
+  ASSERT_FALSE(workload_.requests.empty());
+  const auto& req = workload_.requests[0];
+  const auto work = component_->analyze(req);
+  CfPartial sum;
+  for (const auto& p : work.real_by_group) sum.merge(p);
+  const CfPartial exact = work.exact();
+  EXPECT_DOUBLE_EQ(sum.weighted_dev, exact.weighted_dev);
+  EXPECT_DOUBLE_EQ(sum.weight_abs, exact.weight_abs);
+}
+
+TEST_F(ComponentTest, AfterAllSetsEqualsExact) {
+  const auto& req = workload_.requests[0];
+  const auto work = component_->analyze(req);
+  const auto ranked = core::rank_by_correlation(work.correlations);
+  const CfPartial full = work.after_sets(ranked, ranked.size());
+  const CfPartial exact = work.exact();
+  EXPECT_NEAR(full.weighted_dev, exact.weighted_dev, 1e-9);
+  EXPECT_NEAR(full.weight_abs, exact.weight_abs, 1e-9);
+}
+
+TEST_F(ComponentTest, AfterZeroSetsEqualsStage1) {
+  const auto& req = workload_.requests[0];
+  const auto work = component_->analyze(req);
+  const auto ranked = core::rank_by_correlation(work.correlations);
+  const CfPartial none = work.after_sets(ranked, 0);
+  const CfPartial stage1 = work.stage1();
+  EXPECT_DOUBLE_EQ(none.weighted_dev, stage1.weighted_dev);
+  EXPECT_DOUBLE_EQ(none.weight_abs, stage1.weight_abs);
+}
+
+TEST_F(ComponentTest, CorrelationsAreAbsoluteWeights) {
+  const auto& req = workload_.requests[0];
+  const auto work = component_->analyze(req);
+  for (double c : work.correlations) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+TEST_F(ComponentTest, MoreSetsMonotonicallyApproachExact) {
+  // Processing more ranked sets should (weakly) shrink the gap to the
+  // exact prediction for most requests — spot check the average.
+  double gap_few = 0.0, gap_many = 0.0;
+  int counted = 0;
+  for (std::size_t r = 0; r < std::min<std::size_t>(20,
+                                                    workload_.requests.size());
+       ++r) {
+    const auto& req = workload_.requests[r];
+    const auto work = component_->analyze(req);
+    const auto ranked = core::rank_by_correlation(work.correlations);
+    const double exact = predict(req, work.exact(), 1.0, 5.0);
+    const double few =
+        predict(req, work.after_sets(ranked, 1), 1.0, 5.0);
+    const double many = predict(
+        req, work.after_sets(ranked, ranked.size() / 2 + 1), 1.0, 5.0);
+    gap_few += std::abs(few - exact);
+    gap_many += std::abs(many - exact);
+    ++counted;
+  }
+  ASSERT_GT(counted, 0);
+  EXPECT_LE(gap_many, gap_few + 1e-9);
+}
+
+TEST_F(ComponentTest, UpdateAddUsersGrowsComponent) {
+  common::Rng rng(5);
+  synopsis::UpdateBatch batch;
+  workload::RatingConfig cfg;
+  cfg.num_items = 80;
+  workload::RatingWorkloadGen gen(cfg);
+  for (int i = 0; i < 5; ++i) batch.added.push_back(gen.sample_user(rng));
+  const auto before = component_->num_users();
+  const auto report = component_->update(batch);
+  EXPECT_EQ(report.points_added, 5u);
+  EXPECT_EQ(component_->num_users(), before + 5);
+  // Analysis still works after the update.
+  const auto work = component_->analyze(workload_.requests[0]);
+  EXPECT_EQ(work.correlations.size(), component_->num_groups());
+}
+
+TEST_F(ComponentTest, SaveLoadRoundTripServesIdentically) {
+  std::stringstream buf;
+  component_->save(buf);
+  RecommenderComponent loaded = RecommenderComponent::load(buf);
+  EXPECT_EQ(loaded.num_users(), component_->num_users());
+  EXPECT_EQ(loaded.num_groups(), component_->num_groups());
+
+  for (std::size_t r = 0; r < std::min<std::size_t>(
+                              10, workload_.requests.size());
+       ++r) {
+    const auto& req = workload_.requests[r];
+    const auto before = component_->analyze(req);
+    const auto after = loaded.analyze(req);
+    ASSERT_EQ(before.correlations.size(), after.correlations.size());
+    for (std::size_t g = 0; g < before.correlations.size(); ++g) {
+      EXPECT_DOUBLE_EQ(before.correlations[g], after.correlations[g]);
+      EXPECT_DOUBLE_EQ(before.real_by_group[g].weighted_dev,
+                       after.real_by_group[g].weighted_dev);
+      EXPECT_DOUBLE_EQ(before.agg_by_group[g].weight_abs,
+                       after.agg_by_group[g].weight_abs);
+    }
+  }
+}
+
+TEST_F(ComponentTest, LoadedComponentAcceptsUpdates) {
+  std::stringstream buf;
+  component_->save(buf);
+  RecommenderComponent loaded = RecommenderComponent::load(buf);
+  common::Rng rng(7);
+  workload::RatingConfig cfg;
+  cfg.num_items = 80;
+  workload::RatingWorkloadGen gen(cfg);
+  synopsis::UpdateBatch batch;
+  batch.added.push_back(gen.sample_user(rng));
+  const auto before = loaded.num_users();
+  const auto report = loaded.update(batch);
+  EXPECT_EQ(report.points_added, 1u);
+  EXPECT_EQ(loaded.num_users(), before + 1);
+  // A small update should reuse most cached aggregations.
+  EXPECT_GT(report.clean_groups, 0u);
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::RatingConfig cfg;
+    cfg.num_components = 3;
+    cfg.users_per_component = 100;
+    cfg.num_items = 60;
+    cfg.num_clusters = 5;
+    cfg.seed = 17;
+    workload::RatingWorkloadGen gen(cfg);
+    workload_ = gen.generate(40, 2);
+    std::vector<RecommenderComponent> comps;
+    for (auto& subset : workload_.subsets) {
+      comps.emplace_back(std::move(subset), test_build_config());
+    }
+    service_ = std::make_unique<CfService>(std::move(comps), 1.0, 5.0);
+  }
+
+  workload::RatingWorkload workload_;
+  std::unique_ptr<CfService> service_;
+};
+
+TEST_F(ServiceTest, ExactPredictionInRange) {
+  for (std::size_t r = 0; r < 10; ++r) {
+    const double p = service_->predict_exact(workload_.requests[r]);
+    EXPECT_GE(p, 1.0);
+    EXPECT_LE(p, 5.0);
+  }
+}
+
+TEST_F(ServiceTest, BasicAndReissueAreExact) {
+  const auto& req = workload_.requests[0];
+  const double exact = service_->predict_exact(req);
+  const std::vector<ComponentOutcome> outcomes(service_->num_components());
+  EXPECT_DOUBLE_EQ(service_->predict(req, core::Technique::kBasic, outcomes),
+                   exact);
+  EXPECT_DOUBLE_EQ(
+      service_->predict(req, core::Technique::kRequestReissue, outcomes),
+      exact);
+}
+
+TEST_F(ServiceTest, PartialWithAllIncludedIsExact) {
+  const auto& req = workload_.requests[1];
+  std::vector<ComponentOutcome> outcomes(service_->num_components());
+  for (auto& o : outcomes) o.included = true;
+  EXPECT_DOUBLE_EQ(
+      service_->predict(req, core::Technique::kPartialExecution, outcomes),
+      service_->predict_exact(req));
+}
+
+TEST_F(ServiceTest, PartialWithNoneIncludedIsNan) {
+  const auto& req = workload_.requests[1];
+  std::vector<ComponentOutcome> outcomes(service_->num_components());
+  for (auto& o : outcomes) o.included = false;
+  EXPECT_TRUE(std::isnan(
+      service_->predict(req, core::Technique::kPartialExecution, outcomes)));
+}
+
+TEST_F(ServiceTest, AccuracyTraderAllSetsEqualsExact) {
+  const auto& req = workload_.requests[2];
+  std::vector<ComponentOutcome> outcomes(service_->num_components());
+  for (auto& o : outcomes) o.sets = 1000000;  // everything
+  EXPECT_NEAR(
+      service_->predict(req, core::Technique::kAccuracyTrader, outcomes),
+      service_->predict_exact(req), 1e-9);
+}
+
+TEST_F(ServiceTest, EvaluateExactHasZeroLoss) {
+  const auto result = service_->evaluate_uniform(
+      workload_.requests, workload_.actuals, core::Technique::kBasic, {});
+  EXPECT_DOUBLE_EQ(result.loss_pct, 0.0);
+  EXPECT_GT(result.accuracy, 0.5);  // clustered data is predictable
+}
+
+TEST_F(ServiceTest, PartialLossGrowsAsComponentsDrop) {
+  // loss(all included) <= loss(half included) <= loss(none included)
+  auto loss_with = [&](std::size_t included_count) {
+    std::vector<ComponentOutcome> outcomes(service_->num_components());
+    for (std::size_t c = 0; c < outcomes.size(); ++c)
+      outcomes[c].included = c < included_count;
+    const auto res = service_->evaluate(
+        workload_.requests, workload_.actuals,
+        core::Technique::kPartialExecution,
+        [&outcomes](std::size_t) { return outcomes; });
+    return res.loss_pct;
+  };
+  const double all = loss_with(service_->num_components());
+  const double none = loss_with(0);
+  EXPECT_DOUBLE_EQ(all, 0.0);
+  EXPECT_GT(none, 50.0);  // skipping everything devastates accuracy
+  const double half = loss_with(service_->num_components() / 2 + 1);
+  EXPECT_LE(all, half);
+  EXPECT_LE(half, none);
+}
+
+TEST_F(ServiceTest, AccuracyTraderBeatsPartialUnderOverload) {
+  // Paper's overload regime: all components blow the deadline, so partial
+  // execution returns nothing, while AccuracyTrader still answers from the
+  // synopses (plus whatever sets fit — here just one per component).
+  std::vector<ComponentOutcome> partial_outcomes(service_->num_components());
+  for (auto& o : partial_outcomes) o.included = false;
+  const auto partial = service_->evaluate(
+      workload_.requests, workload_.actuals,
+      core::Technique::kPartialExecution,
+      [&partial_outcomes](std::size_t) { return partial_outcomes; });
+
+  ComponentOutcome at_outcome;
+  at_outcome.sets = 1;
+  const auto at = service_->evaluate_uniform(workload_.requests,
+                                             workload_.actuals,
+                                             core::Technique::kAccuracyTrader,
+                                             at_outcome);
+  EXPECT_LT(at.loss_pct * 5.0, partial.loss_pct);
+  EXPECT_LT(at.loss_pct, 10.0);  // synopsis answers are already close
+}
+
+TEST_F(ServiceTest, MoreSetsNeverHurtOnAverage) {
+  ComponentOutcome few;
+  few.sets = 0;
+  ComponentOutcome many;
+  many.sets = 4;
+  const auto r_few = service_->evaluate_uniform(
+      workload_.requests, workload_.actuals,
+      core::Technique::kAccuracyTrader, few);
+  const auto r_many = service_->evaluate_uniform(
+      workload_.requests, workload_.actuals,
+      core::Technique::kAccuracyTrader, many);
+  EXPECT_LE(r_many.loss_pct, r_few.loss_pct + 1.0);
+}
+
+TEST_F(ServiceTest, OutcomeSizeMismatchThrows) {
+  const auto& req = workload_.requests[0];
+  std::vector<ComponentOutcome> wrong(1);
+  EXPECT_THROW(
+      service_->predict(req, core::Technique::kAccuracyTrader, wrong),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace at::reco

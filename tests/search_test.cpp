@@ -1,0 +1,595 @@
+// Search service tests: tokenizer/vocabulary, inverted index vs. naive
+// scoring, top-k, component decomposition, service-level techniques.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "services/search/component.h"
+#include "services/search/inverted_index.h"
+#include "services/search/query_cache.h"
+#include "services/search/service.h"
+#include "services/search/text.h"
+#include "services/search/topk.h"
+#include "workload/corpus.h"
+
+namespace at::search {
+namespace {
+
+synopsis::BuildConfig test_build_config() {
+  synopsis::BuildConfig cfg;
+  cfg.svd.rank = 2;
+  cfg.svd.epochs_per_dim = 40;
+  cfg.size_ratio = 10.0;
+  return cfg;
+}
+
+TEST(Tokenizer, LowercasesAndSplits) {
+  const auto tokens = tokenize("Hello, World! C++20 rocks");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[2], "c");
+  EXPECT_EQ(tokens[3], "20");
+  EXPECT_EQ(tokens[4], "rocks");
+}
+
+TEST(Tokenizer, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize("!!! ... ---").empty());
+}
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary v;
+  const auto a = v.intern("apple");
+  const auto b = v.intern("banana");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(v.intern("apple"), a);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.word(a), "apple");
+  EXPECT_EQ(v.lookup("cherry"), Vocabulary::kNotFound);
+}
+
+TEST(VocabularyTest, TextToCountsAndTerms) {
+  Vocabulary v;
+  const auto counts = text_to_counts("the cat and the hat", v);
+  // "the" appears twice.
+  EXPECT_DOUBLE_EQ(synopsis::value_at(counts, v.lookup("the")), 2.0);
+  EXPECT_DOUBLE_EQ(synopsis::value_at(counts, v.lookup("cat")), 1.0);
+  const auto terms = text_to_terms("cat unknownword", v);
+  ASSERT_EQ(terms.size(), 1u);
+  EXPECT_EQ(terms[0], v.lookup("cat"));
+}
+
+TEST(TopKTest, KeepsBestK) {
+  TopK top(3);
+  for (int i = 0; i < 10; ++i) top.offer(static_cast<double>(i), i);
+  const auto r = top.take();
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].doc, 9u);
+  EXPECT_EQ(r[1].doc, 8u);
+  EXPECT_EQ(r[2].doc, 7u);
+}
+
+TEST(TopKTest, TieBreaksByDocId) {
+  TopK top(2);
+  top.offer(1.0, 42);
+  top.offer(1.0, 7);
+  top.offer(1.0, 99);
+  const auto r = top.take();
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].doc, 7u);
+  EXPECT_EQ(r[1].doc, 42u);
+}
+
+TEST(TopKTest, FewerThanK) {
+  TopK top(10);
+  top.offer(2.0, 1);
+  top.offer(1.0, 2);
+  const auto r = top.take();
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].doc, 1u);
+}
+
+TEST(TopKTest, ZeroKThrows) { EXPECT_THROW(TopK(0), std::invalid_argument); }
+
+TEST(TopKTest, OverlapMetric) {
+  std::vector<ScoredDoc> actual{{3, 1}, {2, 2}, {1, 3}};
+  std::vector<ScoredDoc> retrieved{{9, 1}, {9, 3}, {9, 99}};
+  EXPECT_NEAR(topk_overlap(retrieved, actual), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(topk_overlap({}, actual), 0.0);
+  EXPECT_DOUBLE_EQ(topk_overlap(retrieved, {}), 1.0);
+}
+
+synopsis::SparseRows tiny_docs() {
+  synopsis::SparseRows docs(6);
+  docs.add_row({{0, 3.0}, {1, 1.0}});           // doc 0: heavy on term 0
+  docs.add_row({{1, 2.0}, {2, 2.0}});           // doc 1
+  docs.add_row({{0, 1.0}, {2, 1.0}, {3, 1.0}}); // doc 2
+  docs.add_row({{4, 5.0}});                     // doc 3: only rare term 4
+  return docs;
+}
+
+TEST(InvertedIndexTest, PostingsAndDf) {
+  const InvertedIndex idx(tiny_docs());
+  EXPECT_EQ(idx.num_docs(), 4u);
+  EXPECT_EQ(idx.doc_frequency(0), 2u);
+  EXPECT_EQ(idx.doc_frequency(4), 1u);
+  EXPECT_EQ(idx.doc_frequency(5), 0u);
+  EXPECT_EQ(idx.postings(0).size(), 2u);
+  EXPECT_DOUBLE_EQ(idx.doc_length(0), 4.0);
+}
+
+TEST(InvertedIndexTest, UnknownTermSafe) {
+  const InvertedIndex idx(tiny_docs());
+  EXPECT_TRUE(idx.postings(100).empty());
+  EXPECT_EQ(idx.doc_frequency(100), 0u);
+  const auto r = idx.topk({100}, 0, 5);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(InvertedIndexTest, ScoreMatchesNaiveFormula) {
+  const auto docs = tiny_docs();
+  const InvertedIndex idx(docs);
+  const std::vector<std::uint32_t> q{0, 2};
+  std::vector<ScoredDoc> scored;
+  idx.score_query(q, 0, scored);
+
+  // Naive recomputation per doc.
+  for (const auto& sd : scored) {
+    const auto d = static_cast<std::uint32_t>(sd.doc);
+    double raw = 0.0;
+    for (auto t : q) {
+      const double tf = synopsis::value_at(docs.row(d), t);
+      if (tf > 0) raw += std::sqrt(tf) * idx.idf(t);
+    }
+    const double expect = raw / std::sqrt(idx.doc_length(d));
+    EXPECT_NEAR(sd.score, expect, 1e-12) << "doc " << d;
+  }
+  // Only matching docs are scored: doc 3 matches neither term.
+  for (const auto& sd : scored) EXPECT_NE(sd.doc, 3u);
+}
+
+TEST(InvertedIndexTest, IdfPenalizesCommonTerms) {
+  const InvertedIndex idx(tiny_docs());
+  EXPECT_GT(idx.idf(4), idx.idf(0));  // rarer term, higher idf
+}
+
+TEST(InvertedIndexTest, GlobalIdfOverride) {
+  InvertedIndex idx(tiny_docs());
+  auto idf = std::make_shared<const std::vector<double>>(
+      std::vector<double>{10.0, 0.0, 0.0, 0.0, 0.0, 0.0});
+  idx.set_global_idf(idf);
+  const auto r = idx.topk({0, 4}, 0, 4);
+  ASSERT_FALSE(r.empty());
+  // With idf(4) forced to 0, only term-0 docs can score.
+  for (const auto& d : r) EXPECT_NE(d.doc, 3u);
+}
+
+TEST(InvertedIndexTest, ScoreCountsMatchesDocScoring) {
+  const auto docs = tiny_docs();
+  const InvertedIndex idx(docs);
+  const std::vector<std::uint32_t> q{0, 1};
+  // Scoring doc 0's counts through score_counts must equal its score.
+  std::vector<ScoredDoc> scored;
+  idx.score_query(q, 0, scored);
+  const auto it =
+      std::find_if(scored.begin(), scored.end(),
+                   [](const ScoredDoc& d) { return d.doc == 0; });
+  ASSERT_NE(it, scored.end());
+  EXPECT_NEAR(idx.score_counts(q, docs.row(0), idx.doc_length(0)), it->score,
+              1e-12);
+}
+
+TEST(Bm25, MatchesClosedForm) {
+  const auto docs = tiny_docs();
+  ScorerParams params;
+  params.scorer = Scorer::kBm25;
+  const InvertedIndex idx(docs, params);
+  const std::vector<std::uint32_t> q{0};
+  std::vector<ScoredDoc> scored;
+  idx.score_query(q, 0, scored);
+  ASSERT_FALSE(scored.empty());
+  for (const auto& sd : scored) {
+    const auto d = static_cast<std::uint32_t>(sd.doc);
+    const double tf = synopsis::value_at(docs.row(d), 0);
+    const double k1 = params.bm25_k1, b = params.bm25_b;
+    const double norm =
+        k1 * (1.0 - b + b * idx.doc_length(d) / idx.mean_doc_length());
+    const double expect = idx.idf(0) * tf * (k1 + 1.0) / (tf + norm);
+    EXPECT_NEAR(sd.score, expect, 1e-12);
+  }
+}
+
+TEST(Bm25, TermFrequencySaturates) {
+  // BM25's tf term saturates: doubling tf far less than doubles the score.
+  synopsis::SparseRows docs(2);
+  docs.add_row({{0, 1.0}, {1, 9.0}});   // doc 0: tf=1
+  docs.add_row({{0, 10.0}});            // doc 1: tf=10, same length
+  ScorerParams params;
+  params.scorer = Scorer::kBm25;
+  const InvertedIndex idx(docs, params);
+  std::vector<ScoredDoc> scored;
+  idx.score_query({0}, 0, scored);
+  ASSERT_EQ(scored.size(), 2u);
+  double s0 = 0, s1 = 0;
+  for (const auto& d : scored) (d.doc == 0 ? s0 : s1) = d.score;
+  EXPECT_GT(s1, s0);            // more matches still scores higher
+  EXPECT_LT(s1, s0 * 3.0);      // but nowhere near 10x
+}
+
+TEST(Bm25, LongDocsPenalized) {
+  synopsis::SparseRows docs(3);
+  docs.add_row({{0, 2.0}});                         // short doc
+  docs.add_row({{0, 2.0}, {1, 20.0}, {2, 20.0}});   // same tf, much longer
+  ScorerParams params;
+  params.scorer = Scorer::kBm25;
+  const InvertedIndex idx(docs, params);
+  std::vector<ScoredDoc> scored;
+  idx.score_query({0}, 0, scored);
+  ASSERT_EQ(scored.size(), 2u);
+  double s_short = 0, s_long = 0;
+  for (const auto& d : scored) (d.doc == 0 ? s_short : s_long) = d.score;
+  EXPECT_GT(s_short, s_long);
+}
+
+TEST(Bm25, MeanDocLengthComputed) {
+  const InvertedIndex idx(tiny_docs());
+  // Lengths: 4, 4, 3, 5 -> mean 4.
+  EXPECT_DOUBLE_EQ(idx.mean_doc_length(), 4.0);
+}
+
+TEST(TopKTest, OverlapBounds) {
+  common::Rng rng(91);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<ScoredDoc> a, b;
+    for (int i = 0; i < 10; ++i) {
+      a.push_back({rng.uniform(), rng.uniform_index(30)});
+      b.push_back({rng.uniform(), rng.uniform_index(30)});
+    }
+    const double o = topk_overlap(a, b);
+    EXPECT_GE(o, 0.0);
+    EXPECT_LE(o, 1.0);
+    EXPECT_DOUBLE_EQ(topk_overlap(a, a), 1.0);  // self-overlap is perfect
+  }
+}
+
+// Scorer-agnostic ranking invariants across both scorers.
+class ScorerInvariants : public ::testing::TestWithParam<Scorer> {};
+
+TEST_P(ScorerInvariants, ScoresPositiveAndOnlyForMatches) {
+  ScorerParams params;
+  params.scorer = GetParam();
+  const auto docs = tiny_docs();
+  const InvertedIndex idx(docs, params);
+  for (std::uint32_t term = 0; term < 6; ++term) {
+    std::vector<ScoredDoc> scored;
+    idx.score_query({term}, 0, scored);
+    EXPECT_EQ(scored.size(), idx.doc_frequency(term));
+    for (const auto& d : scored) {
+      EXPECT_GT(d.score, 0.0);
+      EXPECT_GT(synopsis::value_at(docs.row(static_cast<std::uint32_t>(d.doc)),
+                                   term),
+                0.0);
+    }
+  }
+}
+
+TEST_P(ScorerInvariants, HigherTfScoresHigherAtEqualLength) {
+  ScorerParams params;
+  params.scorer = GetParam();
+  synopsis::SparseRows docs(3);
+  docs.add_row({{0, 4.0}, {1, 4.0}});  // tf(0) = 4, length 8
+  docs.add_row({{0, 1.0}, {1, 7.0}});  // tf(0) = 1, length 8
+  const InvertedIndex idx(docs, params);
+  std::vector<ScoredDoc> scored;
+  idx.score_query({0}, 0, scored);
+  ASSERT_EQ(scored.size(), 2u);
+  double s0 = 0, s1 = 0;
+  for (const auto& d : scored) (d.doc == 0 ? s0 : s1) = d.score;
+  EXPECT_GT(s0, s1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scorers, ScorerInvariants,
+                         ::testing::Values(Scorer::kTfIdf, Scorer::kBm25));
+
+TEST(MergeIdf, CombinesDocumentFrequencies) {
+  const std::vector<std::vector<std::uint32_t>> dfs{{2, 0}, {1, 1}};
+  const auto idf = merge_idf(dfs, 10);
+  ASSERT_EQ(idf.size(), 2u);
+  EXPECT_NEAR(idf[0], std::log(1.0 + 10.0 / 4.0), 1e-12);
+  EXPECT_NEAR(idf[1], std::log(1.0 + 10.0 / 2.0), 1e-12);
+  EXPECT_GT(idf[1], idf[0]);
+}
+
+// ---------------------------------------------------------------------------
+// QueryCache
+// ---------------------------------------------------------------------------
+
+TEST(QueryCacheTest, HitMissAndStats) {
+  QueryCache cache(4);
+  std::vector<ScoredDoc> out;
+  EXPECT_FALSE(cache.lookup({1, 2}, &out));
+  cache.insert({1, 2}, {{1.0, 7}});
+  EXPECT_TRUE(cache.lookup({1, 2}, &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].doc, 7u);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.5);
+}
+
+TEST(QueryCacheTest, KeyCanonicalization) {
+  QueryCache cache(4);
+  cache.insert({3, 1, 2}, {{1.0, 9}});
+  std::vector<ScoredDoc> out;
+  EXPECT_TRUE(cache.lookup({2, 3, 1}, &out));   // order-insensitive
+  EXPECT_TRUE(cache.lookup({1, 1, 2, 3}, &out));  // dup-insensitive
+  EXPECT_FALSE(cache.lookup({1, 2}, &out));
+}
+
+TEST(QueryCacheTest, LruEviction) {
+  QueryCache cache(2);
+  cache.insert({1}, {});
+  cache.insert({2}, {});
+  EXPECT_TRUE(cache.lookup({1}, nullptr));  // refresh {1}; {2} is LRU now
+  cache.insert({3}, {});                    // evicts {2}
+  EXPECT_TRUE(cache.lookup({1}, nullptr));
+  EXPECT_TRUE(cache.lookup({3}, nullptr));
+  EXPECT_FALSE(cache.lookup({2}, nullptr));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(QueryCacheTest, InsertExistingRefreshes) {
+  QueryCache cache(2);
+  cache.insert({1}, {{1.0, 1}});
+  cache.insert({1}, {{2.0, 2}});
+  EXPECT_EQ(cache.size(), 1u);
+  std::vector<ScoredDoc> out;
+  EXPECT_TRUE(cache.lookup({1}, &out));
+  EXPECT_EQ(out[0].doc, 2u);
+}
+
+TEST(QueryCacheTest, InvalidateAll) {
+  QueryCache cache(4);
+  cache.insert({1}, {});
+  cache.insert({2}, {});
+  cache.invalidate_all();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup({1}, nullptr));
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(QueryCacheTest, ZeroCapacityThrows) {
+  EXPECT_THROW(QueryCache(0), std::invalid_argument);
+}
+
+class SearchServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::CorpusConfig cfg;
+    cfg.num_components = 3;
+    cfg.docs_per_component = 120;
+    cfg.vocab_size = 500;
+    cfg.num_topics = 8;
+    cfg.topic_vocab = 40;
+    cfg.seed = 23;
+    workload::CorpusGen gen(cfg);
+    auto wl = gen.generate(25);
+    queries_ = std::move(wl.queries);
+    std::vector<SearchComponent> comps;
+    std::uint64_t base = 0;
+    for (auto& shard : wl.shards) {
+      const auto docs = shard.rows();
+      comps.emplace_back(std::move(shard), base, test_build_config());
+      base += docs;
+    }
+    service_ = std::make_unique<SearchService>(std::move(comps), 10);
+  }
+
+  std::vector<SearchRequest> queries_;
+  std::unique_ptr<SearchService> service_;
+};
+
+TEST_F(SearchServiceTest, ExactTopkIsGloballyConsistent) {
+  const auto top = service_->exact_topk(queries_[0]);
+  EXPECT_LE(top.size(), 10u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_TRUE(better(top[i - 1], top[i]) ||
+                (top[i - 1].score == top[i].score));
+  }
+}
+
+TEST_F(SearchServiceTest, ComponentDecompositionCoversExact) {
+  // Union of per-group scored docs == component's full match set.
+  const auto& comp = service_->component(0);
+  const auto work = comp.analyze(queries_[0]);
+  std::size_t by_group = 0;
+  for (const auto& g : work.scored_by_group) by_group += g.size();
+  std::vector<ScoredDoc> all;
+  comp.index().score_query(queries_[0].terms, comp.doc_id_base(), all);
+  EXPECT_EQ(by_group, all.size());
+}
+
+TEST_F(SearchServiceTest, AllSetsEqualsExact) {
+  std::vector<ComponentOutcome> outcomes(service_->num_components());
+  for (auto& o : outcomes) o.sets = 1000000;
+  for (std::size_t q = 0; q < 5; ++q) {
+    const auto exact = service_->exact_topk(queries_[q]);
+    const auto approx = service_->retrieve(
+        queries_[q], core::Technique::kAccuracyTrader, outcomes);
+    EXPECT_DOUBLE_EQ(topk_overlap(approx, exact), 1.0) << "query " << q;
+  }
+}
+
+TEST_F(SearchServiceTest, PartialAllIncludedEqualsExact) {
+  std::vector<ComponentOutcome> outcomes(service_->num_components());
+  const auto exact = service_->exact_topk(queries_[1]);
+  const auto got = service_->retrieve(
+      queries_[1], core::Technique::kPartialExecution, outcomes);
+  EXPECT_DOUBLE_EQ(topk_overlap(got, exact), 1.0);
+}
+
+TEST_F(SearchServiceTest, PartialNoneIncludedReturnsNothing) {
+  std::vector<ComponentOutcome> outcomes(service_->num_components());
+  for (auto& o : outcomes) o.included = false;
+  const auto got = service_->retrieve(
+      queries_[1], core::Technique::kPartialExecution, outcomes);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST_F(SearchServiceTest, StageOneFallbackPadsToK) {
+  // Zero sets processed anywhere: the initial synopsis-only result should
+  // still return up to k candidate pages.
+  std::vector<ComponentOutcome> outcomes(service_->num_components());
+  for (auto& o : outcomes) o.sets = 0;
+  const auto got = service_->retrieve(
+      queries_[0], core::Technique::kAccuracyTrader, outcomes);
+  EXPECT_GT(got.size(), 0u);
+  EXPECT_LE(got.size(), 10u);
+}
+
+TEST_F(SearchServiceTest, AccuracyImprovesWithSets) {
+  auto acc_with_sets = [&](std::uint32_t sets) {
+    ComponentOutcome o;
+    o.sets = sets;
+    const auto res = service_->evaluate_uniform(
+        queries_, core::Technique::kAccuracyTrader, o);
+    return res.accuracy;
+  };
+  const double a0 = acc_with_sets(0);
+  const double a2 = acc_with_sets(2);
+  const double a_all = acc_with_sets(1000000);
+  EXPECT_DOUBLE_EQ(a_all, 1.0);
+  EXPECT_LE(a0, a2 + 1e-9);
+  EXPECT_LE(a2, a_all + 1e-9);
+}
+
+TEST_F(SearchServiceTest, TopRankedGroupsCarryMostAccuracy) {
+  // The paper's central claim (Fig. 4b): processing only the top-ranked
+  // 40% of groups should already find most of the actual top-10.
+  std::size_t max_groups = 0;
+  for (std::size_t c = 0; c < service_->num_components(); ++c)
+    max_groups = std::max(max_groups, service_->component(c).num_groups());
+  ComponentOutcome o;
+  o.sets = static_cast<std::uint32_t>(max_groups * 2 / 5 + 1);
+  const auto res = service_->evaluate_uniform(
+      queries_, core::Technique::kAccuracyTrader, o);
+  EXPECT_GT(res.accuracy, 0.75);
+}
+
+TEST_F(SearchServiceTest, EvaluateExactIsPerfect) {
+  const auto res = service_->evaluate_uniform(
+      queries_, core::Technique::kBasic, {});
+  EXPECT_DOUBLE_EQ(res.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(res.loss_pct, 0.0);
+}
+
+TEST_F(SearchServiceTest, QueryCacheServesRepeats) {
+  service_->enable_query_cache(64);
+  const auto first = service_->exact_topk(queries_[0]);
+  const auto second = service_->exact_topk(queries_[0]);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].doc, second[i].doc);
+    EXPECT_DOUBLE_EQ(first[i].score, second[i].score);
+  }
+  ASSERT_NE(service_->query_cache(), nullptr);
+  EXPECT_EQ(service_->query_cache()->stats().hits, 1u);
+}
+
+TEST_F(SearchServiceTest, UpdateInvalidatesQueryCache) {
+  service_->enable_query_cache(64);
+  (void)service_->exact_topk(queries_[0]);
+  workload::CorpusConfig cfg;
+  cfg.vocab_size = 500;
+  cfg.num_topics = 8;
+  cfg.topic_vocab = 40;
+  workload::CorpusGen gen(cfg);
+  common::Rng rng(8);
+  synopsis::UpdateBatch batch;
+  batch.added.push_back(gen.sample_doc(rng));
+  service_->update_component(0, batch);
+  EXPECT_EQ(service_->query_cache()->size(), 0u);
+  // The post-update answer is consistent with a cold computation.
+  const auto a = service_->exact_topk(queries_[0]);
+  const auto b = service_->exact_topk(queries_[0]);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].doc, b[i].doc);
+}
+
+TEST_F(SearchServiceTest, ComponentSaveLoadRoundTrip) {
+  const auto& comp = service_->component(1);
+  std::stringstream buf;
+  comp.save(buf);
+  SearchComponent loaded = SearchComponent::load(buf);
+  EXPECT_EQ(loaded.num_docs(), comp.num_docs());
+  EXPECT_EQ(loaded.num_groups(), comp.num_groups());
+  EXPECT_EQ(loaded.doc_id_base(), comp.doc_id_base());
+
+  // The loaded component uses its *local* idf until a service reinstalls
+  // the corpus-global table, so round-trip determinism is asserted on a
+  // second save/load rather than against the in-service component.
+  const auto terms = queries_[0].terms;
+  const auto a = loaded.exact_topk(SearchRequest{terms}, 5);
+  std::stringstream buf2;
+  loaded.save(buf2);
+  SearchComponent loaded2 = SearchComponent::load(buf2);
+  const auto b = loaded2.exact_topk(SearchRequest{terms}, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].doc, b[i].doc);
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+  }
+}
+
+TEST(SearchComponentBm25, EndToEndWithBm25Scorer) {
+  workload::CorpusConfig cfg;
+  cfg.num_components = 1;
+  cfg.docs_per_component = 100;
+  cfg.vocab_size = 400;
+  cfg.num_topics = 6;
+  workload::CorpusGen gen(cfg);
+  auto wl = gen.generate(10);
+  ScorerParams scorer;
+  scorer.scorer = Scorer::kBm25;
+  SearchComponent comp(std::move(wl.shards[0]), 0, test_build_config(),
+                       scorer);
+  for (const auto& q : wl.queries) {
+    const auto top = comp.exact_topk(q, 10);
+    for (std::size_t i = 1; i < top.size(); ++i) {
+      EXPECT_TRUE(better(top[i - 1], top[i]) ||
+                  top[i - 1].score == top[i].score);
+    }
+    // Group correlations must use the same scorer (positive where matches
+    // exist).
+    const auto work = comp.analyze(q);
+    double max_corr = 0.0;
+    for (double c : work.correlations) max_corr = std::max(max_corr, c);
+    if (!top.empty()) {
+      EXPECT_GT(max_corr, 0.0);
+    }
+  }
+}
+
+TEST_F(SearchServiceTest, ComponentUpdateKeepsSearchWorking) {
+  workload::CorpusConfig cfg;
+  cfg.vocab_size = 500;
+  cfg.num_topics = 8;
+  cfg.topic_vocab = 40;
+  workload::CorpusGen gen(cfg);
+  common::Rng rng(3);
+  synopsis::UpdateBatch batch;
+  for (int i = 0; i < 4; ++i) batch.added.push_back(gen.sample_doc(rng));
+  auto& comp = service_->component(0);
+  const auto before = comp.num_docs();
+  comp.update(batch);
+  EXPECT_EQ(comp.num_docs(), before + 4);
+  const auto r = comp.exact_topk(queries_[0], 10);
+  EXPECT_LE(r.size(), 10u);
+}
+
+}  // namespace
+}  // namespace at::search

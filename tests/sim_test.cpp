@@ -1,0 +1,477 @@
+// Cluster-simulator tests: event ordering, queueing sanity against M/M/1
+// and M/D/1 theory, technique semantics (reissue hedging, partial-execution
+// deadline, AccuracyTrader latency bound), interference model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "sim/arrivals.h"
+#include "sim/cluster.h"
+#include "sim/event_queue.h"
+#include "sim/interference.h"
+
+namespace at::sim {
+namespace {
+
+TEST(EventQueueTest, TimeOrdering) {
+  EventQueue q;
+  q.push(5.0, EventKind::kArrival, 1);
+  q.push(1.0, EventKind::kArrival, 2);
+  q.push(3.0, EventKind::kArrival, 3);
+  EXPECT_EQ(q.pop().a, 2u);
+  EXPECT_EQ(q.pop().a, 3u);
+  EXPECT_EQ(q.pop().a, 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, FifoTieBreak) {
+  EventQueue q;
+  q.push(1.0, EventKind::kArrival, 10);
+  q.push(1.0, EventKind::kServiceComplete, 20);
+  q.push(1.0, EventKind::kArrival, 30);
+  EXPECT_EQ(q.pop().a, 10u);
+  EXPECT_EQ(q.pop().a, 20u);
+  EXPECT_EQ(q.pop().a, 30u);
+}
+
+TEST(EventQueueTest, PopEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), std::logic_error);
+}
+
+TEST(Arrivals, PoissonRateMatches) {
+  common::Rng rng(3);
+  const auto t = poisson_arrivals(50.0, 200.0, rng);
+  EXPECT_NEAR(static_cast<double>(t.size()) / 200.0, 50.0, 2.5);
+  EXPECT_TRUE(std::is_sorted(t.begin(), t.end()));
+  for (double x : t) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 200.0);
+  }
+}
+
+TEST(Arrivals, NhppTracksRateFunction) {
+  common::Rng rng(5);
+  // Rate 10 in the first half, 40 in the second half.
+  const auto rate = [](double t) { return t < 100.0 ? 10.0 : 40.0; };
+  const auto t = nhpp_arrivals(rate, 40.0, 200.0, rng);
+  const auto half =
+      std::lower_bound(t.begin(), t.end(), 100.0) - t.begin();
+  EXPECT_NEAR(static_cast<double>(half) / 100.0, 10.0, 1.5);
+  EXPECT_NEAR(static_cast<double>(t.size() - half) / 100.0, 40.0, 3.0);
+}
+
+TEST(Arrivals, NhppRejectsRateAboveBound) {
+  common::Rng rng(7);
+  EXPECT_THROW(
+      nhpp_arrivals([](double) { return 100.0; }, 10.0, 10.0, rng),
+      std::invalid_argument);
+}
+
+TEST(Arrivals, UniformSpacing) {
+  const auto t = uniform_arrivals(10.0, 1.0);
+  ASSERT_EQ(t.size(), 10u);
+  for (std::size_t i = 1; i < t.size(); ++i)
+    EXPECT_NEAR(t[i] - t[i - 1], 0.1, 1e-12);
+}
+
+TEST(Interference, DisabledIsUnity) {
+  InterferenceConfig cfg;
+  cfg.enabled = false;
+  InterferenceTimeline tl(cfg, 4, 1);
+  EXPECT_DOUBLE_EQ(tl.slowdown(0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(tl.busy_fraction(0, 1000.0), 0.0);
+}
+
+TEST(Interference, SlowdownAlwaysAtLeastOne) {
+  InterferenceConfig cfg;
+  InterferenceTimeline tl(cfg, 2, 9);
+  for (double t = 0.0; t < 500.0; t += 3.7) {
+    EXPECT_GE(tl.slowdown(0, t), 1.0);
+    EXPECT_LE(tl.slowdown(0, t), cfg.cpu_slowdown_max);
+  }
+}
+
+TEST(Interference, DeterministicPerSeed) {
+  InterferenceConfig cfg;
+  InterferenceTimeline a(cfg, 2, 11), b(cfg, 2, 11);
+  for (double t = 0.0; t < 200.0; t += 1.3)
+    EXPECT_DOUBLE_EQ(a.slowdown(1, t), b.slowdown(1, t));
+}
+
+TEST(Interference, NodesAreIndependent) {
+  InterferenceConfig cfg;
+  InterferenceTimeline tl(cfg, 2, 13);
+  int differs = 0;
+  for (double t = 0.0; t < 400.0; t += 2.1)
+    differs += (tl.slowdown(0, t) != tl.slowdown(1, t));
+  EXPECT_GT(differs, 10);
+}
+
+TEST(Interference, BusyFractionReasonable) {
+  InterferenceConfig cfg;  // mean idle 12s, median job ~3.3s
+  InterferenceTimeline tl(cfg, 1, 15);
+  const double busy = tl.busy_fraction(0, 5000.0);
+  EXPECT_GT(busy, 0.05);
+  EXPECT_LT(busy, 0.8);
+}
+
+// --- ClusterSim ------------------------------------------------------------
+
+std::vector<ComponentProfile> flat_profiles(std::size_t n,
+                                            std::uint32_t points,
+                                            std::uint32_t groups) {
+  std::vector<ComponentProfile> out(n);
+  for (auto& p : out) {
+    p.num_points = points;
+    p.group_sizes.assign(groups, points / groups);
+  }
+  return out;
+}
+
+SimConfig quiet_config(std::size_t n_comp = 4) {
+  SimConfig cfg;
+  cfg.num_components = n_comp;
+  cfg.num_nodes = 2;
+  cfg.interference.enabled = false;
+  cfg.node_speed_min = 1.0;
+  cfg.node_speed_max = 1.0;
+  cfg.base_overhead_ms = 0.0;
+  cfg.us_per_point = 100.0;  // 10k points -> 1000ms; 1k -> 100ms
+  cfg.session_length_s = 1e9;
+  return cfg;
+}
+
+TEST(ClusterSim, RejectsBadSetup) {
+  SimConfig cfg = quiet_config(2);
+  EXPECT_THROW(ClusterSim(cfg, flat_profiles(3, 100, 4)),
+               std::invalid_argument);
+  EXPECT_THROW(ClusterSim(cfg, flat_profiles(2, 0, 4)),
+               std::invalid_argument);
+}
+
+TEST(ClusterSim, DeterministicServiceTimesAtZeroLoad) {
+  // One request, idle system: latency = work = points * us_per_point.
+  SimConfig cfg = quiet_config(4);
+  cfg.us_per_point = 10.0;  // 1000 pts -> 10 ms
+  ClusterSim sim(cfg, flat_profiles(4, 1000, 10));
+  const auto r = sim.run(core::Technique::kBasic, {0.0});
+  EXPECT_EQ(r.requests, 1u);
+  EXPECT_EQ(r.subops, 4u);
+  EXPECT_NEAR(r.subop_latency_ms.percentile(100), 10.0, 1e-9);
+  EXPECT_NEAR(r.request_latency_ms.percentile(100), 10.0, 1e-9);
+}
+
+TEST(ClusterSim, MeanServiceHelpers) {
+  SimConfig cfg = quiet_config(2);
+  cfg.us_per_point = 10.0;
+  cfg.synopsis_point_factor = 2.0;
+  ClusterSim sim(cfg, flat_profiles(2, 1000, 10));
+  EXPECT_NEAR(sim.mean_exact_service_ms(), 10.0, 1e-12);
+  EXPECT_NEAR(sim.mean_synopsis_service_ms(), 0.2, 1e-12);
+}
+
+TEST(ClusterSim, MM1WaitMatchesTheory) {
+  // Single component, Poisson arrivals, deterministic service (M/D/1):
+  // mean wait W = rho * s / (2 (1 - rho)); mean latency = W + s.
+  SimConfig cfg = quiet_config(1);
+  cfg.us_per_point = 10.0;  // service 10ms for 1000 points
+  ClusterSim sim(cfg, flat_profiles(1, 1000, 10));
+  common::Rng rng(21);
+  const double rate = 50.0;  // rho = 0.5
+  const auto arrivals = poisson_arrivals(rate, 400.0, rng);
+  const auto r = sim.run(core::Technique::kBasic, arrivals);
+  const double s = 0.010, rho = rate * s;
+  const double expect_ms = (s + rho * s / (2.0 * (1.0 - rho))) * 1e3;
+  EXPECT_NEAR(r.subop_latency_ms.mean(), expect_ms, expect_ms * 0.15);
+}
+
+TEST(ClusterSim, OverloadGrowsUnboundedQueues) {
+  // rho > 1: tail latency must vastly exceed the service time and grow
+  // with the horizon (the Table 1 "Basic" failure mode).
+  SimConfig cfg = quiet_config(1);
+  cfg.us_per_point = 100.0;  // 100ms service
+  ClusterSim sim(cfg, flat_profiles(1, 1000, 10));
+  common::Rng rng(22);
+  const auto short_run =
+      sim.run(core::Technique::kBasic, poisson_arrivals(20.0, 30.0, rng));
+  common::Rng rng2(22);
+  const auto long_run =
+      sim.run(core::Technique::kBasic, poisson_arrivals(20.0, 60.0, rng2));
+  EXPECT_GT(short_run.p999_component_ms(), 500.0);
+  EXPECT_GT(long_run.p999_component_ms(),
+            short_run.p999_component_ms() * 1.5);
+}
+
+TEST(ClusterSim, AccuracyTraderLatencyPinnedNearDeadline) {
+  // Even under heavy overload for exact processing, AT sub-op latency must
+  // stay near deadline + synopsis slack.
+  SimConfig cfg = quiet_config(4);
+  cfg.us_per_point = 100.0;   // exact = 200ms -> overload at 20 rps
+  cfg.deadline_ms = 100.0;
+  ClusterSim sim(cfg, flat_profiles(4, 2000, 20));
+  common::Rng rng(23);
+  const auto arrivals = poisson_arrivals(30.0, 60.0, rng);
+  const auto r = sim.run(core::Technique::kAccuracyTrader, arrivals);
+  // Synopsis cost: 20 groups * 100us * 2 = 4ms. Queue can only hold a few
+  // synopsis-sized services; p99.9 stays within a small multiple of the
+  // deadline rather than exploding to seconds.
+  EXPECT_LT(r.p999_component_ms(), 3.0 * cfg.deadline_ms);
+  const auto basic = sim.run(core::Technique::kBasic, arrivals);
+  EXPECT_GT(basic.p999_component_ms(), 10.0 * r.p999_component_ms());
+}
+
+TEST(ClusterSim, AccuracyTraderProcessesFewerSetsUnderLoad) {
+  SimConfig cfg = quiet_config(2);
+  cfg.us_per_point = 50.0;
+  cfg.deadline_ms = 100.0;
+  cfg.detail_every = 1;
+  ClusterSim sim(cfg, flat_profiles(2, 2000, 20));
+  common::Rng rng(25);
+  const auto light =
+      sim.run(core::Technique::kAccuracyTrader,
+              poisson_arrivals(2.0, 30.0, rng));
+  common::Rng rng2(25);
+  const auto heavy =
+      sim.run(core::Technique::kAccuracyTrader,
+              poisson_arrivals(40.0, 30.0, rng2));
+  auto mean_sets = [](const SimResult& r) {
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (const auto& d : r.details)
+      for (const auto& o : d.outcomes) {
+        acc += o.sets;
+        ++n;
+      }
+    return acc / static_cast<double>(n);
+  };
+  EXPECT_GT(mean_sets(light), mean_sets(heavy));
+}
+
+TEST(ClusterSim, ImaxCapsSets) {
+  SimConfig cfg = quiet_config(1);
+  cfg.us_per_point = 1.0;  // trivially fast: everything fits the deadline
+  cfg.imax = 3;
+  cfg.detail_every = 1;
+  ClusterSim sim(cfg, flat_profiles(1, 1000, 10));
+  const auto r = sim.run(core::Technique::kAccuracyTrader, {0.0, 0.1});
+  for (const auto& d : r.details)
+    for (const auto& o : d.outcomes) EXPECT_LE(o.sets, 3u);
+}
+
+TEST(ClusterSim, PartialExecutionLatencyIsDeadline) {
+  SimConfig cfg = quiet_config(3);
+  cfg.us_per_point = 100.0;
+  cfg.deadline_ms = 80.0;
+  ClusterSim sim(cfg, flat_profiles(3, 1500, 15));
+  common::Rng rng(26);
+  const auto r = sim.run(core::Technique::kPartialExecution,
+                         poisson_arrivals(20.0, 20.0, rng));
+  EXPECT_NEAR(r.request_latency_ms.percentile(100), 80.0, 1e-9);
+  EXPECT_NEAR(r.request_latency_ms.percentile(50), 80.0, 1e-9);
+}
+
+TEST(ClusterSim, PartialExecutionIncludedFlagsTrackLoad) {
+  SimConfig cfg = quiet_config(2);
+  cfg.us_per_point = 50.0;  // exact 100ms vs deadline 100ms
+  cfg.deadline_ms = 100.0;
+  cfg.detail_every = 1;
+  ClusterSim sim(cfg, flat_profiles(2, 2000, 10));
+  common::Rng rng(27);
+  auto included_fraction = [](const SimResult& r) {
+    std::size_t inc = 0, total = 0;
+    for (const auto& d : r.details)
+      for (const auto& o : d.outcomes) {
+        inc += o.included;
+        ++total;
+      }
+    return static_cast<double>(inc) / static_cast<double>(total);
+  };
+  const auto light = sim.run(core::Technique::kPartialExecution,
+                             poisson_arrivals(1.0, 30.0, rng));
+  common::Rng rng2(27);
+  const auto heavy = sim.run(core::Technique::kPartialExecution,
+                             poisson_arrivals(30.0, 30.0, rng2));
+  EXPECT_GT(included_fraction(light), 0.4);
+  EXPECT_LT(included_fraction(heavy), 0.2);
+  EXPECT_GT(included_fraction(light), included_fraction(heavy));
+}
+
+TEST(ClusterSim, ReissueDispatchesReplicasAndHelpsUnderVariance) {
+  SimConfig cfg = quiet_config(8);
+  cfg.us_per_point = 20.0;  // 40ms exact
+  cfg.interference.enabled = true;  // variance source
+  cfg.num_nodes = 4;
+  ClusterSim sim(cfg, flat_profiles(8, 2000, 20));
+  common::Rng rng(28);
+  const auto arrivals = poisson_arrivals(4.0, 120.0, rng);
+  const auto reissue = sim.run(core::Technique::kRequestReissue, arrivals);
+  const auto basic = sim.run(core::Technique::kBasic, arrivals);
+  EXPECT_GT(reissue.reissues, 0u);
+  // Hedging should not make the tail worse at light load.
+  EXPECT_LE(reissue.p999_component_ms(),
+            basic.p999_component_ms() * 1.05 + 1.0);
+}
+
+TEST(ClusterSim, ReissueAccountingConsistent) {
+  SimConfig cfg = quiet_config(4);
+  cfg.us_per_point = 50.0;
+  cfg.interference.enabled = true;
+  ClusterSim sim(cfg, flat_profiles(4, 1000, 10));
+  common::Rng rng(29);
+  const auto r = sim.run(core::Technique::kRequestReissue,
+                         poisson_arrivals(10.0, 60.0, rng));
+  EXPECT_LE(r.reissue_wins, r.reissues);
+  EXPECT_LE(r.replica_cancels, r.reissues);
+  // Every logical sub-op completes exactly once.
+  EXPECT_EQ(r.subops, r.requests * 4);
+}
+
+TEST(ClusterSim, SubopCountExact) {
+  SimConfig cfg = quiet_config(5);
+  ClusterSim sim(cfg, flat_profiles(5, 100, 5));
+  const auto r = sim.run(core::Technique::kBasic, {0.0, 0.5, 1.0});
+  EXPECT_EQ(r.requests, 3u);
+  EXPECT_EQ(r.subops, 15u);
+  EXPECT_EQ(r.subop_latency_ms.count(), 15u);
+  EXPECT_EQ(r.request_latency_ms.count(), 3u);
+}
+
+TEST(ClusterSim, SessionSlicing) {
+  SimConfig cfg = quiet_config(1);
+  cfg.session_length_s = 10.0;
+  cfg.us_per_point = 1.0;
+  ClusterSim sim(cfg, flat_profiles(1, 100, 5));
+  std::vector<double> arrivals;
+  for (double t = 0.5; t < 35.0; t += 1.0) arrivals.push_back(t);
+  const auto r = sim.run(core::Technique::kBasic, arrivals);
+  ASSERT_EQ(r.sessions.size(), 4u);
+  EXPECT_EQ(r.sessions[0].requests, 10u);
+  EXPECT_EQ(r.sessions[3].requests, 5u);
+  std::size_t total = 0;
+  for (const auto& s : r.sessions) total += s.requests;
+  EXPECT_EQ(total, r.requests);
+}
+
+TEST(ClusterSim, DetailSampling) {
+  SimConfig cfg = quiet_config(2);
+  cfg.detail_every = 3;
+  ClusterSim sim(cfg, flat_profiles(2, 100, 5));
+  std::vector<double> arrivals;
+  for (int i = 0; i < 9; ++i) arrivals.push_back(i * 0.1);
+  const auto r = sim.run(core::Technique::kBasic, arrivals);
+  EXPECT_EQ(r.details.size(), 3u);  // ids 0, 3, 6
+  for (const auto& d : r.details) {
+    EXPECT_EQ(d.outcomes.size(), 2u);
+    EXPECT_EQ(d.request_id % 3, 0u);
+  }
+}
+
+TEST(ClusterSim, IdenticalSeedsGiveIdenticalRuns) {
+  SimConfig cfg = quiet_config(3);
+  cfg.interference.enabled = true;
+  ClusterSim sim(cfg, flat_profiles(3, 500, 10));
+  common::Rng rng(31);
+  const auto arrivals = poisson_arrivals(5.0, 30.0, rng);
+  const auto a = sim.run(core::Technique::kBasic, arrivals);
+  const auto b = sim.run(core::Technique::kBasic, arrivals);
+  EXPECT_DOUBLE_EQ(a.p999_component_ms(), b.p999_component_ms());
+  EXPECT_DOUBLE_EQ(a.request_latency_ms.mean(), b.request_latency_ms.mean());
+}
+
+TEST(ClusterSim, AccuracyTraderAnalyticLatencyBound) {
+  // Deterministic setting (no interference, unit speeds): an AT sub-op's
+  // latency can never exceed
+  //   wait + overhead + synopsis + (deadline - elapsed@start) + one set
+  // and since stage 2 stops once elapsed >= deadline, the absolute bound is
+  //   deadline + overhead + synopsis + max_set_cost
+  // for any request whose wait was below the deadline — and
+  //   wait + overhead + synopsis for the rest. Check the global cap.
+  SimConfig cfg = quiet_config(2);
+  cfg.us_per_point = 80.0;  // exact 160ms >> deadline
+  cfg.deadline_ms = 100.0;
+  ClusterSim sim(cfg, flat_profiles(2, 2000, 20));
+  common::Rng rng(61);
+  const auto arrivals = poisson_arrivals(25.0, 30.0, rng);
+  const auto r = sim.run(core::Technique::kAccuracyTrader, arrivals);
+
+  const double syn_ms = 20.0 * 80.0 * cfg.synopsis_point_factor / 1e3;
+  const double set_ms = 100.0 * 80.0 / 1e3;  // 100 points per set
+  const double service_cap = cfg.deadline_ms + syn_ms + set_ms;
+  // Wait itself is bounded: a queued request's predecessors each take at
+  // most service_cap... use the recorded wait tracker directly.
+  const double wait_cap = r.subop_wait_ms.percentile(100);
+  EXPECT_LE(r.subop_latency_ms.percentile(100),
+            wait_cap + service_cap + cfg.base_overhead_ms + 1e-6);
+  // And the service share alone never exceeds the analytic cap.
+  EXPECT_LE(r.subop_latency_ms.percentile(100) - wait_cap,
+            service_cap + cfg.base_overhead_ms + 1e-6);
+}
+
+TEST(ClusterSim, TechniquesShareIdenticalRandomness) {
+  // The same seed must give every technique the same node speeds and
+  // interference, so Basic and Partial (identical work model) produce
+  // identical sub-op latency distributions.
+  SimConfig cfg = quiet_config(3);
+  cfg.interference.enabled = true;
+  ClusterSim sim(cfg, flat_profiles(3, 800, 8));
+  common::Rng rng(62);
+  const auto arrivals = poisson_arrivals(8.0, 20.0, rng);
+  const auto basic = sim.run(core::Technique::kBasic, arrivals);
+  const auto partial = sim.run(core::Technique::kPartialExecution, arrivals);
+  EXPECT_DOUBLE_EQ(basic.subop_latency_ms.percentile(50),
+                   partial.subop_latency_ms.percentile(50));
+  EXPECT_DOUBLE_EQ(basic.subop_latency_ms.percentile(99.9),
+                   partial.subop_latency_ms.percentile(99.9));
+}
+
+TEST(ClusterSim, ExplicitInterferenceTraceRespected) {
+  SimConfig cfg = quiet_config(1);
+  cfg.num_nodes = 1;
+  cfg.us_per_point = 10.0;  // 10ms service for 1000 points
+  cfg.interference_trace.push_back(InterferenceJob{0, 0.0, 1000.0, 3.0});
+  ClusterSim sim(cfg, flat_profiles(1, 1000, 10));
+  const auto r = sim.run(core::Technique::kBasic, {0.5});
+  // Every service runs 3x slower under the trace.
+  EXPECT_NEAR(r.subop_latency_ms.percentile(100), 30.0, 1e-9);
+}
+
+TEST(ClusterSim, WaitTrackerDecomposesLatency) {
+  SimConfig cfg = quiet_config(1);
+  cfg.us_per_point = 10.0;  // 10ms deterministic service
+  ClusterSim sim(cfg, flat_profiles(1, 1000, 10));
+  // Two back-to-back arrivals: second waits exactly one service time.
+  const auto r = sim.run(core::Technique::kBasic, {0.0, 0.001});
+  EXPECT_NEAR(r.subop_wait_ms.percentile(100), 10.0 - 1.0, 1e-6);
+  EXPECT_NEAR(r.subop_wait_ms.percentile(1), 0.0, 1e-9);
+}
+
+// Load sweep: AT's p99.9 stays bounded while Basic's explodes — the
+// qualitative content of Table 1, asserted as a property.
+class LoadSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LoadSweep, AccuracyTraderBoundedBasicNot) {
+  const double rate = GetParam();
+  SimConfig cfg = quiet_config(4);
+  cfg.us_per_point = 100.0;  // exact 150ms -> capacity ~6.7 rps
+  cfg.deadline_ms = 100.0;
+  ClusterSim sim(cfg, flat_profiles(4, 1500, 15));
+  common::Rng rng(static_cast<std::uint64_t>(rate * 100));
+  const auto arrivals = poisson_arrivals(rate, 40.0, rng);
+  const auto at = sim.run(core::Technique::kAccuracyTrader, arrivals);
+  EXPECT_LT(at.p999_component_ms(), 4.0 * cfg.deadline_ms)
+      << "rate " << rate;
+  if (rate >= 20.0) {
+    const auto basic = sim.run(core::Technique::kBasic, arrivals);
+    EXPECT_GT(basic.p999_component_ms(), at.p999_component_ms() * 5.0)
+        << "rate " << rate;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, LoadSweep,
+                         ::testing::Values(2.0, 20.0, 40.0, 80.0));
+
+}  // namespace
+}  // namespace at::sim

@@ -1,0 +1,340 @@
+// Workload generator tests: rating cluster structure, corpus topicality,
+// diurnal profile shape.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "services/recommender/cf.h"
+#include "sim/arrivals.h"
+#include "sim/interference.h"
+#include "workload/corpus.h"
+#include "workload/diurnal.h"
+#include "workload/ratings.h"
+#include "workload/swim.h"
+
+namespace at::workload {
+namespace {
+
+TEST(Ratings, ShapesMatchConfig) {
+  RatingConfig cfg;
+  cfg.num_components = 3;
+  cfg.users_per_component = 50;
+  cfg.num_items = 40;
+  RatingWorkloadGen gen(cfg);
+  const auto wl = gen.generate(10, 2);
+  ASSERT_EQ(wl.subsets.size(), 3u);
+  for (const auto& s : wl.subsets) {
+    EXPECT_EQ(s.rows(), 50u);
+    EXPECT_EQ(s.cols(), 40u);
+  }
+  EXPECT_EQ(wl.requests.size(), wl.actuals.size());
+  EXPECT_GT(wl.requests.size(), 0u);
+  EXPECT_LE(wl.requests.size(), 20u);
+}
+
+TEST(Ratings, ValuesWithinRange) {
+  RatingConfig cfg;
+  cfg.users_per_component = 30;
+  cfg.num_components = 1;
+  RatingWorkloadGen gen(cfg);
+  const auto wl = gen.generate(5, 1);
+  for (std::uint32_t u = 0; u < wl.subsets[0].rows(); ++u) {
+    for (const auto& [item, r] : wl.subsets[0].row(u)) {
+      EXPECT_GE(r, cfg.min_rating);
+      EXPECT_LE(r, cfg.max_rating);
+      if (cfg.integer_ratings) {
+        EXPECT_DOUBLE_EQ(r, std::round(r));
+      }
+    }
+  }
+}
+
+TEST(Ratings, RatingsPerUserWithinBounds) {
+  RatingConfig cfg;
+  cfg.num_components = 1;
+  cfg.users_per_component = 40;
+  cfg.ratings_per_user_min = 20;
+  cfg.ratings_per_user_max = 30;
+  cfg.num_items = 200;
+  RatingWorkloadGen gen(cfg);
+  const auto wl = gen.generate(0, 0);
+  for (std::uint32_t u = 0; u < wl.subsets[0].rows(); ++u) {
+    const auto n = wl.subsets[0].row(u).size();
+    EXPECT_GE(n, 20u);
+    EXPECT_LE(n, 30u);
+  }
+}
+
+TEST(Ratings, DeterministicForSeed) {
+  RatingConfig cfg;
+  cfg.num_components = 1;
+  cfg.users_per_component = 20;
+  RatingWorkloadGen a(cfg), b(cfg);
+  const auto wa = a.generate(3, 1);
+  const auto wb = b.generate(3, 1);
+  ASSERT_EQ(wa.subsets[0].rows(), wb.subsets[0].rows());
+  for (std::uint32_t u = 0; u < wa.subsets[0].rows(); ++u)
+    EXPECT_EQ(wa.subsets[0].row(u), wb.subsets[0].row(u));
+}
+
+TEST(Ratings, ClusterStructureIsDetectable) {
+  // Same-cluster users must correlate far more than random pairs — the
+  // property the whole synopsis approach rests on. We detect clusters via
+  // the generator's determinism: users are assigned clusters uniformly, so
+  // instead we verify the *distribution* of pairwise Pearson weights is
+  // bimodal-ish: the top decile of |w| should be much larger than median.
+  RatingConfig cfg;
+  cfg.num_components = 1;
+  cfg.users_per_component = 80;
+  cfg.num_clusters = 4;
+  cfg.num_items = 60;
+  cfg.ratings_per_user_min = 40;
+  cfg.ratings_per_user_max = 50;
+  RatingWorkloadGen gen(cfg);
+  const auto wl = gen.generate(0, 0);
+  const auto& rows = wl.subsets[0];
+  std::vector<double> weights;
+  for (std::uint32_t a = 0; a < 40; ++a) {
+    for (std::uint32_t b = a + 1; b < 40; ++b) {
+      const double ma = reco::vector_mean(rows.row(a));
+      const double mb = reco::vector_mean(rows.row(b));
+      weights.push_back(
+          std::abs(reco::pearson_weight(rows.row(a), ma, rows.row(b), mb)));
+    }
+  }
+  std::sort(weights.begin(), weights.end());
+  const double median = weights[weights.size() / 2];
+  const double p90 = weights[weights.size() * 9 / 10];
+  EXPECT_GT(p90, 0.5);
+  EXPECT_GT(p90, median * 1.5);
+}
+
+TEST(Ratings, RequestsHoldOutTargets) {
+  RatingConfig cfg;
+  cfg.num_components = 1;
+  RatingWorkloadGen gen(cfg);
+  const auto wl = gen.generate(20, 3);
+  for (std::size_t r = 0; r < wl.requests.size(); ++r) {
+    const auto& req = wl.requests[r];
+    // The target item must not be present in the request context.
+    EXPECT_DOUBLE_EQ(synopsis::value_at(req.ratings, req.target_item), 0.0);
+    EXPECT_GE(wl.actuals[r], cfg.min_rating);
+    EXPECT_LE(wl.actuals[r], cfg.max_rating);
+  }
+}
+
+TEST(Corpus, ShapesMatchConfig) {
+  CorpusConfig cfg;
+  cfg.num_components = 2;
+  cfg.docs_per_component = 30;
+  cfg.vocab_size = 300;
+  CorpusGen gen(cfg);
+  const auto wl = gen.generate(15);
+  ASSERT_EQ(wl.shards.size(), 2u);
+  EXPECT_EQ(wl.shards[0].rows(), 30u);
+  EXPECT_EQ(wl.queries.size(), 15u);
+  for (const auto& q : wl.queries) {
+    EXPECT_GE(q.terms.size(), cfg.query_terms_min);
+    EXPECT_LE(q.terms.size(), cfg.query_terms_max);
+    std::set<std::uint32_t> uniq(q.terms.begin(), q.terms.end());
+    EXPECT_EQ(uniq.size(), q.terms.size());  // no duplicate terms
+  }
+}
+
+TEST(Corpus, DocLengthBounds) {
+  CorpusConfig cfg;
+  cfg.num_components = 1;
+  cfg.docs_per_component = 40;
+  cfg.doc_len_min = 30;
+  cfg.doc_len_max = 60;
+  CorpusGen gen(cfg);
+  const auto wl = gen.generate(0);
+  for (std::uint32_t d = 0; d < wl.shards[0].rows(); ++d) {
+    double len = 0.0;
+    for (const auto& [t, c] : wl.shards[0].row(d)) len += c;
+    EXPECT_GE(len, 30.0);
+    EXPECT_LE(len, 60.0);
+  }
+}
+
+TEST(Corpus, QueriesFavorTopicalDocs) {
+  // A topic-focused query must score same-topic docs higher than random
+  // docs on average — checked indirectly: at least one doc contains every
+  // query term for most queries.
+  CorpusConfig cfg;
+  cfg.num_components = 1;
+  cfg.docs_per_component = 200;
+  cfg.num_topics = 6;
+  cfg.topic_mix = 0.8;
+  CorpusGen gen(cfg);
+  const auto wl = gen.generate(30);
+  std::size_t matched = 0;
+  for (const auto& q : wl.queries) {
+    bool any = false;
+    for (std::uint32_t d = 0; d < wl.shards[0].rows() && !any; ++d) {
+      bool all = true;
+      for (auto t : q.terms)
+        all = all && synopsis::value_at(wl.shards[0].row(d), t) > 0.0;
+      any = all;
+    }
+    matched += any;
+  }
+  EXPECT_GT(matched, wl.queries.size() / 2);
+}
+
+TEST(Corpus, DeterministicForSeed) {
+  CorpusConfig cfg;
+  cfg.num_components = 1;
+  cfg.docs_per_component = 10;
+  CorpusGen a(cfg), b(cfg);
+  const auto wa = a.generate(5);
+  const auto wb = b.generate(5);
+  for (std::uint32_t d = 0; d < 10; ++d)
+    EXPECT_EQ(wa.shards[0].row(d), wb.shards[0].row(d));
+  for (std::size_t q = 0; q < 5; ++q)
+    EXPECT_EQ(wa.queries[q].terms, wb.queries[q].terms);
+}
+
+TEST(Diurnal, AnchorsAndScaling) {
+  DiurnalProfile p(100.0);
+  EXPECT_DOUBLE_EQ(p.peak_rate(), 100.0);
+  // Peak hour anchor is 1.0 -> instantaneous rate hits 100 at hour 21.
+  EXPECT_NEAR(p.rate_at(21.0 * 3600.0), 100.0, 1e-9);
+  EXPECT_THROW(DiurnalProfile(0.0), std::invalid_argument);
+}
+
+TEST(Diurnal, Hour9RampsUp) {
+  DiurnalProfile p(50.0);
+  const double start = p.rate_in_hour(9, 0.0);
+  const double mid = p.rate_in_hour(9, 1800.0);
+  const double end = p.rate_in_hour(9, 3599.0);
+  EXPECT_LT(start, mid);
+  EXPECT_LT(mid, end);
+}
+
+TEST(Diurnal, Hour10Steady) {
+  DiurnalProfile p(50.0);
+  const double start = p.rate_in_hour(10, 0.0);
+  const double end = p.rate_in_hour(10, 3599.0);
+  EXPECT_NEAR(end / start, 1.0, 0.1);  // within 10%
+}
+
+TEST(Diurnal, Hour24Decays) {
+  DiurnalProfile p(50.0);
+  EXPECT_GT(p.rate_in_hour(24, 0.0), p.rate_in_hour(24, 3599.0) * 1.3);
+}
+
+TEST(Diurnal, NightTroughBelowDayPlateau) {
+  DiurnalProfile p(50.0);
+  EXPECT_LT(p.hourly_mean(4), p.hourly_mean(15) * 0.3);
+}
+
+TEST(Diurnal, HourlyMeansMatchRateIntegral) {
+  DiurnalProfile p(80.0);
+  for (std::size_t h : {3u, 9u, 12u, 21u, 24u}) {
+    // Trapezoid of a linear segment = average of endpoints.
+    const double expect =
+        0.5 * (p.rate_in_hour(h, 0.0) + p.rate_in_hour(h, 3600.0 - 1e-9));
+    EXPECT_NEAR(p.hourly_mean(h), expect, 0.05 * expect + 1e-9);
+  }
+  EXPECT_EQ(p.hourly_means().size(), 24u);
+}
+
+TEST(Diurnal, WrapsAroundMidnight) {
+  DiurnalProfile p(10.0);
+  EXPECT_NEAR(p.rate_at(86400.0 + 100.0), p.rate_at(100.0), 1e-9);
+  EXPECT_NEAR(p.rate_at(-3600.0), p.rate_at(82800.0), 1e-9);
+}
+
+TEST(Swim, JobsWithinConfiguredBounds) {
+  SwimConfig cfg;
+  const auto jobs = generate_swim_trace(cfg, 4, 600.0, 9);
+  ASSERT_FALSE(jobs.empty());
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.input_mb, cfg.min_size_mb);
+    EXPECT_LE(j.input_mb, cfg.max_size_mb);
+    EXPECT_LT(j.interval.node, 4u);
+    EXPECT_LT(j.interval.start_s, 600.0);
+    EXPECT_GT(j.interval.end_s, j.interval.start_s);
+    EXPECT_GE(j.interval.end_s - j.interval.start_s, cfg.min_duration_s);
+    if (j.cpu_bound) {
+      EXPECT_GE(j.interval.factor, cfg.cpu_slowdown_min);
+      EXPECT_LE(j.interval.factor, cfg.cpu_slowdown_max);
+    } else {
+      EXPECT_GE(j.interval.factor, cfg.io_slowdown_min);
+      EXPECT_LE(j.interval.factor, cfg.io_slowdown_max);
+    }
+  }
+}
+
+TEST(Swim, RateApproximatelyConfigured) {
+  SwimConfig cfg;
+  cfg.jobs_per_node_per_min = 6.0;
+  // Long horizon so the mean converges despite job-duration gaps.
+  const auto jobs = generate_swim_trace(cfg, 2, 7200.0, 11);
+  const double per_node_per_min =
+      static_cast<double>(jobs.size()) / 2.0 / 120.0;
+  // Jobs cannot overlap on a node, so the observed rate is slightly below
+  // the nominal arrival rate.
+  EXPECT_GT(per_node_per_min, 2.0);
+  EXPECT_LE(per_node_per_min, 6.5);
+}
+
+TEST(Swim, HeavyTailPresent) {
+  SwimConfig cfg;
+  const auto jobs = generate_swim_trace(cfg, 8, 3600.0, 13);
+  double max_mb = 0.0, median_count = 0.0;
+  for (const auto& j : jobs) {
+    max_mb = std::max(max_mb, j.input_mb);
+    median_count += (j.input_mb < 128.0);
+  }
+  EXPECT_GT(max_mb, 1024.0);  // multi-GB stragglers exist
+  EXPECT_GT(median_count / static_cast<double>(jobs.size()), 0.5);
+}
+
+TEST(Swim, NoOverlapPerNodeAndDeterministic) {
+  SwimConfig cfg;
+  const auto a = generate_swim_trace(cfg, 3, 900.0, 17);
+  const auto b = generate_swim_trace(cfg, 3, 900.0, 17);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].interval.start_s, b[i].interval.start_s);
+  }
+  std::array<double, 3> last_end{0.0, 0.0, 0.0};
+  for (const auto& j : a) {
+    EXPECT_GE(j.interval.start_s, last_end[j.interval.node]);
+    last_end[j.interval.node] = j.interval.end_s;
+  }
+}
+
+TEST(Swim, DrivesInterferenceTimeline) {
+  SwimConfig cfg;
+  const auto jobs = generate_swim_trace(cfg, 2, 300.0, 19);
+  sim::InterferenceTimeline timeline(to_interference(jobs), 2);
+  // Inside any job interval the slowdown equals the job's factor.
+  for (const auto& j : jobs) {
+    const double mid = 0.5 * (j.interval.start_s + j.interval.end_s);
+    EXPECT_DOUBLE_EQ(timeline.slowdown(j.interval.node, mid),
+                     j.interval.factor)
+        << "node " << j.interval.node << " t " << mid;
+  }
+  // Far beyond the trace horizon there is no interference.
+  EXPECT_DOUBLE_EQ(timeline.slowdown(0, 1e7), 1.0);
+}
+
+TEST(Diurnal, DrivesNhppWithinBounds) {
+  DiurnalProfile p(30.0);
+  common::Rng rng(5);
+  const auto arrivals = sim::nhpp_arrivals(
+      [&p](double t) { return p.rate_in_hour(9, t); }, p.peak_rate(),
+      3600.0, rng);
+  // Hour 9 averages ~0.5 * peak -> ~54k/3600... just sanity-check density.
+  const double empirical = static_cast<double>(arrivals.size()) / 3600.0;
+  EXPECT_NEAR(empirical, p.hourly_mean(9), p.hourly_mean(9) * 0.15);
+}
+
+}  // namespace
+}  // namespace at::workload
