@@ -7,7 +7,9 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
+#include "bench/seed_reference.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "synopsis/updater.h"
 
 namespace at::bench {
@@ -23,7 +25,8 @@ struct Scenario {
 };
 
 double time_update(const Scenario& base, double add_frac, double change_frac,
-                   std::uint64_t seed, double* dirty_fraction) {
+                   std::uint64_t seed, double* dirty_fraction,
+                   common::ThreadPool* pool) {
   // Fresh build per measurement so updates do not compound.
   synopsis::SparseRows rows = base.rows;
   auto structure = synopsis::SynopsisBuilder(base.cfg).build(rows);
@@ -43,7 +46,8 @@ double time_update(const Scenario& base, double add_frac, double change_frac,
   }
 
   synopsis::SynopsisUpdater updater(base.cfg);
-  const auto report = updater.apply(structure, rows, syn, batch, base.kind);
+  const auto report =
+      updater.apply(structure, rows, syn, batch, base.kind, pool);
   if (dirty_fraction != nullptr) {
     *dirty_fraction = report.groups_after
                           ? static_cast<double>(report.dirty_groups) /
@@ -53,7 +57,49 @@ double time_update(const Scenario& base, double add_frac, double change_frac,
   return report.seconds;
 }
 
+/// Before/after comparison of the SVD fold-in kernel itself on a 10% add
+/// batch: the seed's scalar interleaved loop vs the cached-residual
+/// row-kernel, sequential and on a 4-thread pool (both new variants are
+/// bit-identical; see ParallelSvd.FoldInParallelBitIdenticalToSequential).
+void report_foldin_kernel(const char* name, const Scenario& scenario) {
+  synopsis::SparseRows rows = scenario.rows;
+  auto structure = synopsis::SynopsisBuilder(scenario.cfg).build(rows);
+  common::Rng rng(4242);
+  const auto first_new = static_cast<std::uint32_t>(rows.rows());
+  const auto n_add = std::max<std::size_t>(1, rows.rows() / 10);
+  for (std::size_t i = 0; i < n_add; ++i)
+    rows.add_row(scenario.sample_point(rng));
+  const auto tail = rows.tail_dataset(first_new);
+
+  common::Stopwatch w;
+  auto seed_model = structure.svd;
+  seed_fold_in_rows(seed_model, tail, scenario.cfg.svd);
+  const double seed_s = w.elapsed_seconds();
+
+  w.reset();
+  auto seq_model = structure.svd;
+  linalg::fold_in_rows(seq_model, tail, scenario.cfg.svd);
+  const double seq_s = w.elapsed_seconds();
+
+  common::ThreadPool pool(4);
+  w.reset();
+  auto par_model = structure.svd;
+  linalg::fold_in_rows(par_model, tail, scenario.cfg.svd, &pool);
+  const double par_s = w.elapsed_seconds();
+
+  common::TableWriter table(std::string("SVD fold-in kernel (10% adds), ") +
+                            name);
+  table.set_columns({"kernel", "seconds", "speedup vs seed"});
+  table.add_row({"seed scalar", common::TableWriter::fmt(seed_s, 4), "1.00x"});
+  table.add_row({"cached residual (1 thr)", common::TableWriter::fmt(seq_s, 4),
+                 common::TableWriter::fmt(seed_s / seq_s, 2) + "x"});
+  table.add_row({"cached residual (4 thr)", common::TableWriter::fmt(par_s, 4),
+                 common::TableWriter::fmt(seed_s / par_s, 2) + "x"});
+  table.print(std::cout);
+}
+
 void run_service(const char* name, const Scenario& scenario) {
+  common::ThreadPool pool;
   common::Stopwatch w;
   auto structure = synopsis::SynopsisBuilder(scenario.cfg).build(scenario.rows);
   auto syn =
@@ -69,10 +115,10 @@ void run_service(const char* name, const Scenario& scenario) {
     for (int rep = 0; rep < kRepeats; ++rep) {
       double d = 0.0;
       add_s += time_update(scenario, i / 100.0, 0.0,
-                           1000 * i + rep, &d);
+                           1000 * i + rep, &d, &pool);
       add_dirty += d;
       change_s += time_update(scenario, 0.0, i / 100.0,
-                              2000 * i + rep, &d);
+                              2000 * i + rep, &d, &pool);
       change_dirty += d;
     }
     add_s /= kRepeats;
@@ -85,6 +131,7 @@ void run_service(const char* name, const Scenario& scenario) {
   table.print(std::cout);
   std::cout << "  full creation: " << common::TableWriter::fmt(creation_s, 3)
             << " s (updates above should be well below this)\n";
+  report_foldin_kernel(name, scenario);
 }
 
 }  // namespace

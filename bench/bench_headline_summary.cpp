@@ -9,6 +9,7 @@
 // Methodology mirrors the paper: CF uses the five synthetic rates of
 // Tables 1-2; search uses the 24-hour diurnal workload; ratios are averaged
 // across rates/hours.
+#include <fstream>
 #include <iostream>
 
 #include "bench/bench_common.h"
@@ -98,6 +99,34 @@ ServiceSummary run_search() {
   return s;
 }
 
+/// Machine-readable record of the headline numbers so later PRs can diff
+/// the perf/accuracy trajectory. Path override: AT_BENCH_JSON.
+void write_json(const ServiceSummary& cf, const ServiceSummary& se) {
+  const char* path_env = std::getenv("AT_BENCH_JSON");
+  const std::string path =
+      path_env != nullptr ? path_env : "BENCH_headline.json";
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "warning: could not write " << path << "\n";
+    return;
+  }
+  auto service = [&](const char* name, const ServiceSummary& s,
+                     bool last) {
+    os << "  \"" << name << "\": {\n"
+       << "    \"p999_latency_reduction_vs_reissue\": "
+       << s.latency_reduction_vs_reissue << ",\n"
+       << "    \"accuracy_trader_loss_pct\": " << s.at_loss_pct << ",\n"
+       << "    \"loss_reduction_vs_partial\": " << s.loss_reduction_vs_partial
+       << "\n  }" << (last ? "\n" : ",\n");
+  };
+  os << "{\n  \"bench\": \"bench_headline_summary\",\n"
+     << "  \"scale\": \"" << (large_scale() ? "large" : "small") << "\",\n";
+  service("cf_recommender", cf, false);
+  service("web_search", se, true);
+  os << "}\n";
+  std::cout << "  wrote " << path << "\n";
+}
+
 }  // namespace
 }  // namespace at::bench
 
@@ -131,5 +160,6 @@ int main() {
   table.print(std::cout);
   std::cout << "  paper claims: >40x latency reduction at <7% loss; >13x "
                "loss reduction at equal latency.\n";
+  write_json(cf, se);
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
+#include "bench/seed_reference.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "linalg/svd.h"
@@ -15,7 +16,9 @@ namespace at::bench {
 namespace {
 
 struct StepTimes {
-  double svd_s = 0.0;
+  double svd_seed_s = 0.0;     // seed scalar kernel (pre-optimization)
+  double svd_s = 0.0;          // CSR + cached-residual, sequential
+  double svd_hogwild_s = 0.0;  // CSR + cached-residual, hogwild on 4 threads
   double rtree_s = 0.0;
   double aggregate_s = 0.0;
   std::size_t points = 0;
@@ -31,8 +34,24 @@ StepTimes time_creation(const synopsis::SparseRows& rows,
   t.points = rows.rows();
   t.input_entries = rows.total_entries();
 
+  const auto dataset = rows.to_dataset();
   common::Stopwatch w;
-  auto svd = linalg::incremental_svd(rows.to_dataset(), cfg.svd);
+  {
+    auto seed_svd = seed_incremental_svd(dataset, cfg.svd);
+    t.svd_seed_s = w.elapsed_seconds();
+    (void)seed_svd;
+  }
+  {
+    auto hw_cfg = cfg.svd;
+    hw_cfg.deterministic = false;
+    common::ThreadPool hw_pool(4);
+    w.reset();
+    auto hw_svd = linalg::incremental_svd(dataset, hw_cfg, &hw_pool);
+    t.svd_hogwild_s = w.elapsed_seconds();
+    (void)hw_svd;
+  }
+  w.reset();
+  auto svd = linalg::incremental_svd(dataset, cfg.svd);
   t.svd_s = w.elapsed_seconds();
 
   w.reset();
@@ -62,8 +81,17 @@ StepTimes time_creation(const synopsis::SparseRows& rows,
 void report(const char* service, const StepTimes& t) {
   common::TableWriter table(std::string("Synopsis creation — ") + service);
   table.set_columns({"step", "seconds", "notes"});
+  table.add_row({"1. SVD reduction (seed scalar)",
+                 common::TableWriter::fmt(t.svd_seed_s, 3),
+                 "pre-optimization reference"});
   table.add_row({"1. SVD reduction", common::TableWriter::fmt(t.svd_s, 3),
-                 "to 3 dims"});
+                 "CSR + cached residual, " +
+                     common::TableWriter::fmt(t.svd_seed_s / t.svd_s, 2) +
+                     "x vs seed"});
+  table.add_row({"1. SVD reduction (hogwild, 4 thr)",
+                 common::TableWriter::fmt(t.svd_hogwild_s, 3),
+                 common::TableWriter::fmt(t.svd_seed_s / t.svd_hogwild_s, 2) +
+                     "x vs seed"});
   table.add_row({"2. R-tree + index file",
                  common::TableWriter::fmt(t.rtree_s, 3),
                  "bulk load + level select"});

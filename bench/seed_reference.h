@@ -1,0 +1,133 @@
+// Reference implementations of the pre-optimization (seed) SVD kernels:
+// per-entry residual recomputation over the AoS entry list, single thread.
+// The creation/update benchmarks time these against the CSR-backed,
+// cached-residual kernels in linalg/ to report the before/after speedup.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/rng.h"
+#include "linalg/svd.h"
+
+namespace at::bench {
+
+/// Residual of entry e under the biases plus first `dims` dimensions,
+/// recomputed from scratch (the seed's per-step cost).
+inline double seed_residual(const linalg::SvdModel& model,
+                            const linalg::SparseEntry& e, std::size_t dims) {
+  double pred = 0.0;
+  if (model.has_biases()) {
+    pred = model.global_mean + model.row_bias[e.row] + model.col_bias[e.col];
+  }
+  const double* p = model.row_factors.row(e.row);
+  const double* q = model.col_factors.row(e.col);
+  for (std::size_t d = 0; d < dims; ++d) pred += p[d] * q[d];
+  return e.value - pred;
+}
+
+/// The seed's incremental_svd: scalar SGD over `entries`, O(d) residual
+/// recomputation per step.
+inline linalg::SvdModel seed_incremental_svd(const linalg::SparseDataset& data,
+                                             const linalg::SvdConfig& config) {
+  common::Rng rng(config.seed);
+  linalg::SvdModel model;
+  model.row_factors = linalg::Matrix(data.rows, config.rank);
+  model.col_factors = linalg::Matrix(data.cols, config.rank);
+  for (std::size_t r = 0; r < data.rows; ++r)
+    for (std::size_t d = 0; d < config.rank; ++d)
+      model.row_factors(r, d) = config.init_scale * (rng.uniform() - 0.5);
+  for (std::size_t c = 0; c < data.cols; ++c)
+    for (std::size_t d = 0; d < config.rank; ++d)
+      model.col_factors(c, d) = config.init_scale * (rng.uniform() - 0.5);
+
+  if (data.entries.empty()) return model;
+
+  if (config.use_biases) {
+    double sum = 0.0;
+    for (const auto& e : data.entries) sum += e.value;
+    model.global_mean = sum / static_cast<double>(data.entries.size());
+    model.row_bias.assign(data.rows, 0.0);
+    model.col_bias.assign(data.cols, 0.0);
+  }
+
+  for (std::size_t d = 0; d < config.rank; ++d) {
+    double prev_rmse = -1.0;
+    for (std::size_t epoch = 0; epoch < config.epochs_per_dim; ++epoch) {
+      double sq_err = 0.0;
+      for (const auto& e : data.entries) {
+        const double err = seed_residual(model, e, d + 1);
+        sq_err += err * err;
+        if (config.use_biases) {
+          double& br = model.row_bias[e.row];
+          double& bc = model.col_bias[e.col];
+          br += config.learning_rate * (err - config.regularization * br);
+          bc += config.learning_rate * (err - config.regularization * bc);
+        }
+        double& p = model.row_factors(e.row, d);
+        double& q = model.col_factors(e.col, d);
+        const double p_old = p;
+        p += config.learning_rate * (err * q - config.regularization * p);
+        q += config.learning_rate * (err * p_old - config.regularization * q);
+      }
+      const double rmse =
+          std::sqrt(sq_err / static_cast<double>(data.entries.size()));
+      if (config.min_improvement > 0.0 && prev_rmse >= 0.0 &&
+          prev_rmse - rmse < config.min_improvement) {
+        break;
+      }
+      prev_rmse = rmse;
+    }
+  }
+  model.train_rmse = linalg::reconstruction_rmse(model, data);
+  return model;
+}
+
+/// The seed's fold_in_rows: interleaved scalar SGD over the new rows'
+/// entries with O(d) prediction recomputation per step.
+inline void seed_fold_in_rows(linalg::SvdModel& model,
+                              const linalg::SparseDataset& new_rows,
+                              const linalg::SvdConfig& config) {
+  const std::size_t rank = model.row_factors.cols();
+  const std::size_t old_rows = model.row_factors.rows();
+  common::Rng rng(config.seed ^ 0xf01dULL);
+
+  if (model.has_biases()) {
+    model.row_bias.resize(old_rows + new_rows.rows, 0.0);
+  }
+
+  linalg::Matrix grown(old_rows + new_rows.rows, rank);
+  for (std::size_t r = 0; r < old_rows; ++r)
+    for (std::size_t d = 0; d < rank; ++d)
+      grown(r, d) = model.row_factors(r, d);
+  for (std::size_t r = old_rows; r < grown.rows(); ++r)
+    for (std::size_t d = 0; d < rank; ++d)
+      grown(r, d) = config.init_scale * (rng.uniform() - 0.5);
+  model.row_factors = std::move(grown);
+
+  for (std::size_t d = 0; d < rank; ++d) {
+    for (std::size_t epoch = 0; epoch < config.epochs_per_dim; ++epoch) {
+      for (const auto& e : new_rows.entries) {
+        const std::size_t global_row = old_rows + e.row;
+        double pred = 0.0;
+        if (model.has_biases()) {
+          pred = model.global_mean + model.row_bias[global_row] +
+                 model.col_bias[e.col];
+        }
+        const double* p = model.row_factors.row(global_row);
+        const double* q = model.col_factors.row(e.col);
+        for (std::size_t k = 0; k <= d; ++k) pred += p[k] * q[k];
+        const double err = e.value - pred;
+        if (model.has_biases()) {
+          double& br = model.row_bias[global_row];
+          br += config.learning_rate * (err - config.regularization * br);
+        }
+        double& pd = model.row_factors(global_row, d);
+        pd += config.learning_rate *
+              (err * q[d] - config.regularization * pd);
+      }
+    }
+  }
+}
+
+}  // namespace at::bench

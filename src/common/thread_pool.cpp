@@ -55,7 +55,18 @@ void ThreadPool::parallel_for(std::size_t n,
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
-  for (auto& f : futs) f.get();  // propagates the first exception, if any
+  // Wait for every task before returning (or rethrowing): tasks capture
+  // references to fn and this frame, so unwinding on the first exception
+  // while siblings still run would leave them with dangling references.
+  std::exception_ptr first;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (first == nullptr) first = std::current_exception();
+    }
+  }
+  if (first != nullptr) std::rethrow_exception(first);
 }
 
 }  // namespace at::common

@@ -14,6 +14,25 @@ void Matrix::append_row(const std::vector<double>& values) {
   ++rows_;
 }
 
+void SparseDataset::build_csr() {
+  for (const auto& e : entries) {
+    if (e.row >= rows || e.col >= cols)
+      throw std::out_of_range(
+          "SparseDataset::build_csr: entry outside dataset dims");
+  }
+  row_ptr.assign(rows + 1, 0);
+  for (const auto& e : entries) ++row_ptr[e.row + 1];
+  for (std::size_t r = 0; r < rows; ++r) row_ptr[r + 1] += row_ptr[r];
+  col_idx.resize(entries.size());
+  values.resize(entries.size());
+  std::vector<std::size_t> fill(row_ptr.begin(), row_ptr.end() - 1);
+  for (const auto& e : entries) {
+    const std::size_t slot = fill[e.row]++;
+    col_idx[slot] = e.col;
+    values[slot] = e.value;
+  }
+}
+
 double dot(const double* a, const double* b, std::size_t n) {
   double acc = 0.0;
   for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];

@@ -61,16 +61,39 @@ struct SparseEntry {
   double value;
 };
 
-/// Coordinate-format sparse dataset with explicit dimensions. This is the
-/// input format of the incremental SVD: only observed entries are trained.
+/// Sparse dataset with explicit dimensions. This is the input format of the
+/// incremental SVD: only observed entries are trained.
+///
+/// Two interchangeable representations:
+///  * `entries` — coordinate format, the hand-construction format;
+///  * CSR companions `row_ptr`/`col_idx`/`values` — contiguous row-major
+///    arrays that the numeric kernels iterate (cache-friendly, SoA).
+/// SparseRows::to_dataset fills both; datasets built by hand from `entries`
+/// get their CSR form on demand via build_csr().
 struct SparseDataset {
   std::size_t rows = 0;
   std::size_t cols = 0;
   std::vector<SparseEntry> entries;
 
+  /// CSR form: row r's entries live at [row_ptr[r], row_ptr[r+1]) in
+  /// col_idx/values. Present iff row_ptr.size() == rows + 1.
+  std::vector<std::size_t> row_ptr;
+  std::vector<std::uint32_t> col_idx;
+  std::vector<double> values;
+
+  bool has_csr() const { return row_ptr.size() == rows + 1; }
+  std::size_t num_entries() const {
+    return has_csr() ? col_idx.size() : entries.size();
+  }
+
+  /// Builds the CSR companions from `entries` (stable counting sort by
+  /// row: within a row, entry order is preserved). Throws std::out_of_range
+  /// on entries outside the declared dimensions.
+  void build_csr();
+
   double density() const {
     const double total = static_cast<double>(rows) * static_cast<double>(cols);
-    return total > 0 ? static_cast<double>(entries.size()) / total : 0.0;
+    return total > 0 ? static_cast<double>(num_entries()) / total : 0.0;
   }
 };
 

@@ -1,5 +1,6 @@
 #include "linalg/svd.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -16,30 +17,65 @@ double SvdModel::predict(std::size_t r, std::size_t c) const {
 
 namespace {
 
-/// Residual of entry e under the biases plus first `dims` dimensions.
-double residual(const SvdModel& model, const SparseEntry& e,
-                std::size_t dims) {
-  double pred = 0.0;
-  if (model.has_biases()) {
-    pred = model.global_mean + model.row_bias[e.row] + model.col_bias[e.col];
+/// SoA view of a dataset's entries in CSR (row-major) order. Borrows the
+/// dataset's CSR arrays when present; otherwise owns a locally built copy.
+struct EntryStream {
+  const std::size_t* row_ptr = nullptr;
+  const std::uint32_t* cols = nullptr;
+  const double* vals = nullptr;
+  std::size_t num_rows = 0;
+  std::size_t count = 0;
+  SparseDataset local;  // storage when the input had no CSR form
+
+  explicit EntryStream(const SparseDataset& data) {
+    const SparseDataset* d = &data;
+    if (!data.has_csr()) {
+      local.rows = data.rows;
+      local.cols = data.cols;
+      local.entries = data.entries;
+      local.build_csr();
+      d = &local;
+    } else {
+      for (std::size_t i = 0; i < d->col_idx.size(); ++i) {
+        if (d->col_idx[i] >= d->cols)
+          throw std::out_of_range("incremental_svd: entry outside dims");
+      }
+    }
+    row_ptr = d->row_ptr.data();
+    cols = d->col_idx.data();
+    vals = d->values.data();
+    num_rows = d->rows;
+    count = d->col_idx.size();
   }
-  const double* p = model.row_factors.row(e.row);
-  const double* q = model.col_factors.row(e.col);
-  for (std::size_t d = 0; d < dims; ++d) pred += p[d] * q[d];
-  return e.value - pred;
-}
+
+  /// Row-range boundaries splitting the entries into `shards` roughly
+  /// entry-balanced contiguous chunks (hogwild shards own whole rows, so
+  /// row-factor updates never race — only column factors do).
+  std::vector<std::size_t> shard_bounds(std::size_t shards) const {
+    std::vector<std::size_t> bounds(shards + 1, num_rows);
+    bounds[0] = 0;
+    std::size_t r = 0;
+    for (std::size_t s = 1; s < shards; ++s) {
+      const std::size_t target = s * count / shards;
+      while (r < num_rows && row_ptr[r] < target) ++r;
+      bounds[s] = r;
+    }
+    return bounds;
+  }
+};
 
 }  // namespace
 
-SvdModel incremental_svd(const SparseDataset& data, const SvdConfig& config) {
+SvdModel incremental_svd(const SparseDataset& data, const SvdConfig& config,
+                         common::ThreadPool* pool) {
   if (config.rank == 0)
     throw std::invalid_argument("incremental_svd: rank must be >= 1");
   if (data.rows == 0 || data.cols == 0)
     throw std::invalid_argument("incremental_svd: empty dataset dims");
-  for (const auto& e : data.entries) {
-    if (e.row >= data.rows || e.col >= data.cols)
-      throw std::out_of_range("incremental_svd: entry outside dataset dims");
-  }
+
+  // Contiguous SoA entry arrays: one O(#entries) layout pass buys every
+  // epoch a straight scan over three flat arrays.
+  EntryStream es(data);
 
   common::Rng rng(config.seed);
   SvdModel model;
@@ -52,45 +88,98 @@ SvdModel incremental_svd(const SparseDataset& data, const SvdConfig& config) {
     for (std::size_t d = 0; d < config.rank; ++d)
       model.col_factors(c, d) = config.init_scale * (rng.uniform() - 0.5);
 
-  if (data.entries.empty()) return model;
+  if (es.count == 0) return model;
 
   if (config.use_biases) {
     double sum = 0.0;
-    for (const auto& e : data.entries) sum += e.value;
-    model.global_mean = sum / static_cast<double>(data.entries.size());
+    for (std::size_t i = 0; i < es.count; ++i) sum += es.vals[i];
+    model.global_mean = sum / static_cast<double>(es.count);
     model.row_bias.assign(data.rows, 0.0);
     model.col_bias.assign(data.cols, 0.0);
   }
 
-  // Funk-style training: one latent dimension at a time against the
+  const double lr = config.learning_rate;
+  const double reg = config.regularization;
+  const std::size_t rank = config.rank;
+  const bool biases = config.use_biases;
+
+  // Residual of each entry under the *finished* dimensions (biases
+  // excluded — they keep moving). Updated once per dimension, so each SGD
+  // step is O(1) instead of re-deriving a d-term dot product.
+  std::vector<double> resid(es.vals, es.vals + es.count);
+
+  const std::size_t shards =
+      (!config.deterministic && pool != nullptr)
+          ? std::max<std::size_t>(1, std::min(pool->size(), es.num_rows))
+          : 1;
+  const std::vector<std::size_t> bounds = es.shard_bounds(shards);
+  std::vector<double> shard_sq(shards, 0.0);
+
+  // One shard's SGD sweep over its contiguous row range for dimension d.
+  // Iterating row-by-row keeps the row factor (and row bias) in registers
+  // across the row's entries — the arithmetic sequence is identical to the
+  // per-entry formulation, just without the redundant loads/stores.
+  auto sweep = [&](std::size_t s, std::size_t d) {
+    double sq_err = 0.0;
+    for (std::size_t r = bounds[s]; r < bounds[s + 1]; ++r) {
+      double p = model.row_factors(r, d);
+      double br = biases ? model.row_bias[r] : 0.0;
+      for (std::size_t i = es.row_ptr[r]; i < es.row_ptr[r + 1]; ++i) {
+        const std::uint32_t c = es.cols[i];
+        double& q = model.col_factors(c, d);
+        double err = resid[i] - p * q;
+        if (biases) {
+          err -= model.global_mean + br + model.col_bias[c];
+        }
+        sq_err += err * err;
+        if (biases) {
+          double& bc = model.col_bias[c];
+          br += lr * (err - reg * br);
+          bc += lr * (err - reg * bc);
+        }
+        const double p_old = p;
+        p += lr * (err * q - reg * p);
+        q += lr * (err * p_old - reg * q);
+      }
+      model.row_factors(r, d) = p;
+      if (biases) model.row_bias[r] = br;
+    }
+    shard_sq[s] = sq_err;
+  };
+
+  // Funk-style training: one latent dimension at a time against the cached
   // residual of the previously trained dimensions (biases, when enabled,
   // keep adapting throughout).
-  for (std::size_t d = 0; d < config.rank; ++d) {
+  for (std::size_t d = 0; d < rank; ++d) {
     double prev_rmse = -1.0;
     for (std::size_t epoch = 0; epoch < config.epochs_per_dim; ++epoch) {
-      double sq_err = 0.0;
-      for (const auto& e : data.entries) {
-        const double err = residual(model, e, d + 1);
-        sq_err += err * err;
-        if (config.use_biases) {
-          double& br = model.row_bias[e.row];
-          double& bc = model.col_bias[e.col];
-          br += config.learning_rate * (err - config.regularization * br);
-          bc += config.learning_rate * (err - config.regularization * bc);
-        }
-        double& p = model.row_factors(e.row, d);
-        double& q = model.col_factors(e.col, d);
-        const double p_old = p;
-        p += config.learning_rate * (err * q - config.regularization * p);
-        q += config.learning_rate * (err * p_old - config.regularization * q);
+      if (shards == 1) {
+        sweep(0, d);
+      } else {
+        pool->parallel_for(shards, [&](std::size_t s) { sweep(s, d); });
       }
-      const double rmse =
-          std::sqrt(sq_err / static_cast<double>(data.entries.size()));
+      double sq = 0.0;
+      for (double s : shard_sq) sq += s;
+      const double rmse = std::sqrt(sq / static_cast<double>(es.count));
       if (config.min_improvement > 0.0 && prev_rmse >= 0.0 &&
           prev_rmse - rmse < config.min_improvement) {
         break;
       }
       prev_rmse = rmse;
+    }
+    // Retire dimension d into the cached residuals.
+    auto retire = [&](std::size_t s) {
+      for (std::size_t r = bounds[s]; r < bounds[s + 1]; ++r) {
+        const double pd = model.row_factors(r, d);
+        for (std::size_t i = es.row_ptr[r]; i < es.row_ptr[r + 1]; ++i) {
+          resid[i] -= pd * model.col_factors(es.cols[i], d);
+        }
+      }
+    };
+    if (shards == 1) {
+      retire(0);
+    } else {
+      pool->parallel_for(shards, retire);
     }
   }
   model.train_rmse = reconstruction_rmse(model, data);
@@ -98,6 +187,18 @@ SvdModel incremental_svd(const SparseDataset& data, const SvdConfig& config) {
 }
 
 double reconstruction_rmse(const SvdModel& model, const SparseDataset& data) {
+  if (data.has_csr()) {
+    if (data.col_idx.empty()) return 0.0;
+    double sq = 0.0;
+    for (std::size_t r = 0; r < data.rows; ++r) {
+      for (std::size_t i = data.row_ptr[r]; i < data.row_ptr[r + 1]; ++i) {
+        const double err =
+            data.values[i] - model.predict(r, data.col_idx[i]);
+        sq += err * err;
+      }
+    }
+    return std::sqrt(sq / static_cast<double>(data.col_idx.size()));
+  }
   if (data.entries.empty()) return 0.0;
   double sq = 0.0;
   for (const auto& e : data.entries) {
@@ -107,8 +208,50 @@ double reconstruction_rmse(const SvdModel& model, const SparseDataset& data) {
   return std::sqrt(sq / static_cast<double>(data.entries.size()));
 }
 
+void retrain_row_factors(SvdModel& model, std::size_t row,
+                         const std::uint32_t* cols, const double* vals,
+                         std::size_t n, const SvdConfig& config) {
+  const std::size_t rank = model.row_factors.cols();
+  if (rank == 0)
+    throw std::invalid_argument("retrain_row_factors: untrained model");
+  double* p = model.row_factors.row(row);
+  const double lr = config.learning_rate;
+  const double reg = config.regularization;
+  const bool biases = model.has_biases();
+
+  // Per-row residual cache (column factors are frozen, and dimensions
+  // below d are frozen while d trains, so the residual moves only when a
+  // dimension is retired). thread_local so pool-parallel fold-in does not
+  // allocate per row.
+  thread_local std::vector<double> resid;
+  resid.assign(vals, vals + n);
+
+  // The row factor for the training dimension (and the row bias) live in
+  // registers across the entire epoch loop; column factors are frozen.
+  double br = biases ? model.row_bias[row] : 0.0;
+  for (std::size_t d = 0; d < rank; ++d) {
+    double pd = p[d];
+    for (std::size_t epoch = 0; epoch < config.epochs_per_dim; ++epoch) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double qd = model.col_factors(cols[i], d);
+        double err = resid[i] - pd * qd;
+        if (biases) {
+          err -= model.global_mean + br + model.col_bias[cols[i]];
+          br += lr * (err - reg * br);
+        }
+        pd += lr * (err * qd - reg * pd);
+      }
+    }
+    p[d] = pd;
+    for (std::size_t i = 0; i < n; ++i) {
+      resid[i] -= pd * model.col_factors(cols[i], d);
+    }
+  }
+  if (biases) model.row_bias[row] = br;
+}
+
 void fold_in_rows(SvdModel& model, const SparseDataset& new_rows,
-                  const SvdConfig& config) {
+                  const SvdConfig& config, common::ThreadPool* pool) {
   const std::size_t rank = model.row_factors.cols();
   if (rank == 0) throw std::invalid_argument("fold_in_rows: untrained model");
   if (new_rows.cols != model.col_factors.rows())
@@ -131,29 +274,28 @@ void fold_in_rows(SvdModel& model, const SparseDataset& new_rows,
   model.row_factors = std::move(grown);
 
   // Train only the new rows (and their bias terms); column factors and
-  // column biases stay frozen so existing reduced coordinates remain valid.
-  for (std::size_t d = 0; d < rank; ++d) {
-    for (std::size_t epoch = 0; epoch < config.epochs_per_dim; ++epoch) {
-      for (const auto& e : new_rows.entries) {
-        const std::size_t global_row = old_rows + e.row;
-        double pred = 0.0;
-        if (model.has_biases()) {
-          pred = model.global_mean + model.row_bias[global_row] +
-                 model.col_bias[e.col];
-        }
-        const double* p = model.row_factors.row(global_row);
-        const double* q = model.col_factors.row(e.col);
-        for (std::size_t k = 0; k <= d; ++k) pred += p[k] * q[k];
-        const double err = e.value - pred;
-        if (model.has_biases()) {
-          double& br = model.row_bias[global_row];
-          br += config.learning_rate * (err - config.regularization * br);
-        }
-        double& pd = model.row_factors(global_row, d);
-        pd += config.learning_rate *
-              (err * q[d] - config.regularization * pd);
-      }
-    }
+  // column biases stay frozen so existing reduced coordinates remain
+  // valid. Rows are mutually independent, so the pool-parallel path is
+  // bit-identical to the sequential one.
+  const SparseDataset* d = &new_rows;
+  SparseDataset local;
+  if (!new_rows.has_csr()) {
+    local.rows = new_rows.rows;
+    local.cols = new_rows.cols;
+    local.entries = new_rows.entries;
+    local.build_csr();
+    d = &local;
+  }
+  auto train_row = [&](std::size_t r) {
+    const std::size_t lo = d->row_ptr[r];
+    const std::size_t hi = d->row_ptr[r + 1];
+    retrain_row_factors(model, old_rows + r, d->col_idx.data() + lo,
+                        d->values.data() + lo, hi - lo, config);
+  };
+  if (pool != nullptr && new_rows.rows > 1) {
+    pool->parallel_for(new_rows.rows, train_row);
+  } else {
+    for (std::size_t r = 0; r < new_rows.rows; ++r) train_row(r);
   }
 }
 

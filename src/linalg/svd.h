@@ -8,11 +8,21 @@
 // each original data point's low-dimensional feature vector. Per-epoch
 // cost is O(#entries), independent of the dense u x v size, which is what
 // lets the paper finish the transform "within a few seconds".
+//
+// Two layout/scheduling optimizations over the textbook loop:
+//  * the residual left by the already-trained dimensions is cached per
+//    entry and updated once per dimension, so each SGD step costs O(1)
+//    instead of O(d) dot-product work;
+//  * epochs can run hogwild-style across contiguous entry shards on a
+//    thread pool (SvdConfig::deterministic = false); the default
+//    deterministic mode keeps the exact sequential entry order so results
+//    are reproducible and independent of the pool.
 #pragma once
 
 #include <cstddef>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "linalg/matrix.h"
 
 namespace at::linalg {
@@ -38,6 +48,13 @@ struct SvdConfig {
   /// generous raters, popular items) so the latent factors concentrate on
   /// interaction structure — usually a better reduction for grouping.
   bool use_biases = false;
+  /// When true (the default), SGD epochs process entries in the sequential
+  /// row-major order regardless of any thread pool, so factors are
+  /// bit-reproducible. When false and a pool is passed, epochs run
+  /// hogwild-style across entry shards: racy but convergent, and the
+  /// factor races are the only nondeterminism (fold-in stays exact either
+  /// way because rows train independently).
+  bool deterministic = true;
 };
 
 /// Result of a factorization:
@@ -59,7 +76,9 @@ struct SvdModel {
 };
 
 /// Trains a rank-`config.rank` factorization of the observed entries.
-SvdModel incremental_svd(const SparseDataset& data, const SvdConfig& config);
+/// `pool` enables hogwild sharding when config.deterministic is false.
+SvdModel incremental_svd(const SparseDataset& data, const SvdConfig& config,
+                         common::ThreadPool* pool = nullptr);
 
 /// Root-mean-square reconstruction error of the model over the entries.
 double reconstruction_rmse(const SvdModel& model, const SparseDataset& data);
@@ -68,7 +87,17 @@ double reconstruction_rmse(const SvdModel& model, const SparseDataset& data);
 /// (appended after the existing ones) by training only the new rows' factors
 /// against the frozen column factors. This is the "execution time independent
 /// of the dataset size" property the paper relies on for synopsis updating.
+/// Rows train independently, so pool-parallel execution is bit-identical to
+/// the sequential order.
 void fold_in_rows(SvdModel& model, const SparseDataset& new_rows,
-                  const SvdConfig& config);
+                  const SvdConfig& config, common::ThreadPool* pool = nullptr);
+
+/// Retrains the factors (and bias term) of an existing row against frozen
+/// column factors from a warm start — the per-row kernel shared by fold-in
+/// and the synopsis updater's changed-row path. `cols`/`vals` hold the
+/// row's `n` observed entries sorted by column.
+void retrain_row_factors(SvdModel& model, std::size_t row,
+                         const std::uint32_t* cols, const double* vals,
+                         std::size_t n, const SvdConfig& config);
 
 }  // namespace at::linalg

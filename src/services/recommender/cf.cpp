@@ -15,38 +15,6 @@ CfRequest CfRequest::make(synopsis::SparseVector ratings,
   return req;
 }
 
-double vector_mean(const synopsis::SparseVector& v) {
-  if (v.empty()) return 0.0;
-  double acc = 0.0;
-  for (const auto& [c, val] : v) acc += val;
-  return acc / static_cast<double>(v.size());
-}
-
-double pearson_weight(const synopsis::SparseVector& a, double mean_a,
-                      const synopsis::SparseVector& b, double mean_b) {
-  double num = 0.0, var_a = 0.0, var_b = 0.0;
-  std::size_t co = 0;
-  std::size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i].first < b[j].first) {
-      ++i;
-    } else if (a[i].first > b[j].first) {
-      ++j;
-    } else {
-      const double da = a[i].second - mean_a;
-      const double db = b[j].second - mean_b;
-      num += da * db;
-      var_a += da * da;
-      var_b += db * db;
-      ++co;
-      ++i;
-      ++j;
-    }
-  }
-  if (co < 2 || var_a <= 0.0 || var_b <= 0.0) return 0.0;
-  return num / (std::sqrt(var_a) * std::sqrt(var_b));
-}
-
 double predict(const CfRequest& request, const CfPartial& merged,
                double min_rating, double max_rating) {
   double p = request.rating_mean;

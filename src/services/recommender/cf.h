@@ -8,6 +8,7 @@
 // components (and from aggregated vs. original users) merge by addition.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -46,15 +47,71 @@ struct CfPartial {
   }
 };
 
+namespace detail {
+
+/// Row concept as in synopsis/sparse_rows.h: works for SparseVector and
+/// SparseRowView alike (the CSR-backed row views are what the hot analyze
+/// loops pass in).
+template <typename RowA, typename RowB>
+double pearson_impl(const RowA& a, double mean_a, const RowB& b,
+                    double mean_b) {
+  double num = 0.0, var_a = 0.0, var_b = 0.0;
+  std::size_t co = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const std::uint32_t ca = a[i].first;
+    const std::uint32_t cb = b[j].first;
+    if (ca < cb) {
+      ++i;
+    } else if (ca > cb) {
+      ++j;
+    } else {
+      const double da = a[i].second - mean_a;
+      const double db = b[j].second - mean_b;
+      num += da * db;
+      var_a += da * da;
+      var_b += db * db;
+      ++co;
+      ++i;
+      ++j;
+    }
+  }
+  if (co < 2 || var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return num / (std::sqrt(var_a) * std::sqrt(var_b));
+}
+
+template <typename Row>
+double mean_impl(const Row& v) {
+  if (v.size() == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) acc += v[i].second;
+  return acc / static_cast<double>(v.size());
+}
+
+}  // namespace detail
+
 /// Pearson correlation between the active user's ratings and a neighbor's
 /// ratings over their co-rated items, deviations taken against each side's
 /// supplied mean. Returns 0 when fewer than 2 co-rated items exist or a
 /// variance vanishes.
-double pearson_weight(const synopsis::SparseVector& a, double mean_a,
-                      const synopsis::SparseVector& b, double mean_b);
+template <typename RowA, typename RowB>
+double pearson_weight(const RowA& a, double mean_a, const RowB& b,
+                      double mean_b) {
+  return detail::pearson_impl(a, mean_a, b, mean_b);
+}
+inline double pearson_weight(const synopsis::SparseVector& a, double mean_a,
+                             const synopsis::SparseVector& b, double mean_b) {
+  return detail::pearson_impl(a, mean_a, b, mean_b);
+}
 
 /// Mean of a sparse vector's values (0 for empty).
-double vector_mean(const synopsis::SparseVector& v);
+template <typename Row>
+double vector_mean(const Row& v) {
+  return detail::mean_impl(v);
+}
+inline double vector_mean(const synopsis::SparseVector& v) {
+  return detail::mean_impl(v);
+}
 
 /// Final prediction from merged partials; falls back to the active user's
 /// mean when no neighbor carried weight. Clamped to [min_rating, max_rating].

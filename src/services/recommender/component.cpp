@@ -32,11 +32,13 @@ CfPartial CfComponentWork::after_sets(const std::vector<std::size_t>& ranked,
 }
 
 RecommenderComponent::RecommenderComponent(synopsis::SparseRows users,
-                                           const synopsis::BuildConfig& config)
-    : users_(std::move(users)), config_(config),
-      structure_(synopsis::SynopsisBuilder(config).build(users_)),
+                                           const synopsis::BuildConfig& config,
+                                           common::ThreadPool* pool)
+    : users_(std::move(users)), pool_(pool), config_(config),
+      structure_(synopsis::SynopsisBuilder(config).build(users_, pool)),
       synopsis_(synopsis::aggregate_all(users_, structure_.index,
-                                        synopsis::AggregationKind::kMean)) {
+                                        synopsis::AggregationKind::kMean,
+                                        pool)) {
   rebuild_derived();
 }
 
@@ -132,7 +134,7 @@ synopsis::UpdateReport RecommenderComponent::update(
     const synopsis::UpdateBatch& batch) {
   synopsis::SynopsisUpdater updater(config_);
   auto report = updater.apply(structure_, users_, synopsis_, batch,
-                              synopsis::AggregationKind::kMean);
+                              synopsis::AggregationKind::kMean, pool_);
   rebuild_derived();
   return report;
 }

@@ -35,9 +35,15 @@ struct CfComponentWork {
 
 class RecommenderComponent {
  public:
-  /// Builds the synopsis (steps 1–3) over the given user subset.
+  /// Builds the synopsis (steps 1–3) over the given user subset. `pool`
+  /// parallelizes construction and later updates; the component keeps the
+  /// pointer (caller owns the pool's lifetime).
   RecommenderComponent(synopsis::SparseRows users,
-                       const synopsis::BuildConfig& config);
+                       const synopsis::BuildConfig& config,
+                       common::ThreadPool* pool = nullptr);
+
+  /// Installs (or clears) the pool used by update().
+  void set_pool(common::ThreadPool* pool) { pool_ = pool; }
 
   std::size_t num_users() const { return users_.rows(); }
   std::size_t num_items() const { return users_.cols(); }
@@ -80,6 +86,7 @@ class RecommenderComponent {
   void rebuild_derived();  // means, postings, user->group map
 
   synopsis::SparseRows users_;
+  common::ThreadPool* pool_ = nullptr;
   synopsis::BuildConfig config_;
   synopsis::SynopsisStructure structure_;
   synopsis::Synopsis synopsis_;

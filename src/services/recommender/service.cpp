@@ -19,11 +19,27 @@ CfService::CfService(std::vector<RecommenderComponent> components,
     throw std::invalid_argument("CfService: bad rating range");
 }
 
-double CfService::predict_exact(const CfRequest& request) const {
-  CfPartial merged;
-  for (const auto& comp : components_) {
-    merged.merge(comp.analyze(request).exact());
+void CfService::set_pool(common::ThreadPool* pool) {
+  pool_ = pool;
+  for (auto& c : components_) c.set_pool(pool);
+}
+
+void CfService::for_each_component(
+    const std::function<void(std::size_t)>& fn) const {
+  if (pool_ != nullptr && components_.size() > 1) {
+    pool_->parallel_for(components_.size(), fn);
+  } else {
+    for (std::size_t c = 0; c < components_.size(); ++c) fn(c);
   }
+}
+
+double CfService::predict_exact(const CfRequest& request) const {
+  std::vector<CfPartial> partials(components_.size());
+  for_each_component([&](std::size_t c) {
+    partials[c] = components_[c].analyze(request).exact();
+  });
+  CfPartial merged;
+  for (const auto& p : partials) merged.merge(p);
   return ::at::reco::predict(request, merged, min_rating_, max_rating_);
 }
 
@@ -37,19 +53,26 @@ double CfService::predict(const CfRequest& request, core::Technique technique,
   if (outcomes.size() != components_.size())
     throw std::invalid_argument("CfService::predict: outcome size mismatch");
 
-  CfPartial merged;
-  bool any = false;
-  for (std::size_t c = 0; c < components_.size(); ++c) {
+  std::vector<CfPartial> partials(components_.size());
+  std::vector<char> contributed(components_.size(), 0);
+  for_each_component([&](std::size_t c) {
     if (technique == Technique::kPartialExecution) {
-      if (!outcomes[c].included) continue;
-      merged.merge(components_[c].analyze(request).exact());
-      any = true;
+      if (!outcomes[c].included) return;
+      partials[c] = components_[c].analyze(request).exact();
+      contributed[c] = 1;
     } else {  // AccuracyTrader
       const CfComponentWork work = components_[c].analyze(request);
       const auto ranked = core::rank_by_correlation(work.correlations);
-      merged.merge(work.after_sets(ranked, outcomes[c].sets));
-      any = true;
+      partials[c] = work.after_sets(ranked, outcomes[c].sets);
+      contributed[c] = 1;
     }
+  });
+  CfPartial merged;
+  bool any = false;
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    if (!contributed[c]) continue;
+    merged.merge(partials[c]);
+    any = true;
   }
   if (!any) return std::numeric_limits<double>::quiet_NaN();
   return ::at::reco::predict(request, merged, min_rating_, max_rating_);

@@ -43,6 +43,12 @@ class CfService {
   double max_rating() const { return max_rating_; }
   double rating_range() const { return max_rating_ - min_rating_; }
 
+  /// Installs a thread pool: per-component request analysis and synopsis
+  /// updates fan out across it. Partial results merge in component order,
+  /// so predictions are identical to the sequential path. The caller owns
+  /// the pool's lifetime; pass nullptr to go sequential.
+  void set_pool(common::ThreadPool* pool);
+
   /// Exact prediction: every component contributes its full subset.
   double predict_exact(const CfRequest& request) const;
 
@@ -68,9 +74,14 @@ class CfService {
                                 ComponentOutcome outcome) const;
 
  private:
+  /// Runs fn(c) for every component, on the pool when installed.
+  void for_each_component(
+      const std::function<void(std::size_t)>& fn) const;
+
   std::vector<RecommenderComponent> components_;
   double min_rating_;
   double max_rating_;
+  common::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace at::reco

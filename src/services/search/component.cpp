@@ -8,14 +8,17 @@ namespace at::search {
 SearchComponent::SearchComponent(synopsis::SparseRows docs,
                                  std::uint64_t doc_id_base,
                                  const synopsis::BuildConfig& config,
-                                 ScorerParams scorer)
+                                 ScorerParams scorer,
+                                 common::ThreadPool* pool)
     : docs_(std::move(docs)),
+      pool_(pool),
       doc_id_base_(doc_id_base),
       config_(config),
       scorer_(scorer),
-      structure_(synopsis::SynopsisBuilder(config).build(docs_)),
+      structure_(synopsis::SynopsisBuilder(config).build(docs_, pool)),
       synopsis_(synopsis::aggregate_all(docs_, structure_.index,
-                                        synopsis::AggregationKind::kMerge)),
+                                        synopsis::AggregationKind::kMerge,
+                                        pool)),
       index_(docs_, scorer) {
   rebuild_index();
 }
@@ -155,7 +158,7 @@ synopsis::UpdateReport SearchComponent::update(
     const synopsis::UpdateBatch& batch) {
   synopsis::SynopsisUpdater updater(config_);
   auto report = updater.apply(structure_, docs_, synopsis_, batch,
-                              synopsis::AggregationKind::kMerge);
+                              synopsis::AggregationKind::kMerge, pool_);
   index_ = InvertedIndex(docs_, scorer_);
   if (global_idf_ != nullptr) index_.set_global_idf(global_idf_);
   rebuild_index();

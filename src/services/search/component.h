@@ -37,9 +37,15 @@ class SearchComponent {
   /// `doc_id_base`: offset of this shard's pages in the global id space.
   /// `scorer`: ranking function (Lucene-classic TF-IDF by default, BM25
   /// available); applied to both exact scoring and aggregated pages.
+  /// `pool` parallelizes synopsis construction and later updates; the
+  /// component keeps the pointer (caller owns the pool's lifetime).
   SearchComponent(synopsis::SparseRows docs, std::uint64_t doc_id_base,
                   const synopsis::BuildConfig& config,
-                  ScorerParams scorer = {});
+                  ScorerParams scorer = {},
+                  common::ThreadPool* pool = nullptr);
+
+  /// Installs (or clears) the pool used by update().
+  void set_pool(common::ThreadPool* pool) { pool_ = pool; }
 
   std::size_t num_docs() const { return docs_.rows(); }
   std::size_t num_groups() const { return structure_.index.size(); }
@@ -87,6 +93,7 @@ class SearchComponent {
   void rebuild_index();
 
   synopsis::SparseRows docs_;
+  common::ThreadPool* pool_ = nullptr;
   std::uint64_t doc_id_base_;
   synopsis::BuildConfig config_;
   ScorerParams scorer_;

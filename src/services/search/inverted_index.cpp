@@ -1,38 +1,84 @@
 #include "services/search/inverted_index.h"
 
+#include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 namespace at::search {
+
+void ScoreAccumulator::begin(std::size_t num_docs) {
+  if (score_.size() < num_docs) {
+    score_.resize(num_docs, 0.0);
+    stamp_.resize(num_docs, 0);
+  }
+  touched_.clear();
+  ++epoch_;
+  if (epoch_ == 0) {  // stamp wrap: invalidate everything once
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+}
 
 InvertedIndex::InvertedIndex(const synopsis::SparseRows& docs,
                              ScorerParams scorer)
     : scorer_(scorer) {
-  postings_.resize(docs.cols());
-  doc_length_.resize(docs.rows(), 0.0);
+  const std::size_t vocab = docs.cols();
+  const std::size_t n = docs.rows();
+  term_ptr_.assign(vocab + 1, 0);
+  doc_length_.assign(n, 0.0);
+
+  // Pass 1: per-term posting counts and per-doc lengths.
   double total_len = 0.0;
-  for (std::uint32_t d = 0; d < docs.rows(); ++d) {
+  for (std::uint32_t d = 0; d < n; ++d) {
     double len = 0.0;
     for (const auto& [term, count] : docs.row(d)) {
-      postings_[term].push_back(Posting{d, count});
+      ++term_ptr_[term + 1];
       len += count;
     }
     doc_length_[d] = len;
     total_len += len;
   }
-  mean_doc_length_ =
-      docs.rows() > 0 ? total_len / static_cast<double>(docs.rows()) : 0.0;
+  for (std::size_t t = 0; t < vocab; ++t) term_ptr_[t + 1] += term_ptr_[t];
+
+  // Pass 2: fill the flat posting arrays (docs ascending per term because
+  // rows are visited in doc order).
+  const std::size_t entries = term_ptr_[vocab];
+  const bool cache_sqrt = scorer_.scorer == Scorer::kTfIdf;
+  post_doc_.resize(entries);
+  post_tf_.resize(entries);
+  if (cache_sqrt) post_sqrt_tf_.resize(entries);  // only the tf-idf path reads it
+  std::vector<std::size_t> fill(term_ptr_.begin(), term_ptr_.end() - 1);
+  for (std::uint32_t d = 0; d < n; ++d) {
+    for (const auto& [term, count] : docs.row(d)) {
+      const std::size_t slot = fill[term]++;
+      post_doc_[slot] = d;
+      post_tf_[slot] = count;
+      if (cache_sqrt) post_sqrt_tf_[slot] = std::sqrt(count);
+    }
+  }
+
+  mean_doc_length_ = n > 0 ? total_len / static_cast<double>(n) : 0.0;
+  len_norm_.resize(n);
+  bm25_norm_.resize(n);
+  const double k1 = scorer_.bm25_k1;
+  const double b = scorer_.bm25_b;
+  const double avg = mean_doc_length_ > 0.0 ? mean_doc_length_ : 1.0;
+  for (std::size_t d = 0; d < n; ++d) {
+    const double dl = doc_length_[d];
+    len_norm_[d] = dl > 0.0 ? 1.0 / std::sqrt(dl) : 0.0;
+    bm25_norm_[d] = k1 * (1.0 - b + b * dl / avg);
+  }
 }
 
-const std::vector<Posting>& InvertedIndex::postings(std::uint32_t term) const {
-  static const std::vector<Posting> kEmpty;
-  if (term >= postings_.size()) return kEmpty;
-  return postings_[term];
+PostingsView InvertedIndex::postings(std::uint32_t term) const {
+  if (term >= vocab_size()) return {};
+  const std::size_t lo = term_ptr_[term];
+  const std::size_t hi = term_ptr_[term + 1];
+  return PostingsView(post_doc_.data() + lo, post_tf_.data() + lo, hi - lo);
 }
 
 std::uint32_t InvertedIndex::doc_frequency(std::uint32_t term) const {
-  if (term >= postings_.size()) return 0;
-  return static_cast<std::uint32_t>(postings_[term].size());
+  if (term >= vocab_size()) return 0;
+  return static_cast<std::uint32_t>(term_ptr_[term + 1] - term_ptr_[term]);
 }
 
 double InvertedIndex::idf(std::uint32_t term) const {
@@ -69,20 +115,47 @@ double InvertedIndex::term_doc_score(double tf, double idf,
   return std::sqrt(tf) * idf * len_norm;
 }
 
+namespace {
+// One dense scratch per thread, reused across queries and indexes.
+ScoreAccumulator& scratch() {
+  thread_local ScoreAccumulator acc;
+  return acc;
+}
+}  // namespace
+
+void InvertedIndex::accumulate(const std::vector<std::uint32_t>& terms,
+                               ScoreAccumulator& acc) const {
+  acc.begin(num_docs());
+  const bool bm25 = scorer_.scorer == Scorer::kBm25;
+  const double k1 = scorer_.bm25_k1;
+  for (auto term : terms) {
+    const double w = idf_for(term);
+    if (w <= 0.0 || term >= vocab_size()) continue;
+    const std::size_t lo = term_ptr_[term];
+    const std::size_t hi = term_ptr_[term + 1];
+    if (bm25) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::uint32_t doc = post_doc_[i];
+        const double tf = post_tf_[i];
+        acc.add(doc, w * (tf * (k1 + 1.0)) / (tf + bm25_norm_[doc]));
+      }
+    } else {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::uint32_t doc = post_doc_[i];
+        acc.add(doc, post_sqrt_tf_[i] * w * len_norm_[doc]);
+      }
+    }
+  }
+}
+
 void InvertedIndex::score_query(const std::vector<std::uint32_t>& terms,
                                 std::uint64_t doc_id_base,
                                 std::vector<ScoredDoc>& out) const {
-  // Term-at-a-time accumulation over matching docs only.
-  std::unordered_map<std::uint32_t, double> acc;
-  for (auto term : terms) {
-    const double w = idf_for(term);
-    if (w <= 0.0) continue;
-    for (const auto& p : postings(term)) {
-      acc[p.doc] += term_doc_score(p.tf, w, doc_length_[p.doc]);
-    }
-  }
-  out.reserve(out.size() + acc.size());
-  for (const auto& [doc, score] : acc) {
+  ScoreAccumulator& acc = scratch();
+  accumulate(terms, acc);
+  out.reserve(out.size() + acc.touched().size());
+  for (auto doc : acc.touched()) {
+    const double score = acc.score(doc);
     if (score <= 0.0) continue;
     out.push_back(ScoredDoc{score, doc_id_base + doc});
   }
@@ -91,23 +164,15 @@ void InvertedIndex::score_query(const std::vector<std::uint32_t>& terms,
 std::vector<ScoredDoc> InvertedIndex::topk(
     const std::vector<std::uint32_t>& terms, std::uint64_t doc_id_base,
     std::size_t k) const {
-  std::vector<ScoredDoc> scored;
-  score_query(terms, doc_id_base, scored);
+  ScoreAccumulator& acc = scratch();
+  accumulate(terms, acc);
   TopK top(k);
-  for (const auto& d : scored) top.offer(d);
-  return top.take();
-}
-
-double InvertedIndex::score_counts(const std::vector<std::uint32_t>& terms,
-                                   const synopsis::SparseVector& counts,
-                                   double length) const {
-  double score = 0.0;
-  for (auto term : terms) {
-    const double tf = synopsis::value_at(counts, term);
-    if (tf <= 0.0) continue;
-    score += term_doc_score(tf, idf_for(term), length);
+  for (auto doc : acc.touched()) {
+    const double score = acc.score(doc);
+    if (score <= 0.0) continue;
+    top.offer(ScoredDoc{score, doc_id_base + doc});
   }
-  return score;
+  return top.take();
 }
 
 std::vector<double> merge_idf(

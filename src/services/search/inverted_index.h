@@ -4,6 +4,13 @@
 //   score(d, q) = Σ_{t ∈ q}  sqrt(tf_{t,d}) * idf_t / sqrt(dl_d)
 // with idf_t = ln(1 + N / (1 + df_t)). The idf table can be swapped for a
 // service-global one so scores merge consistently across components.
+//
+// Postings are stored CSR-style: one contiguous doc-id array and one tf
+// array shared by all terms, with per-term offsets — built in two passes
+// (count, fill) with no per-term vector growth. Scoring accumulates into a
+// dense, epoch-stamped per-doc scratch buffer that is reused across
+// queries (no per-query hashing or allocation), and top-k selection runs
+// directly over the touched docs without materializing the candidate list.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +25,44 @@ namespace at::search {
 struct Posting {
   std::uint32_t doc = 0;  // local document id
   double tf = 0.0;        // term occurrence count
+};
+
+/// Non-owning slice of one term's postings (docs ascending).
+class PostingsView {
+ public:
+  PostingsView() = default;
+  PostingsView(const std::uint32_t* docs, const double* tfs, std::size_t n)
+      : docs_(docs), tfs_(tfs), size_(n) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  Posting operator[](std::size_t i) const { return {docs_[i], tfs_[i]}; }
+
+  const std::uint32_t* docs() const { return docs_; }
+  const double* tfs() const { return tfs_; }
+
+  class const_iterator {
+   public:
+    const_iterator(const std::uint32_t* d, const double* t) : d_(d), t_(t) {}
+    Posting operator*() const { return {*d_, *t_}; }
+    const_iterator& operator++() {
+      ++d_;
+      ++t_;
+      return *this;
+    }
+    bool operator!=(const const_iterator& o) const { return d_ != o.d_; }
+
+   private:
+    const std::uint32_t* d_;
+    const double* t_;
+  };
+  const_iterator begin() const { return {docs_, tfs_}; }
+  const_iterator end() const { return {docs_ + size_, tfs_ + size_}; }
+
+ private:
+  const std::uint32_t* docs_ = nullptr;
+  const double* tfs_ = nullptr;
+  std::size_t size_ = 0;
 };
 
 /// Ranking function.
@@ -35,6 +80,35 @@ struct ScorerParams {
   double bm25_b = 0.75;
 };
 
+/// Dense per-doc score scratch, reusable across queries. A doc's slot is
+/// valid only when its stamp matches the current epoch, so clearing costs
+/// O(#touched docs) rather than O(#docs); `touched` lists the matching
+/// docs in first-touch order.
+class ScoreAccumulator {
+ public:
+  /// Starts a new accumulation over `num_docs` local doc ids.
+  void begin(std::size_t num_docs);
+
+  void add(std::uint32_t doc, double score) {
+    if (stamp_[doc] != epoch_) {
+      stamp_[doc] = epoch_;
+      score_[doc] = score;
+      touched_.push_back(doc);
+    } else {
+      score_[doc] += score;
+    }
+  }
+
+  double score(std::uint32_t doc) const { return score_[doc]; }
+  const std::vector<std::uint32_t>& touched() const { return touched_; }
+
+ private:
+  std::vector<double> score_;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<std::uint32_t> touched_;
+  std::uint32_t epoch_ = 0;
+};
+
 class InvertedIndex {
  public:
   /// Builds the index from document rows (row = doc, col = term, value =
@@ -43,9 +117,10 @@ class InvertedIndex {
                          ScorerParams scorer = {});
 
   std::size_t num_docs() const { return doc_length_.size(); }
-  std::size_t vocab_size() const { return postings_.size(); }
+  std::size_t vocab_size() const { return term_ptr_.empty() ? 0
+                                       : term_ptr_.size() - 1; }
 
-  const std::vector<Posting>& postings(std::uint32_t term) const;
+  PostingsView postings(std::uint32_t term) const;
   std::uint32_t doc_frequency(std::uint32_t term) const;
   double doc_length(std::uint32_t doc) const { return doc_length_.at(doc); }
 
@@ -62,15 +137,26 @@ class InvertedIndex {
                    std::uint64_t doc_id_base,
                    std::vector<ScoredDoc>& out) const;
 
-  /// Convenience: score + rank, returning the top k.
+  /// Convenience: score + rank, returning the top k. The candidate set is
+  /// never materialized — touched docs stream straight into the bounded
+  /// top-k heap.
   std::vector<ScoredDoc> topk(const std::vector<std::uint32_t>& terms,
                               std::uint64_t doc_id_base, std::size_t k) const;
 
-  /// Scores one document against a query given raw term counts and length
-  /// (used to score aggregated/merged pages with the same formula).
+  /// Scores one document (or aggregated page) against a query given raw
+  /// term counts and length. `Row` is any sorted sparse row type
+  /// (SparseVector or SparseRowView).
+  template <typename Row>
   double score_counts(const std::vector<std::uint32_t>& terms,
-                      const synopsis::SparseVector& counts,
-                      double length) const;
+                      const Row& counts, double length) const {
+    double score = 0.0;
+    for (auto term : terms) {
+      const double tf = synopsis::value_at(counts, term);
+      if (tf <= 0.0) continue;
+      score += term_doc_score(tf, idf_for(term), length);
+    }
+    return score;
+  }
 
   const ScorerParams& scorer() const { return scorer_; }
   double mean_doc_length() const { return mean_doc_length_; }
@@ -78,10 +164,21 @@ class InvertedIndex {
  private:
   double idf_for(std::uint32_t term) const;
   double term_doc_score(double tf, double idf, double doc_len) const;
+  /// Runs the term-at-a-time accumulation into `acc`.
+  void accumulate(const std::vector<std::uint32_t>& terms,
+                  ScoreAccumulator& acc) const;
 
   ScorerParams scorer_;
-  std::vector<std::vector<Posting>> postings_;
+  // CSR postings: term t's postings live at [term_ptr_[t], term_ptr_[t+1])
+  // in post_doc_/post_tf_; post_sqrt_tf_ caches sqrt(tf) for the tf-idf
+  // scorer so the hot loop does one multiply per posting.
+  std::vector<std::size_t> term_ptr_;
+  std::vector<std::uint32_t> post_doc_;
+  std::vector<double> post_tf_;
+  std::vector<double> post_sqrt_tf_;
   std::vector<double> doc_length_;  // total term count per doc
+  std::vector<double> len_norm_;    // 1/sqrt(doc length), 0 for empty docs
+  std::vector<double> bm25_norm_;   // k1*(1-b+b*dl/avg) per doc
   double mean_doc_length_ = 0.0;
   std::shared_ptr<const std::vector<double>> global_idf_;
 };

@@ -27,6 +27,11 @@ void SearchService::enable_query_cache(std::size_t capacity) {
   cache_ = std::make_unique<QueryCache>(capacity);
 }
 
+void SearchService::set_pool(common::ThreadPool* pool) {
+  pool_ = pool;
+  for (auto& c : components_) c.set_pool(pool);
+}
+
 synopsis::UpdateReport SearchService::update_component(
     std::size_t c, const synopsis::UpdateBatch& batch) {
   auto report = components_.at(c).update(batch);
@@ -41,8 +46,20 @@ std::vector<ScoredDoc> SearchService::exact_topk(
     if (cache_->lookup(request.terms, &cached)) return cached;
   }
   TopK top(k_);
-  for (const auto& comp : components_) {
-    for (const auto& d : comp.exact_topk(request, k_)) top.offer(d);
+  if (pool_ != nullptr && components_.size() > 1) {
+    // Fan the local scans out across the pool; merge in component order so
+    // the result is identical to the sequential path.
+    std::vector<std::vector<ScoredDoc>> locals(components_.size());
+    pool_->parallel_for(components_.size(), [&](std::size_t c) {
+      locals[c] = components_[c].exact_topk(request, k_);
+    });
+    for (const auto& local : locals) {
+      for (const auto& d : local) top.offer(d);
+    }
+  } else {
+    for (const auto& comp : components_) {
+      for (const auto& d : comp.exact_topk(request, k_)) top.offer(d);
+    }
   }
   auto result = top.take();
   if (cache_ != nullptr) cache_->insert(request.terms, result);
@@ -62,16 +79,30 @@ std::vector<ScoredDoc> SearchService::retrieve(
 
   if (technique == Technique::kPartialExecution) {
     TopK top(k_);
-    for (std::size_t c = 0; c < components_.size(); ++c) {
-      if (!outcomes[c].included) continue;
-      for (const auto& d : components_[c].exact_topk(request, k_))
-        top.offer(d);
+    if (pool_ != nullptr && components_.size() > 1) {
+      std::vector<std::vector<ScoredDoc>> locals(components_.size());
+      pool_->parallel_for(components_.size(), [&](std::size_t c) {
+        if (!outcomes[c].included) return;
+        locals[c] = components_[c].exact_topk(request, k_);
+      });
+      for (const auto& local : locals) {
+        for (const auto& d : local) top.offer(d);
+      }
+    } else {
+      for (std::size_t c = 0; c < components_.size(); ++c) {
+        if (!outcomes[c].included) continue;
+        for (const auto& d : components_[c].exact_topk(request, k_))
+          top.offer(d);
+      }
     }
     return top.take();
   }
 
   // AccuracyTrader: union of the exactly scored pages from each
-  // component's processed ranked sets.
+  // component's processed ranked sets. The per-component analysis (synopsis
+  // correlations + exact member scoring) fans out across the pool; the
+  // merge below walks components in order, so results are identical to the
+  // sequential path.
   TopK top(k_);
   struct PendingGroup {
     double correlation;
@@ -79,8 +110,17 @@ std::vector<ScoredDoc> SearchService::retrieve(
     std::size_t group;
   };
   std::vector<PendingGroup> unprocessed;
+  std::vector<SearchComponentWork> works(components_.size());
+  if (pool_ != nullptr && components_.size() > 1) {
+    pool_->parallel_for(components_.size(), [&](std::size_t c) {
+      works[c] = components_[c].analyze(request);
+    });
+  } else {
+    for (std::size_t c = 0; c < components_.size(); ++c)
+      works[c] = components_[c].analyze(request);
+  }
   for (std::size_t c = 0; c < components_.size(); ++c) {
-    const SearchComponentWork work = components_[c].analyze(request);
+    const SearchComponentWork& work = works[c];
     const auto ranked = core::rank_by_correlation(work.correlations);
     const std::size_t sets =
         std::min<std::size_t>(outcomes[c].sets, ranked.size());

@@ -44,6 +44,12 @@ class SearchService {
   void enable_query_cache(std::size_t capacity);
   const QueryCache* query_cache() const { return cache_.get(); }
 
+  /// Installs a thread pool: per-component work (local top-k scans,
+  /// request analysis, synopsis updates) fans out across it. Results are
+  /// merged in component order, so they match the sequential path. The
+  /// caller owns the pool's lifetime; pass nullptr to go sequential.
+  void set_pool(common::ThreadPool* pool);
+
   /// Routes an input-data change batch to component `c` and invalidates
   /// the query cache (every cached answer is potentially stale).
   synopsis::UpdateReport update_component(std::size_t c,
@@ -77,6 +83,7 @@ class SearchService {
   std::size_t k_;
   std::size_t total_docs_ = 0;
   std::unique_ptr<QueryCache> cache_;
+  common::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace at::search

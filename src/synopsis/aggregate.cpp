@@ -1,6 +1,6 @@
 #include "synopsis/aggregate.h"
 
-#include <map>
+#include <algorithm>
 
 namespace at::synopsis {
 
@@ -17,30 +17,42 @@ AggregatedPoint aggregate_group(const SparseRows& data,
   out.node_id = group.node_id;
   out.member_count = static_cast<std::uint32_t>(group.members.size());
 
-  // Accumulate (sum, count) per attribute across members. std::map keeps
-  // attributes sorted so the output SparseVector is normalized by
-  // construction.
-  std::map<std::uint32_t, std::pair<double, std::uint32_t>> acc;
+  // Accumulate (sum, count) per attribute across members into a dense
+  // per-column scratch (thread_local: aggregation fans out per group on
+  // the pool). A zero count marks an untouched column, so resetting after
+  // use costs O(#touched) — the same accumulator idiom as query scoring.
+  thread_local std::vector<double> sums;
+  thread_local std::vector<std::uint32_t> counts;
+  thread_local std::vector<std::uint32_t> touched;
+  if (sums.size() < data.cols()) {
+    sums.resize(data.cols(), 0.0);
+    counts.resize(data.cols(), 0);
+  }
+  touched.clear();
   for (auto row_id : group.members) {
     for (const auto& [c, val] : data.row(row_id)) {
-      auto& slot = acc[c];
-      slot.first += val;
-      slot.second += 1;
+      if (counts[c] == 0) touched.push_back(c);
+      sums[c] += val;
+      counts[c] += 1;
     }
   }
+  std::sort(touched.begin(), touched.end());
 
-  out.features.reserve(acc.size());
+  out.features.reserve(touched.size());
   if (kind == AggregationKind::kMean) {
-    out.support.reserve(acc.size());
-    for (const auto& [c, sum_count] : acc) {
-      out.features.emplace_back(
-          c, sum_count.first / static_cast<double>(sum_count.second));
-      out.support.push_back(sum_count.second);
+    out.support.reserve(touched.size());
+    for (auto c : touched) {
+      out.features.emplace_back(c, sums[c] / static_cast<double>(counts[c]));
+      out.support.push_back(counts[c]);
     }
   } else {
-    for (const auto& [c, sum_count] : acc) {
-      out.features.emplace_back(c, sum_count.first);
+    for (auto c : touched) {
+      out.features.emplace_back(c, sums[c]);
     }
+  }
+  for (auto c : touched) {
+    sums[c] = 0.0;
+    counts[c] = 0;
   }
   return out;
 }

@@ -60,14 +60,15 @@ std::size_t SynopsisBuilder::pick_level(const rtree::RTree& tree,
   return best_level;
 }
 
-SynopsisStructure SynopsisBuilder::build(const SparseRows& data) const {
+SynopsisStructure SynopsisBuilder::build(const SparseRows& data,
+                                         common::ThreadPool* pool) const {
   if (data.rows() == 0)
     throw std::invalid_argument("SynopsisBuilder::build: empty dataset");
 
   // Step 1: dimensionality reduction. The reduced dataset preserves
   // proximity: rows similar in the original space stay close in R^j.
   linalg::SvdModel svd = linalg::incremental_svd(data.to_dataset(),
-                                                 config_.svd);
+                                                 config_.svd, pool);
 
   // Step 2a: organize the reduced points with an R-tree (bulk-loaded; the
   // paper builds the initial tree offline in O(k log k)).

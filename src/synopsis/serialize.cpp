@@ -17,7 +17,9 @@ constexpr char kSynMagic[4] = {'A', 'T', 'S', 'Y'};
 constexpr char kStructMagic[4] = {'A', 'T', 'S', 'S'};
 constexpr std::uint32_t kVersion = 1;
 
-void write_sparse_vector(common::BinaryWriter& w, const SparseVector& v) {
+/// Works for SparseVector and SparseRowView alike.
+template <typename Row>
+void write_sparse_vector(common::BinaryWriter& w, const Row& v) {
   w.u64(v.size());
   for (const auto& [c, val] : v) {
     w.u32(c);

@@ -1,10 +1,26 @@
 #include "synopsis/sparse_rows.h"
 
 #include <algorithm>
-#include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 namespace at::synopsis {
+
+bool operator==(const SparseRowView& a, const SparseRowView& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.cols()[i] != b.cols()[i] || a.vals()[i] != b.vals()[i]) return false;
+  }
+  return true;
+}
+
+bool operator==(const SparseRowView& a, const SparseVector& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.cols()[i] != b[i].first || a.vals()[i] != b[i].second) return false;
+  }
+  return true;
+}
 
 void normalize(SparseVector& v) {
   std::sort(v.begin(), v.end(),
@@ -21,90 +37,94 @@ void normalize(SparseVector& v) {
   v = std::move(merged);
 }
 
-double value_at(const SparseVector& v, std::uint32_t c) {
-  auto it = std::lower_bound(
-      v.begin(), v.end(), c,
-      [](const auto& entry, std::uint32_t col) { return entry.first < col; });
-  if (it != v.end() && it->first == c) return it->second;
-  return 0.0;
-}
-
-double dot(const SparseVector& a, const SparseVector& b) {
-  double acc = 0.0;
-  std::size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i].first < b[j].first) {
-      ++i;
-    } else if (a[i].first > b[j].first) {
-      ++j;
-    } else {
-      acc += a[i].second * b[j].second;
-      ++i;
-      ++j;
-    }
-  }
-  return acc;
-}
-
-double norm(const SparseVector& v) {
-  double acc = 0.0;
-  for (const auto& [c, val] : v) acc += val * val;
-  return std::sqrt(acc);
-}
-
-double cosine(const SparseVector& a, const SparseVector& b) {
-  const double na = norm(a);
-  const double nb = norm(b);
-  if (na == 0.0 || nb == 0.0) return 0.0;
-  return dot(a, b) / (na * nb);
-}
-
 std::uint32_t SparseRows::add_row(SparseVector v) {
   normalize(v);
   if (!v.empty() && v.back().first >= cols_)
     throw std::out_of_range("SparseRows::add_row: column out of range");
-  rows_.push_back(std::move(v));
-  return static_cast<std::uint32_t>(rows_.size() - 1);
+  // No exact-size reserve here: push_back's geometric growth keeps a long
+  // sequence of add_row calls amortized O(1) per entry. Bulk callers that
+  // know their size use reserve_entries() up front.
+  Extent e{col_pool_.size(), static_cast<std::uint32_t>(v.size())};
+  for (const auto& [c, val] : v) {
+    col_pool_.push_back(c);
+    val_pool_.push_back(val);
+  }
+  extents_.push_back(e);
+  live_entries_ += v.size();
+  return static_cast<std::uint32_t>(extents_.size() - 1);
 }
 
 void SparseRows::replace_row(std::uint32_t row, SparseVector v) {
   normalize(v);
   if (!v.empty() && v.back().first >= cols_)
     throw std::out_of_range("SparseRows::replace_row: column out of range");
-  rows_.at(row) = std::move(v);
+  if (row >= extents_.size())
+    throw std::out_of_range("SparseRows::replace_row: row out of range");
+  Extent& e = extents_[row];
+  live_entries_ -= e.len;
+  if (v.size() <= e.len) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      col_pool_[e.off + i] = v[i].first;
+      val_pool_[e.off + i] = v[i].second;
+    }
+    e.len = static_cast<std::uint32_t>(v.size());
+  } else {
+    e.off = col_pool_.size();
+    e.len = static_cast<std::uint32_t>(v.size());
+    for (const auto& [c, val] : v) {
+      col_pool_.push_back(c);
+      val_pool_.push_back(val);
+    }
+  }
+  live_entries_ += v.size();
 }
 
-std::size_t SparseRows::total_entries() const {
+SparseRowView SparseRows::row(std::uint32_t r) const {
+  const Extent& e = extents_.at(r);
+  return SparseRowView(col_pool_.data() + e.off, val_pool_.data() + e.off,
+                       e.len);
+}
+
+void SparseRows::reserve_entries(std::size_t entries) {
+  col_pool_.reserve(col_pool_.size() + entries);
+  val_pool_.reserve(val_pool_.size() + entries);
+}
+
+linalg::SparseDataset SparseRows::span_dataset(std::uint32_t first) const {
+  linalg::SparseDataset ds;
+  ds.rows = extents_.size() - first;
+  ds.cols = cols_;
   std::size_t n = 0;
-  for (const auto& r : rows_) n += r.size();
-  return n;
+  for (std::size_t r = first; r < extents_.size(); ++r) n += extents_[r].len;
+  ds.entries.reserve(n);
+  ds.row_ptr.reserve(ds.rows + 1);
+  ds.col_idx.reserve(n);
+  ds.values.reserve(n);
+  ds.row_ptr.push_back(0);
+  for (std::size_t r = first; r < extents_.size(); ++r) {
+    const Extent& e = extents_[r];
+    const auto local = static_cast<std::uint32_t>(r - first);
+    for (std::uint32_t i = 0; i < e.len; ++i) {
+      ds.entries.push_back(
+          {local, col_pool_[e.off + i], val_pool_[e.off + i]});
+    }
+    ds.col_idx.insert(ds.col_idx.end(), col_pool_.begin() + e.off,
+                      col_pool_.begin() + e.off + e.len);
+    ds.values.insert(ds.values.end(), val_pool_.begin() + e.off,
+                     val_pool_.begin() + e.off + e.len);
+    ds.row_ptr.push_back(ds.col_idx.size());
+  }
+  return ds;
 }
 
 linalg::SparseDataset SparseRows::to_dataset() const {
-  linalg::SparseDataset ds;
-  ds.rows = rows_.size();
-  ds.cols = cols_;
-  ds.entries.reserve(total_entries());
-  for (std::uint32_t r = 0; r < rows_.size(); ++r) {
-    for (const auto& [c, val] : rows_[r]) {
-      ds.entries.push_back({r, c, val});
-    }
-  }
-  return ds;
+  return span_dataset(0);
 }
 
 linalg::SparseDataset SparseRows::tail_dataset(std::uint32_t first) const {
-  if (first > rows_.size())
+  if (first > extents_.size())
     throw std::out_of_range("SparseRows::tail_dataset: first out of range");
-  linalg::SparseDataset ds;
-  ds.rows = rows_.size() - first;
-  ds.cols = cols_;
-  for (std::uint32_t r = first; r < rows_.size(); ++r) {
-    for (const auto& [c, val] : rows_[r]) {
-      ds.entries.push_back({r - first, c, val});
-    }
-  }
-  return ds;
+  return span_dataset(first);
 }
 
 }  // namespace at::synopsis

@@ -9,34 +9,6 @@
 
 namespace at::synopsis {
 
-void SynopsisUpdater::retrain_row(linalg::SvdModel& svd, std::uint32_t row,
-                                  const SparseVector& content) const {
-  const std::size_t rank = svd.row_factors.cols();
-  double* p = svd.row_factors.row(row);
-  // Warm start from the current coordinates; train dimension-by-dimension
-  // against frozen column factors, exactly like fold-in.
-  for (std::size_t d = 0; d < rank; ++d) {
-    for (std::size_t epoch = 0; epoch < config_.svd.epochs_per_dim; ++epoch) {
-      for (const auto& [c, val] : content) {
-        const double* q = svd.col_factors.row(c);
-        double pred = 0.0;
-        if (svd.has_biases()) {
-          pred = svd.global_mean + svd.row_bias[row] + svd.col_bias[c];
-        }
-        for (std::size_t k = 0; k <= d; ++k) pred += p[k] * q[k];
-        const double err = val - pred;
-        if (svd.has_biases()) {
-          double& br = svd.row_bias[row];
-          br += config_.svd.learning_rate *
-                (err - config_.svd.regularization * br);
-        }
-        p[d] += config_.svd.learning_rate *
-                (err * q[d] - config_.svd.regularization * p[d]);
-      }
-    }
-  }
-}
-
 UpdateReport SynopsisUpdater::apply(SynopsisStructure& s, SparseRows& data,
                                     Synopsis& synopsis,
                                     const UpdateBatch& batch,
@@ -51,13 +23,17 @@ UpdateReport SynopsisUpdater::apply(SynopsisStructure& s, SparseRows& data,
   // --- additions -----------------------------------------------------------
   if (!batch.added.empty()) {
     const auto first_new = static_cast<std::uint32_t>(data.rows());
+    std::size_t new_entries = 0;
+    for (const auto& v : batch.added) new_entries += v.size();
+    data.reserve_entries(new_entries);
     for (const auto& v : batch.added) {
       SparseVector copy = v;
       data.add_row(std::move(copy));
     }
-    // Fold the appended rows into the SVD (column factors frozen).
+    // Fold the appended rows into the SVD (column factors frozen; rows are
+    // independent, so the pool-parallel path matches the sequential one).
     linalg::SparseDataset tail = data.tail_dataset(first_new);
-    linalg::fold_in_rows(s.svd, tail, config_.svd);
+    linalg::fold_in_rows(s.svd, tail, config_.svd, pool);
 
     // Mirror the new coordinates into `reduced` and insert leaf entries.
     linalg::Matrix grown(data.rows(), rank);
@@ -76,24 +52,50 @@ UpdateReport SynopsisUpdater::apply(SynopsisStructure& s, SparseRows& data,
   }
 
   // --- changes --------------------------------------------------------------
-  for (const auto& [row, content] : batch.changed) {
-    if (row >= data.rows())
-      throw std::out_of_range("SynopsisUpdater: changed row out of range");
-    SparseVector normalized = content;
-    normalize(normalized);
-    data.replace_row(row, normalized);
+  // Phase 1 (sequential): replace row contents and delete the stale leaf
+  // entries. A row changed twice in one batch keeps its last content and is
+  // erased/retrained/re-inserted once.
+  std::vector<std::uint32_t> retrain_rows;  // unique, first-encounter order
+  if (!batch.changed.empty()) {
+    std::vector<char> seen(data.rows(), 0);
+    retrain_rows.reserve(batch.changed.size());
+    for (const auto& [row, content] : batch.changed) {
+      if (row >= data.rows())
+        throw std::out_of_range("SynopsisUpdater: changed row out of range");
+      if (!seen[row]) {
+        const rtree::Rect old_rect = rtree::Rect::point(
+            std::span<const double>(s.reduced.row(row), rank));
+        if (!s.tree.erase(row, old_rect))
+          throw std::logic_error("SynopsisUpdater: stale point missing in tree");
+        seen[row] = 1;
+        retrain_rows.push_back(row);
+      }
+      SparseVector normalized = content;
+      normalize(normalized);
+      data.replace_row(row, normalized);
+    }
 
-    // Delete the stale leaf entry, retrain the row's coordinates, re-insert.
-    const rtree::Rect old_rect =
-        rtree::Rect::point(std::span<const double>(s.reduced.row(row), rank));
-    if (!s.tree.erase(row, old_rect))
-      throw std::logic_error("SynopsisUpdater: stale point missing in tree");
+    // Phase 2 (parallel): retrain each changed row's reduced coordinates
+    // against frozen column factors. Rows are disjoint, so this is exact.
+    auto retrain = [&](std::size_t k) {
+      const std::uint32_t row = retrain_rows[k];
+      const SparseRowView rv = data.row(row);
+      linalg::retrain_row_factors(s.svd, row, rv.cols(), rv.vals(), rv.size(),
+                                  config_.svd);
+    };
+    if (pool != nullptr && retrain_rows.size() > 1) {
+      pool->parallel_for(retrain_rows.size(), retrain);
+    } else {
+      for (std::size_t k = 0; k < retrain_rows.size(); ++k) retrain(k);
+    }
 
-    retrain_row(s.svd, row, normalized);
-    for (std::size_t d = 0; d < rank; ++d)
-      s.reduced(row, d) = s.svd.row_factors(row, d);
-    s.tree.insert_point(row,
-                        std::span<const double>(s.reduced.row(row), rank));
+    // Phase 3 (sequential): mirror coordinates and re-insert leaf entries.
+    for (const auto row : retrain_rows) {
+      for (std::size_t d = 0; d < rank; ++d)
+        s.reduced(row, d) = s.svd.row_factors(row, d);
+      s.tree.insert_point(row,
+                          std::span<const double>(s.reduced.row(row), rank));
+    }
   }
   report.points_changed = batch.changed.size();
 

@@ -49,17 +49,16 @@ class SynopsisUpdater {
   explicit SynopsisUpdater(BuildConfig config) : config_(config) {}
 
   /// Applies the batch, mutating the data rows, the synopsis structure and
-  /// the aggregated synopsis in place.
+  /// the aggregated synopsis in place. When `pool` is given, the SVD
+  /// fold-in of added rows, the changed rows' coordinate retraining and
+  /// the dirty-group re-aggregation all run pool-parallel (each is
+  /// per-row/per-group independent, so results match the sequential path).
   UpdateReport apply(SynopsisStructure& s, SparseRows& data,
                      Synopsis& synopsis, const UpdateBatch& batch,
                      AggregationKind kind,
                      common::ThreadPool* pool = nullptr) const;
 
  private:
-  /// Retrains one row's reduced coordinates against frozen column factors.
-  void retrain_row(linalg::SvdModel& svd, std::uint32_t row,
-                   const SparseVector& content) const;
-
   BuildConfig config_;
 };
 
