@@ -78,6 +78,11 @@ int main() {
       "100 ms deadline in all sessions of hours 9, 10 and 24.");
 
   auto fx = make_search_fixture(12.0, 100);
+  const auto isz = fx.service->index_size();
+  std::cout << "  shard indexes: " << isz.postings << " postings, raw "
+            << isz.raw_bytes << " B -> compressed " << isz.compressed_bytes
+            << " B (ratio " << common::TableWriter::fmt(isz.ratio(), 3)
+            << ")\n";
   auto scfg = default_sim_config(fx);
   apply_search_imax(scfg, fx);
   const workload::DiurnalProfile profile(100.0);  // peak 100 req/s: busy hours overload exact processing

@@ -22,6 +22,7 @@ struct ServiceSummary {
   double latency_reduction_vs_reissue = 0.0;
   double at_loss_pct = 0.0;
   double loss_reduction_vs_partial = 0.0;
+  search::IndexSizeStats index_size;  // search service only
 };
 
 ServiceSummary run_cf() {
@@ -60,6 +61,8 @@ ServiceSummary run_cf() {
 
 ServiceSummary run_search() {
   auto fx = make_search_fixture(12.0, 250);
+  ServiceSummary sizes;  // captured up front; the sim loop reuses fx
+  sizes.index_size = fx.service->index_size();
   auto scfg = default_sim_config(fx);
   apply_search_imax(scfg, fx);
   scfg.session_length_s = 1e9;
@@ -91,7 +94,7 @@ ServiceSummary run_search() {
                    .loss_pct;
     ++samples;
   }
-  ServiceSummary s;
+  ServiceSummary s = sizes;
   s.latency_reduction_vs_reissue = reissue_sum / at_sum;
   s.at_loss_pct = at_loss / samples;
   s.loss_reduction_vs_partial =
@@ -116,8 +119,14 @@ void write_json(const ServiceSummary& cf, const ServiceSummary& se) {
        << "    \"p999_latency_reduction_vs_reissue\": "
        << s.latency_reduction_vs_reissue << ",\n"
        << "    \"accuracy_trader_loss_pct\": " << s.at_loss_pct << ",\n"
-       << "    \"loss_reduction_vs_partial\": " << s.loss_reduction_vs_partial
-       << "\n  }" << (last ? "\n" : ",\n");
+       << "    \"loss_reduction_vs_partial\": " << s.loss_reduction_vs_partial;
+    if (s.index_size.postings > 0) {
+      os << ",\n    \"index_raw_bytes\": " << s.index_size.raw_bytes
+         << ",\n    \"index_compressed_bytes\": "
+         << s.index_size.compressed_bytes
+         << ",\n    \"index_size_ratio\": " << s.index_size.ratio();
+    }
+    os << "\n  }" << (last ? "\n" : ",\n");
   };
   os << "{\n  \"bench\": \"bench_headline_summary\",\n"
      << "  \"scale\": \"" << (large_scale() ? "large" : "small") << "\",\n";
@@ -160,6 +169,10 @@ int main() {
   table.print(std::cout);
   std::cout << "  paper claims: >40x latency reduction at <7% loss; >13x "
                "loss reduction at equal latency.\n";
+  std::cout << "  search index footprint: raw " << se.index_size.raw_bytes
+            << " B -> compressed " << se.index_size.compressed_bytes
+            << " B (ratio "
+            << common::TableWriter::fmt(se.index_size.ratio(), 3) << ")\n";
   write_json(cf, se);
   return 0;
 }

@@ -40,6 +40,12 @@ class BinaryWriter {
     for (double x : v) f64(x);
   }
 
+  /// Length-prefixed opaque byte blob (codec payloads).
+  void blob(const std::vector<std::uint8_t>& v) {
+    u64(v.size());
+    if (!v.empty()) raw(v.data(), v.size());
+  }
+
   /// Artifact header: 4-byte magic + format version.
   void magic(const char tag[4], std::uint32_t version) {
     raw(tag, 4);
@@ -97,6 +103,13 @@ class BinaryReader {
     const auto n = u64();
     std::vector<double> v(n);
     for (auto& x : v) x = f64();
+    return v;
+  }
+
+  std::vector<std::uint8_t> blob() {
+    const auto n = u64();
+    std::vector<std::uint8_t> v(n);
+    if (n > 0) raw(v.data(), n);
     return v;
   }
 

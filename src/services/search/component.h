@@ -54,6 +54,9 @@ class SearchComponent {
   const synopsis::Synopsis& synopsis() const { return synopsis_; }
   const InvertedIndex& index() const { return index_; }
 
+  /// Compressed vs raw postings footprint of this shard's inverted index.
+  IndexSizeStats index_size() const { return index_.size_stats(); }
+
   /// Per-term document frequencies (for building the corpus-global idf).
   std::vector<std::uint32_t> doc_frequencies() const;
   /// Installs the corpus-global idf table used in all scoring.

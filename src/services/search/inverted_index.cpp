@@ -8,11 +8,13 @@ namespace at::search {
 void ScoreAccumulator::begin(std::size_t num_docs) {
   if (score_.size() < num_docs) {
     score_.resize(num_docs, 0.0);
-    stamp_.resize(num_docs, 0);
+    stamp_.resize(num_docs, 0);  // 0 == reserved "never touched" stamp
   }
   touched_.clear();
-  ++epoch_;
-  if (epoch_ == 0) {  // stamp wrap: invalidate everything once
+  // The first begin() moves the epoch off the reserved value before any
+  // add() can compare against it; on wraparound to 0, clear every stamp so
+  // values stamped one full cycle ago can't alias the reused epochs.
+  if (++epoch_ == 0) {
     std::fill(stamp_.begin(), stamp_.end(), 0);
     epoch_ = 1;
   }
@@ -23,7 +25,7 @@ InvertedIndex::InvertedIndex(const synopsis::SparseRows& docs,
     : scorer_(scorer) {
   const std::size_t vocab = docs.cols();
   const std::size_t n = docs.rows();
-  term_ptr_.assign(vocab + 1, 0);
+  std::vector<std::size_t> term_ptr(vocab + 1, 0);
   doc_length_.assign(n, 0.0);
 
   // Pass 1: per-term posting counts and per-doc lengths.
@@ -31,29 +33,37 @@ InvertedIndex::InvertedIndex(const synopsis::SparseRows& docs,
   for (std::uint32_t d = 0; d < n; ++d) {
     double len = 0.0;
     for (const auto& [term, count] : docs.row(d)) {
-      ++term_ptr_[term + 1];
+      ++term_ptr[term + 1];
       len += count;
     }
     doc_length_[d] = len;
     total_len += len;
   }
-  for (std::size_t t = 0; t < vocab; ++t) term_ptr_[t + 1] += term_ptr_[t];
+  for (std::size_t t = 0; t < vocab; ++t) term_ptr[t + 1] += term_ptr[t];
 
-  // Pass 2: fill the flat posting arrays (docs ascending per term because
-  // rows are visited in doc order).
-  const std::size_t entries = term_ptr_[vocab];
-  const bool cache_sqrt = scorer_.scorer == Scorer::kTfIdf;
-  post_doc_.resize(entries);
-  post_tf_.resize(entries);
-  if (cache_sqrt) post_sqrt_tf_.resize(entries);  // only the tf-idf path reads it
-  std::vector<std::size_t> fill(term_ptr_.begin(), term_ptr_.end() - 1);
+  // Pass 2: fill flat posting arrays (docs ascending per term because rows
+  // are visited in doc order), then compress them block-wise. The raw
+  // arrays are build scratch only and are freed on return.
+  const std::size_t entries = term_ptr[vocab];
+  std::vector<std::uint32_t> post_doc(entries);
+  std::vector<double> post_tf(entries);
+  std::vector<std::size_t> fill(term_ptr.begin(), term_ptr.end() - 1);
   for (std::uint32_t d = 0; d < n; ++d) {
     for (const auto& [term, count] : docs.row(d)) {
       const std::size_t slot = fill[term]++;
-      post_doc_[slot] = d;
-      post_tf_[slot] = count;
-      if (cache_sqrt) post_sqrt_tf_[slot] = std::sqrt(count);
+      post_doc[slot] = d;
+      post_tf[slot] = count;
     }
+  }
+  postings_ = CompressedPostings(term_ptr, post_doc, post_tf);
+
+  // Local idf is fixed once the counts are known; caching it keeps the
+  // per-term log() out of the query loop.
+  local_idf_.resize(vocab);
+  const double nd = static_cast<double>(n);
+  for (std::size_t t = 0; t < vocab; ++t) {
+    const double df = static_cast<double>(term_ptr[t + 1] - term_ptr[t]);
+    local_idf_[t] = std::log(1.0 + nd / (1.0 + df));
   }
 
   mean_doc_length_ = n > 0 ? total_len / static_cast<double>(n) : 0.0;
@@ -69,19 +79,17 @@ InvertedIndex::InvertedIndex(const synopsis::SparseRows& docs,
   }
 }
 
-PostingsView InvertedIndex::postings(std::uint32_t term) const {
-  if (term >= vocab_size()) return {};
-  const std::size_t lo = term_ptr_[term];
-  const std::size_t hi = term_ptr_[term + 1];
-  return PostingsView(post_doc_.data() + lo, post_tf_.data() + lo, hi - lo);
-}
-
-std::uint32_t InvertedIndex::doc_frequency(std::uint32_t term) const {
-  if (term >= vocab_size()) return 0;
-  return static_cast<std::uint32_t>(term_ptr_[term + 1] - term_ptr_[term]);
+std::vector<Posting> InvertedIndex::postings(std::uint32_t term) const {
+  std::vector<std::uint32_t> docs;
+  std::vector<double> tfs;
+  postings_.decode_term(term, docs, tfs);
+  std::vector<Posting> out(docs.size());
+  for (std::size_t i = 0; i < docs.size(); ++i) out[i] = {docs[i], tfs[i]};
+  return out;
 }
 
 double InvertedIndex::idf(std::uint32_t term) const {
+  if (term < local_idf_.size()) return local_idf_[term];
   const double n = static_cast<double>(num_docs());
   const double df = static_cast<double>(doc_frequency(term));
   return std::log(1.0 + n / (1.0 + df));
@@ -115,6 +123,20 @@ double InvertedIndex::term_doc_score(double tf, double idf,
   return std::sqrt(tf) * idf * len_norm;
 }
 
+IndexSizeStats InvertedIndex::size_stats() const {
+  IndexSizeStats s;
+  s.postings = postings_.total_postings();
+  // Raw layout this codec replaced: size_t term offsets plus u32 doc and
+  // f64 tf per posting, and the cached f64 sqrt(tf) the tf-idf path kept.
+  const std::size_t per_posting =
+      sizeof(std::uint32_t) + sizeof(double) +
+      (scorer_.scorer == Scorer::kTfIdf ? sizeof(double) : 0);
+  s.raw_bytes = (postings_.num_terms() + 1) * sizeof(std::size_t) +
+                s.postings * per_posting;
+  s.compressed_bytes = postings_.compressed_bytes();
+  return s;
+}
+
 namespace {
 // One dense scratch per thread, reused across queries and indexes.
 ScoreAccumulator& scratch() {
@@ -128,22 +150,25 @@ void InvertedIndex::accumulate(const std::vector<std::uint32_t>& terms,
   acc.begin(num_docs());
   const bool bm25 = scorer_.scorer == Scorer::kBm25;
   const double k1 = scorer_.bm25_k1;
+  // Fused decode-and-score: postings blocks decode straight into the
+  // accumulator adds — quantized tfs go through the sqrt LUT (tf-idf) or a
+  // plain int->double (BM25), both bit-identical to the raw-array kernel.
   for (auto term : terms) {
     const double w = idf_for(term);
     if (w <= 0.0 || term >= vocab_size()) continue;
-    const std::size_t lo = term_ptr_[term];
-    const std::size_t hi = term_ptr_[term + 1];
     if (bm25) {
-      for (std::size_t i = lo; i < hi; ++i) {
-        const std::uint32_t doc = post_doc_[i];
-        const double tf = post_tf_[i];
+      postings_.scan(term, [&](std::uint32_t doc, std::uint8_t code,
+                               double exc) {
+        const double tf = code != 0 ? static_cast<double>(code) : exc;
         acc.add(doc, w * (tf * (k1 + 1.0)) / (tf + bm25_norm_[doc]));
-      }
+      });
     } else {
-      for (std::size_t i = lo; i < hi; ++i) {
-        const std::uint32_t doc = post_doc_[i];
-        acc.add(doc, post_sqrt_tf_[i] * w * len_norm_[doc]);
-      }
+      postings_.scan(term, [&](std::uint32_t doc, std::uint8_t code,
+                               double exc) {
+        const double sqrt_tf =
+            code != 0 ? codec::kSqrtLut[code] : std::sqrt(exc);
+        acc.add(doc, sqrt_tf * w * len_norm_[doc]);
+      });
     }
   }
 }

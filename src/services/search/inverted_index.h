@@ -5,18 +5,22 @@
 // with idf_t = ln(1 + N / (1 + df_t)). The idf table can be swapped for a
 // service-global one so scores merge consistently across components.
 //
-// Postings are stored CSR-style: one contiguous doc-id array and one tf
-// array shared by all terms, with per-term offsets — built in two passes
-// (count, fill) with no per-term vector growth. Scoring accumulates into a
-// dense, epoch-stamped per-doc scratch buffer that is reused across
-// queries (no per-query hashing or allocation), and top-k selection runs
-// directly over the touched docs without materializing the candidate list.
+// Postings are stored block-compressed (postings_codec.h): delta-encoded
+// doc ids in 128-entry varint/group-varint blocks with one-byte quantized
+// tfs, decoded a block at a time inside the scoring loop — the raw arrays
+// are never materialized and results stay bit-identical to the
+// uncompressed layout. Scoring accumulates into a dense, epoch-stamped
+// per-doc scratch buffer that is reused across queries (no per-query
+// hashing or allocation), and top-k selection runs directly over the
+// touched docs without materializing the candidate list.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "services/search/postings_codec.h"
 #include "services/search/topk.h"
 #include "synopsis/sparse_rows.h"
 
@@ -25,44 +29,6 @@ namespace at::search {
 struct Posting {
   std::uint32_t doc = 0;  // local document id
   double tf = 0.0;        // term occurrence count
-};
-
-/// Non-owning slice of one term's postings (docs ascending).
-class PostingsView {
- public:
-  PostingsView() = default;
-  PostingsView(const std::uint32_t* docs, const double* tfs, std::size_t n)
-      : docs_(docs), tfs_(tfs), size_(n) {}
-
-  std::size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
-  Posting operator[](std::size_t i) const { return {docs_[i], tfs_[i]}; }
-
-  const std::uint32_t* docs() const { return docs_; }
-  const double* tfs() const { return tfs_; }
-
-  class const_iterator {
-   public:
-    const_iterator(const std::uint32_t* d, const double* t) : d_(d), t_(t) {}
-    Posting operator*() const { return {*d_, *t_}; }
-    const_iterator& operator++() {
-      ++d_;
-      ++t_;
-      return *this;
-    }
-    bool operator!=(const const_iterator& o) const { return d_ != o.d_; }
-
-   private:
-    const std::uint32_t* d_;
-    const double* t_;
-  };
-  const_iterator begin() const { return {docs_, tfs_}; }
-  const_iterator end() const { return {docs_ + size_, tfs_ + size_}; }
-
- private:
-  const std::uint32_t* docs_ = nullptr;
-  const double* tfs_ = nullptr;
-  std::size_t size_ = 0;
 };
 
 /// Ranking function.
@@ -80,16 +46,37 @@ struct ScorerParams {
   double bm25_b = 0.75;
 };
 
+/// Index storage footprint: the compressed byte pool against the raw
+/// (u32 doc + f64 tf [+ f64 cached sqrt]) layout it replaced, both
+/// including the per-term directory.
+struct IndexSizeStats {
+  std::size_t postings = 0;
+  std::size_t raw_bytes = 0;
+  std::size_t compressed_bytes = 0;
+  double ratio() const {
+    return raw_bytes > 0
+               ? static_cast<double>(compressed_bytes) /
+                     static_cast<double>(raw_bytes)
+               : 0.0;
+  }
+};
+
 /// Dense per-doc score scratch, reusable across queries. A doc's slot is
 /// valid only when its stamp matches the current epoch, so clearing costs
 /// O(#touched docs) rather than O(#docs); `touched` lists the matching
 /// docs in first-touch order.
+///
+/// Stamp 0 is reserved as "never touched": freshly grown slots hold it and
+/// begin() never hands out epoch 0, so a resize can't alias a new slot
+/// into the current query. On epoch wraparound every stamp is cleared once
+/// so counter reuse can't resurrect stale slots either.
 class ScoreAccumulator {
  public:
   /// Starts a new accumulation over `num_docs` local doc ids.
   void begin(std::size_t num_docs);
 
   void add(std::uint32_t doc, double score) {
+    assert(doc < stamp_.size() && "add() before begin() sized this doc");
     if (stamp_[doc] != epoch_) {
       stamp_[doc] = epoch_;
       score_[doc] = score;
@@ -101,6 +88,11 @@ class ScoreAccumulator {
 
   double score(std::uint32_t doc) const { return score_[doc]; }
   const std::vector<std::uint32_t>& touched() const { return touched_; }
+
+  std::uint32_t epoch() const { return epoch_; }
+  /// Test hook: jumps the epoch counter (e.g. next to the wrap point).
+  /// begin() still owns stamp invalidation.
+  void set_epoch_for_test(std::uint32_t e) { epoch_ = e; }
 
  private:
   std::vector<double> score_;
@@ -117,11 +109,14 @@ class InvertedIndex {
                          ScorerParams scorer = {});
 
   std::size_t num_docs() const { return doc_length_.size(); }
-  std::size_t vocab_size() const { return term_ptr_.empty() ? 0
-                                       : term_ptr_.size() - 1; }
+  std::size_t vocab_size() const { return postings_.num_terms(); }
 
-  PostingsView postings(std::uint32_t term) const;
-  std::uint32_t doc_frequency(std::uint32_t term) const;
+  /// Decoded copy of one term's postings (docs ascending). Debug/interop
+  /// path — scoring decodes blocks in place and never materializes this.
+  std::vector<Posting> postings(std::uint32_t term) const;
+  std::uint32_t doc_frequency(std::uint32_t term) const {
+    return postings_.count(term);
+  }
   double doc_length(std::uint32_t doc) const { return doc_length_.at(doc); }
 
   /// Local idf of a term (from this index's own document counts).
@@ -161,21 +156,20 @@ class InvertedIndex {
   const ScorerParams& scorer() const { return scorer_; }
   double mean_doc_length() const { return mean_doc_length_; }
 
+  /// Compressed vs raw-equivalent postings footprint.
+  IndexSizeStats size_stats() const;
+
  private:
   double idf_for(std::uint32_t term) const;
   double term_doc_score(double tf, double idf, double doc_len) const;
-  /// Runs the term-at-a-time accumulation into `acc`.
+  /// Runs the term-at-a-time accumulation into `acc`, decoding postings
+  /// blocks on the fly.
   void accumulate(const std::vector<std::uint32_t>& terms,
                   ScoreAccumulator& acc) const;
 
   ScorerParams scorer_;
-  // CSR postings: term t's postings live at [term_ptr_[t], term_ptr_[t+1])
-  // in post_doc_/post_tf_; post_sqrt_tf_ caches sqrt(tf) for the tf-idf
-  // scorer so the hot loop does one multiply per posting.
-  std::vector<std::size_t> term_ptr_;
-  std::vector<std::uint32_t> post_doc_;
-  std::vector<double> post_tf_;
-  std::vector<double> post_sqrt_tf_;
+  CompressedPostings postings_;
+  std::vector<double> local_idf_;   // ln(1 + N/(1+df)) per term
   std::vector<double> doc_length_;  // total term count per doc
   std::vector<double> len_norm_;    // 1/sqrt(doc length), 0 for empty docs
   std::vector<double> bm25_norm_;   // k1*(1-b+b*dl/avg) per doc

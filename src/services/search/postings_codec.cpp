@@ -1,0 +1,281 @@
+#include "services/search/postings_codec.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace at::search {
+namespace codec {
+namespace {
+
+std::size_t varint_len(std::uint32_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Bytes needed by the group-varint data section for one value (1..4).
+std::size_t group_len(std::uint32_t v) {
+  if (v < (1u << 8)) return 1;
+  if (v < (1u << 16)) return 2;
+  if (v < (1u << 24)) return 3;
+  return 4;
+}
+
+[[noreturn]] void fail_truncated() {
+  throw std::runtime_error("postings codec: truncated input");
+}
+
+/// Bounds-checked varint read for file-supplied bytes (the header-inline
+/// get_varint trusts in-memory pools the encoder built).
+const std::uint8_t* get_varint_bounded(const std::uint8_t* p,
+                                       const std::uint8_t* end,
+                                       std::uint64_t* v) {
+  std::uint64_t r = 0;
+  int shift = 0;
+  for (;;) {
+    if (p >= end || shift > 63) fail_truncated();
+    const std::uint8_t byte = *p++;
+    r |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *v = r;
+  return p;
+}
+
+const std::uint8_t* get_group4_bounded(const std::uint8_t* p,
+                                       const std::uint8_t* end,
+                                       std::uint32_t v[4]) {
+  if (p >= end) fail_truncated();
+  std::size_t data_len = 0;
+  const std::uint8_t control = *p;
+  for (int i = 0; i < 4; ++i) data_len += ((control >> (2 * i)) & 0x3) + 1;
+  if (end - p < static_cast<std::ptrdiff_t>(1 + data_len)) fail_truncated();
+  return get_group4(p, v);
+}
+
+void write_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint8_t buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out.insert(out.end(), buf, buf + sizeof v);
+}
+
+/// Appends one block (<= kBlockSize postings); returns the new running
+/// previous id. Layout: tag, tf codes, exception count + exception
+/// doubles, then the encoded deltas — values before ids so decoders can
+/// pin the code/exception cursors and stream the delta walk straight into
+/// the consumer without staging doc ids.
+std::uint32_t encode_block(std::vector<std::uint8_t>& out,
+                           const std::uint32_t* ids, const double* vals,
+                           std::size_t n, std::uint32_t prev) {
+  std::uint32_t deltas[kBlockSize];
+  std::size_t varint_bytes = 0;
+  std::size_t group_bytes = (n + 3) / 4;  // control bytes
+  for (std::size_t i = 0; i < n; ++i) {
+    deltas[i] = ids[i] - prev;
+    prev = ids[i];
+    varint_bytes += varint_len(deltas[i]);
+    group_bytes += group_len(deltas[i]);
+  }
+  group_bytes += (n + 3) / 4 * 4 - n;  // padded tail slots cost 1 byte each
+  const std::uint8_t tag =
+      group_bytes < varint_bytes ? kTagGroupVarint : kTagVarint;
+  out.push_back(tag);
+
+  std::uint8_t codes[kBlockSize];
+  std::uint32_t exc_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    codes[i] = quantize_tf(vals[i]);
+    out.push_back(codes[i]);
+    if (codes[i] == 0) ++exc_count;
+  }
+  put_varint(out, exc_count);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (codes[i] == 0) write_f64(out, vals[i]);
+  }
+
+  if (tag == kTagGroupVarint) {
+    for (std::size_t i = 0; i < n; i += 4) {
+      std::uint32_t quad[4] = {0, 0, 0, 0};
+      for (std::size_t j = 0; j < 4 && i + j < n; ++j) quad[j] = deltas[i + j];
+      put_group4(out, quad);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) put_varint(out, deltas[i]);
+  }
+  return prev;
+}
+
+}  // namespace
+
+// Shared with the scoring loop: the LUT entries are the very std::sqrt
+// values the uncompressed index cached per posting, so substituting a
+// lookup for the call cannot change a result bit.
+const double kSqrtLut[256] = {
+#define AT_SQRT1(i) std::sqrt(static_cast<double>(i))
+#define AT_SQRT8(i)                                                    \
+  AT_SQRT1(i), AT_SQRT1(i + 1), AT_SQRT1(i + 2), AT_SQRT1(i + 3),      \
+      AT_SQRT1(i + 4), AT_SQRT1(i + 5), AT_SQRT1(i + 6), AT_SQRT1(i + 7)
+#define AT_SQRT64(i) \
+  AT_SQRT8(i), AT_SQRT8(i + 8), AT_SQRT8(i + 16), AT_SQRT8(i + 24), \
+      AT_SQRT8(i + 32), AT_SQRT8(i + 40), AT_SQRT8(i + 48), AT_SQRT8(i + 56)
+    AT_SQRT64(0), AT_SQRT64(64), AT_SQRT64(128), AT_SQRT64(192)
+#undef AT_SQRT64
+#undef AT_SQRT8
+#undef AT_SQRT1
+};
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_group4(std::vector<std::uint8_t>& out, const std::uint32_t v[4]) {
+  std::uint8_t control = 0;
+  for (int i = 0; i < 4; ++i) {
+    control |= static_cast<std::uint8_t>((group_len(v[i]) - 1) << (2 * i));
+  }
+  out.push_back(control);
+  for (int i = 0; i < 4; ++i) {
+    std::uint32_t x = v[i];
+    for (std::size_t b = group_len(v[i]); b > 0; --b) {
+      out.push_back(static_cast<std::uint8_t>(x));
+      x >>= 8;
+    }
+  }
+}
+
+std::uint8_t quantize_tf(double tf) {
+  // Negated range test so NaN (which fails every comparison) takes the
+  // exception path instead of reaching the float->int cast (UB for
+  // unrepresentable values).
+  if (!(tf >= 1.0 && tf <= 255.0)) return 0;
+  const auto i = static_cast<std::uint32_t>(tf);
+  return static_cast<double>(i) == tf ? static_cast<std::uint8_t>(i) : 0;
+}
+
+void encode_list(std::vector<std::uint8_t>& out, const std::uint32_t* ids,
+                 const double* vals, std::size_t n) {
+  std::uint32_t prev = 0;
+  for (std::size_t b = 0; b < n; b += kBlockSize) {
+    const std::size_t m = std::min(kBlockSize, n - b);
+    prev = encode_block(out, ids + b, vals + b, m, prev);
+  }
+}
+
+// Checked mirror of CompressedPostings::scan (see the header note on why
+// the two walks stay separate): every read bounds-checked, exception
+// count validated in both directions.
+const std::uint8_t* decode_block(const std::uint8_t* p,
+                                 const std::uint8_t* end, std::size_t n,
+                                 std::uint32_t prev, std::uint32_t* ids,
+                                 double* vals) {
+  if (p >= end) fail_truncated();
+  const std::uint8_t tag = *p++;
+  if (tag != kTagVarint && tag != kTagGroupVarint)
+    throw std::runtime_error("postings codec: bad block tag");
+
+  if (end - p < static_cast<std::ptrdiff_t>(n)) fail_truncated();
+  const std::uint8_t* codes = p;
+  p += n;
+  std::uint64_t exc_count;
+  p = get_varint_bounded(p, end, &exc_count);
+  std::uint64_t zero_codes = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (codes[i] == 0) ++zero_codes;
+  }
+  // Exact match both ways: a short count would desync the delta section
+  // into the exception doubles, a long one the other way around — either
+  // must fail loudly rather than silently mis-decode.
+  if (zero_codes != exc_count)
+    throw std::runtime_error("postings codec: exception count mismatch");
+  if (end - p <
+      static_cast<std::ptrdiff_t>(sizeof(double) * exc_count))
+    fail_truncated();
+  const std::uint8_t* excp = p;
+  p += sizeof(double) * exc_count;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (codes[i] != 0) {
+      vals[i] = static_cast<double>(codes[i]);
+    } else {
+      std::memcpy(&vals[i], excp, sizeof(double));
+      excp += sizeof(double);
+    }
+  }
+
+  if (tag == kTagGroupVarint) {
+    for (std::size_t i = 0; i < n; i += 4) {
+      std::uint32_t quad[4];
+      p = get_group4_bounded(p, end, quad);
+      for (std::size_t j = 0; j < 4 && i + j < n; ++j) {
+        prev += quad[j];
+        ids[i + j] = prev;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t delta;
+      p = get_varint_bounded(p, end, &delta);
+      prev += static_cast<std::uint32_t>(delta);
+      ids[i] = prev;
+    }
+  }
+  return p;
+}
+
+void decode_list(const std::uint8_t* p, std::size_t bytes, std::size_t n,
+                 std::vector<std::uint32_t>& ids, std::vector<double>& vals) {
+  std::uint32_t id_buf[kBlockSize];
+  double val_buf[kBlockSize];
+  const std::uint8_t* end = p + bytes;
+  std::uint32_t prev = 0;
+  ids.reserve(ids.size() + n);
+  vals.reserve(vals.size() + n);
+  for (std::size_t b = 0; b < n; b += kBlockSize) {
+    const std::size_t m = std::min(kBlockSize, n - b);
+    p = decode_block(p, end, m, prev, id_buf, val_buf);
+    prev = id_buf[m - 1];
+    ids.insert(ids.end(), id_buf, id_buf + m);
+    vals.insert(vals.end(), val_buf, val_buf + m);
+  }
+}
+
+}  // namespace codec
+
+CompressedPostings::CompressedPostings(
+    const std::vector<std::size_t>& term_ptr,
+    const std::vector<std::uint32_t>& docs, const std::vector<double>& tfs) {
+  const std::size_t terms = term_ptr.empty() ? 0 : term_ptr.size() - 1;
+  offsets_.reserve(terms + 1);
+  counts_.reserve(terms);
+  offsets_.push_back(0);
+  for (std::size_t t = 0; t < terms; ++t) {
+    const std::size_t lo = term_ptr[t];
+    const std::size_t hi = term_ptr[t + 1];
+    codec::encode_list(bytes_, docs.data() + lo, tfs.data() + lo, hi - lo);
+    offsets_.push_back(bytes_.size());
+    counts_.push_back(static_cast<std::uint32_t>(hi - lo));
+    total_postings_ += hi - lo;
+  }
+  bytes_.shrink_to_fit();
+}
+
+void CompressedPostings::decode_term(std::uint32_t term,
+                                     std::vector<std::uint32_t>& docs,
+                                     std::vector<double>& tfs) const {
+  docs.clear();
+  tfs.clear();
+  if (term >= num_terms()) return;
+  codec::decode_list(bytes_.data() + offsets_[term],
+                     offsets_[term + 1] - offsets_[term], counts_[term], docs,
+                     tfs);
+}
+
+}  // namespace at::search

@@ -23,6 +23,17 @@ SearchService::SearchService(std::vector<SearchComponent> components,
   for (auto& c : components_) c.set_global_idf(idf);
 }
 
+IndexSizeStats SearchService::index_size() const {
+  IndexSizeStats total;
+  for (const auto& c : components_) {
+    const IndexSizeStats s = c.index_size();
+    total.postings += s.postings;
+    total.raw_bytes += s.raw_bytes;
+    total.compressed_bytes += s.compressed_bytes;
+  }
+  return total;
+}
+
 void SearchService::enable_query_cache(std::size_t capacity) {
   cache_ = std::make_unique<QueryCache>(capacity);
 }

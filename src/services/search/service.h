@@ -38,6 +38,9 @@ class SearchService {
   std::size_t k() const { return k_; }
   std::size_t total_docs() const { return total_docs_; }
 
+  /// Aggregate inverted-index footprint across all shard components.
+  IndexSizeStats index_size() const;
+
   /// Enables the LRU query cache consulted by exact_topk (paper §3.2: the
   /// engine scans its index only "if a query request does not hit the
   /// query cache").

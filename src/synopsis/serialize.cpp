@@ -5,6 +5,7 @@
 
 #include "common/binary_io.h"
 #include "rtree/rtree.h"
+#include "services/search/postings_codec.h"
 
 namespace at::synopsis {
 
@@ -16,6 +17,13 @@ constexpr char kIndexMagic[4] = {'A', 'T', 'I', 'X'};
 constexpr char kSynMagic[4] = {'A', 'T', 'S', 'Y'};
 constexpr char kStructMagic[4] = {'A', 'T', 'S', 'S'};
 constexpr std::uint32_t kVersion = 1;
+// SparseRows format versions: v1 stored each row as raw (u32 col, f64 val)
+// pairs; v2 stores each row as one block-compressed list (delta-varint
+// columns, u8-quantized values with an exact-double exception table —
+// services/search/postings_codec.h). Values round-trip bit-exactly in
+// both. Writers emit v2; the loader accepts both.
+constexpr std::uint32_t kRowsVersionRaw = 1;
+constexpr std::uint32_t kRowsVersionCompressed = 2;
 
 /// Works for SparseVector and SparseRowView alike.
 template <typename Row>
@@ -42,22 +50,46 @@ SparseVector read_sparse_vector(common::BinaryReader& r) {
 
 void save(std::ostream& os, const SparseRows& rows) {
   common::BinaryWriter w(os);
-  w.magic(kRowsMagic, kVersion);
+  w.magic(kRowsMagic, kRowsVersionCompressed);
   w.u64(rows.cols());
   w.u64(rows.rows());
+  std::vector<std::uint8_t> buf;
   for (std::uint32_t r = 0; r < rows.rows(); ++r) {
-    write_sparse_vector(w, rows.row(r));
+    const SparseRowView row = rows.row(r);
+    buf.clear();
+    search::codec::encode_list(buf, row.cols(), row.vals(), row.size());
+    w.u64(row.size());
+    w.blob(buf);
   }
 }
 
 SparseRows load_sparse_rows(std::istream& is) {
   common::BinaryReader r(is);
-  r.magic(kRowsMagic);
+  const std::uint32_t version = r.magic(kRowsMagic);
   const auto cols = r.u64();
   const auto n = r.u64();
   SparseRows rows(cols);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    rows.add_row(read_sparse_vector(r));
+  if (version == kRowsVersionRaw) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      rows.add_row(read_sparse_vector(r));
+    }
+  } else if (version == kRowsVersionCompressed) {
+    std::vector<std::uint32_t> ids;
+    std::vector<double> vals;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto entries = r.u64();
+      const auto buf = r.blob();
+      ids.clear();
+      vals.clear();
+      search::codec::decode_list(buf.data(), buf.size(), entries, ids, vals);
+      SparseVector v;
+      v.reserve(ids.size());
+      for (std::size_t j = 0; j < ids.size(); ++j)
+        v.emplace_back(ids[j], vals[j]);
+      rows.add_row(std::move(v));
+    }
+  } else {
+    throw std::runtime_error("load_sparse_rows: unsupported format version");
   }
   return rows;
 }

@@ -16,6 +16,10 @@
 
 namespace at::synopsis {
 
+/// SparseRows are written in the v2 block-compressed format (delta-varint
+/// columns + quantized values, see services/search/postings_codec.h); the
+/// loader also accepts the v1 raw pair layout. Both round-trip values
+/// bit-exactly.
 void save(std::ostream& os, const SparseRows& rows);
 SparseRows load_sparse_rows(std::istream& is);
 

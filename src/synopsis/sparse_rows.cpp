@@ -1,6 +1,7 @@
 #include "synopsis/sparse_rows.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 #include <stdexcept>
 
@@ -63,12 +64,16 @@ void SparseRows::replace_row(std::uint32_t row, SparseVector v) {
   Extent& e = extents_[row];
   live_entries_ -= e.len;
   if (v.size() <= e.len) {
+    // In-place shrink: the unused slot tail is dead for good (slot
+    // capacity is not tracked, so a later grow relocates anyway).
+    dead_entries_ += e.len - v.size();
     for (std::size_t i = 0; i < v.size(); ++i) {
       col_pool_[e.off + i] = v[i].first;
       val_pool_[e.off + i] = v[i].second;
     }
     e.len = static_cast<std::uint32_t>(v.size());
   } else {
+    dead_entries_ += e.len;  // the whole old slot becomes a hole
     e.off = col_pool_.size();
     e.len = static_cast<std::uint32_t>(v.size());
     for (const auto& [c, val] : v) {
@@ -77,6 +82,31 @@ void SparseRows::replace_row(std::uint32_t row, SparseVector v) {
     }
   }
   live_entries_ += v.size();
+  // ROADMAP "Hole compaction": reclaim once holes exceed 25% of the live
+  // payload, so repeated grown replacements can't leak the pool unbounded.
+  if (dead_entries_ * 4 > live_entries_) compact();
+}
+
+void SparseRows::compact() {
+  if (dead_entries_ == 0) return;
+  std::vector<std::uint32_t> cols;
+  std::vector<double> vals;
+  cols.reserve(live_entries_);
+  vals.reserve(live_entries_);
+  for (Extent& e : extents_) {
+    const std::size_t off = cols.size();
+    cols.insert(cols.end(), col_pool_.begin() + e.off,
+                col_pool_.begin() + e.off + e.len);
+    vals.insert(vals.end(), val_pool_.begin() + e.off,
+                val_pool_.begin() + e.off + e.len);
+    e.off = off;
+  }
+  col_pool_ = std::move(cols);
+  val_pool_ = std::move(vals);
+  dead_entries_ = 0;
+  // Every extent was rewritten above; any stale one would now read past
+  // the shrunken pool.
+  assert(col_pool_.size() == live_entries_);
 }
 
 SparseRowView SparseRows::row(std::uint32_t r) const {

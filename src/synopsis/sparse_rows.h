@@ -213,7 +213,8 @@ class SparseRows {
   /// Replaces row content in place (used for "changed data points").
   /// Shrinking replacements reuse the row's pool slot; growing ones
   /// relocate the row to the end of the pool (the old slot becomes a hole
-  /// that to_dataset/iteration skip naturally).
+  /// that to_dataset/iteration skip naturally). When dead entries exceed
+  /// 25% of live entries the pools are compacted in place.
   void replace_row(std::uint32_t row, SparseVector v);
 
   /// View of row r. Invalidated by add_row/replace_row.
@@ -221,6 +222,15 @@ class SparseRows {
 
   /// Number of live entries (holes from grown replacements excluded).
   std::size_t total_entries() const { return live_entries_; }
+
+  /// Pool slots currently orphaned by shrinking/relocating replacements.
+  std::size_t dead_entries() const { return dead_entries_; }
+  /// Total pool slots (live + dead); bounded at 1.25x live by compaction.
+  std::size_t pool_entries() const { return col_pool_.size(); }
+
+  /// Rewrites the pools row-contiguously, dropping every hole. All row
+  /// extents are rebuilt; outstanding views are invalidated.
+  void compact();
 
   /// Reserves pool capacity for approximately `entries` more entries.
   void reserve_entries(std::size_t entries);
@@ -245,6 +255,7 @@ class SparseRows {
   std::vector<double> val_pool_;
   std::vector<Extent> extents_;
   std::size_t live_entries_ = 0;
+  std::size_t dead_entries_ = 0;
 };
 
 }  // namespace at::synopsis

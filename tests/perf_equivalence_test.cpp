@@ -88,6 +88,58 @@ TEST(CsrEquivalence, ReplaceRowShrinkAndGrow) {
   EXPECT_DOUBLE_EQ(synopsis::value_at(rows.row(1), 1), 4.0);
 }
 
+TEST(CsrEquivalence, CompactionBoundsPoolGrowth) {
+  // Repeated grown replacements used to leak the pool (every grow orphaned
+  // the old slot); compaction must keep dead slots at <= 25% of live ones
+  // and rebuild every extent so views stay valid.
+  synopsis::SparseRows rows(64);
+  common::Rng rng(17);
+  std::vector<synopsis::SparseVector> reference;
+  for (int r = 0; r < 20; ++r) {
+    auto v = random_vector(rng, 64, 0.2);
+    synopsis::normalize(v);
+    reference.push_back(v);
+    rows.add_row(std::move(v));
+  }
+  for (int round = 0; round < 40; ++round) {
+    const auto r = static_cast<std::uint32_t>(rng.uniform_index(20));
+    auto v = random_vector(rng, 64, 0.5);  // denser -> usually grows
+    synopsis::normalize(v);
+    reference[r] = v;
+    rows.replace_row(r, std::move(v));
+    ASSERT_LE(rows.dead_entries() * 4, rows.total_entries())
+        << "round " << round;
+    ASSERT_EQ(rows.pool_entries(), rows.total_entries() + rows.dead_entries());
+  }
+  // Views read back the latest contents after any number of compactions.
+  for (std::uint32_t r = 0; r < rows.rows(); ++r)
+    EXPECT_EQ(rows.row(r), reference[r]) << "row " << r;
+  rows.compact();
+  EXPECT_EQ(rows.dead_entries(), 0u);
+  EXPECT_EQ(rows.pool_entries(), rows.total_entries());
+  for (std::uint32_t r = 0; r < rows.rows(); ++r)
+    EXPECT_EQ(rows.row(r), reference[r]) << "row " << r;
+}
+
+TEST(CsrEquivalence, CompactedDatasetMatchesUncompacted) {
+  auto rows = random_rows(53, 25, 32, 0.3);
+  common::Rng rng(9);
+  for (int i = 0; i < 30; ++i) {
+    rows.replace_row(static_cast<std::uint32_t>(rng.uniform_index(25)),
+                     random_vector(rng, 32, 0.45));
+  }
+  const auto ds = rows.to_dataset();
+  ASSERT_EQ(ds.entries.size(), rows.total_entries());
+  for (std::size_t r = 0; r < ds.rows; ++r) {
+    const auto rv = rows.row(static_cast<std::uint32_t>(r));
+    ASSERT_EQ(rv.size(), ds.row_ptr[r + 1] - ds.row_ptr[r]);
+    for (std::size_t i = 0; i < rv.size(); ++i) {
+      EXPECT_EQ(rv[i].first, ds.col_idx[ds.row_ptr[r] + i]);
+      EXPECT_DOUBLE_EQ(rv[i].second, ds.values[ds.row_ptr[r] + i]);
+    }
+  }
+}
+
 TEST(CsrEquivalence, DatasetCsrMatchesCooAndRowVectors) {
   auto rows = random_rows(23, 40, 32, 0.25);
   // Poke the hole-handling path too.

@@ -110,6 +110,88 @@ synopsis::SparseRows tiny_docs() {
   return docs;
 }
 
+// ---------------------------------------------------------------------------
+// ScoreAccumulator epoch/stamp regressions
+// ---------------------------------------------------------------------------
+
+TEST(ScoreAccumulatorTest, MultipleQueriesAfterResizeStayIndependent) {
+  // Regression: growing the scratch mid-stream must not let the freshly
+  // zero-stamped slots (or stale small-index stamps) read as "already
+  // touched", and repeated queries must never accumulate across epochs.
+  ScoreAccumulator acc;
+  acc.begin(4);
+  acc.add(0, 1.0);
+  acc.add(0, 2.0);
+  EXPECT_DOUBLE_EQ(acc.score(0), 3.0);
+
+  acc.begin(64);  // resize
+  for (int q = 0; q < 3; ++q) {
+    acc.begin(64);
+    acc.add(0, 1.0);
+    acc.add(63, 5.0);
+    acc.add(63, 5.0);
+    ASSERT_EQ(acc.touched().size(), 2u) << "query " << q;
+    EXPECT_DOUBLE_EQ(acc.score(0), 1.0) << "query " << q;
+    EXPECT_DOUBLE_EQ(acc.score(63), 10.0) << "query " << q;
+  }
+}
+
+TEST(ScoreAccumulatorTest, EpochWraparoundClearsStamps) {
+  ScoreAccumulator acc;
+  acc.begin(8);
+  acc.add(2, 7.0);  // stamp slot 2 with a pre-wrap epoch
+  acc.set_epoch_for_test(0xFFFFFFFFu);
+  for (int q = 0; q < 3; ++q) {  // crosses the wrap on the first begin
+    acc.begin(8);
+    EXPECT_NE(acc.epoch(), 0u) << "epoch 0 is reserved for cleared stamps";
+    acc.add(2, 1.0);
+    acc.add(5, 2.0);
+    ASSERT_EQ(acc.touched().size(), 2u) << "query " << q;
+    EXPECT_DOUBLE_EQ(acc.score(2), 1.0) << "stale stamp resurrected";
+    EXPECT_DOUBLE_EQ(acc.score(5), 2.0);
+  }
+}
+
+TEST(ScoreAccumulatorTest, WrapThenResizeKeepsNewSlotsUntouched) {
+  ScoreAccumulator acc;
+  acc.set_epoch_for_test(0xFFFFFFFEu);
+  acc.begin(4);   // epoch -> 0xFFFFFFFF
+  acc.begin(4);   // wraps: stamps cleared, epoch -> 1
+  acc.begin(16);  // resize right after the wrap: new slots stamped 0
+  acc.add(10, 4.0);
+  acc.add(1, 2.0);
+  ASSERT_EQ(acc.touched().size(), 2u);
+  EXPECT_DOUBLE_EQ(acc.score(10), 4.0);
+  EXPECT_DOUBLE_EQ(acc.score(1), 2.0);
+}
+
+TEST(InvertedIndexTest, RepeatedQueriesAfterIndexGrowthMatchFreshIndex) {
+  // Thread-local scratch resizes when a bigger index scores on the same
+  // thread; >1 query after the resize must still match a cold computation.
+  auto small = tiny_docs();
+  const InvertedIndex idx_small(small);
+  (void)idx_small.topk({0, 2}, 0, 5);
+
+  synopsis::SparseRows big(6);
+  for (int i = 0; i < 40; ++i)
+    big.add_row({{static_cast<std::uint32_t>(i % 6), 1.0 + i % 3}});
+  const InvertedIndex idx_big(big);
+  for (int q = 0; q < 3; ++q) {
+    std::vector<ScoredDoc> scored;
+    idx_big.score_query({0, 1, 2}, 0, scored);
+    for (const auto& sd : scored) {
+      const auto d = static_cast<std::uint32_t>(sd.doc);
+      double raw = 0.0;
+      for (std::uint32_t t : {0u, 1u, 2u}) {
+        const double tf = synopsis::value_at(big.row(d), t);
+        if (tf > 0) raw += std::sqrt(tf) * idx_big.idf(t);
+      }
+      EXPECT_NEAR(sd.score, raw / std::sqrt(idx_big.doc_length(d)), 1e-12)
+          << "query " << q << " doc " << d;
+    }
+  }
+}
+
 TEST(InvertedIndexTest, PostingsAndDf) {
   const InvertedIndex idx(tiny_docs());
   EXPECT_EQ(idx.num_docs(), 4u);
@@ -179,6 +261,16 @@ TEST(InvertedIndexTest, ScoreCountsMatchesDocScoring) {
   ASSERT_NE(it, scored.end());
   EXPECT_NEAR(idx.score_counts(q, docs.row(0), idx.doc_length(0)), it->score,
               1e-12);
+}
+
+TEST(InvertedIndexTest, SizeStatsCountPostings) {
+  const InvertedIndex idx(tiny_docs());
+  const auto s = idx.size_stats();
+  EXPECT_EQ(s.postings, 8u);  // total entries across the 4 docs
+  // tf-idf raw layout: term_ptr (7 * 8B) + 20B per posting.
+  EXPECT_EQ(s.raw_bytes, 7 * sizeof(std::size_t) + 8 * 20);
+  EXPECT_GT(s.compressed_bytes, 0u);
+  EXPECT_GT(s.ratio(), 0.0);
 }
 
 TEST(Bm25, MatchesClosedForm) {
@@ -543,6 +635,39 @@ TEST_F(SearchServiceTest, ComponentSaveLoadRoundTrip) {
     EXPECT_EQ(a[i].doc, b[i].doc);
     EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
   }
+}
+
+TEST(SearchComponent, SaveLoadScoresBitIdentical) {
+  // A standalone component scores with its local idf on both sides of the
+  // round trip, so every loaded top-k score must match bit for bit — this
+  // pins the v2 compressed on-disk format to the exact decoded tf values.
+  workload::CorpusConfig cfg;
+  cfg.num_components = 1;
+  cfg.docs_per_component = 80;
+  cfg.vocab_size = 300;
+  cfg.num_topics = 5;
+  cfg.seed = 77;
+  workload::CorpusGen gen(cfg);
+  auto wl = gen.generate(15);
+  SearchComponent comp(std::move(wl.shards[0]), 42, test_build_config());
+
+  std::stringstream buf;
+  comp.save(buf);
+  SearchComponent loaded = SearchComponent::load(buf);
+  ASSERT_EQ(loaded.num_docs(), comp.num_docs());
+  for (const auto& q : wl.queries) {
+    const auto a = comp.exact_topk(q, 10);
+    const auto b = loaded.exact_topk(q, 10);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].doc, b[i].doc);
+      EXPECT_EQ(a[i].score, b[i].score);  // bitwise
+    }
+  }
+  const auto sa = comp.index_size();
+  const auto sb = loaded.index_size();
+  EXPECT_EQ(sa.postings, sb.postings);
+  EXPECT_EQ(sa.compressed_bytes, sb.compressed_bytes);
 }
 
 TEST(SearchComponentBm25, EndToEndWithBm25Scorer) {

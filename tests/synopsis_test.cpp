@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/binary_io.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "synopsis/aggregate.h"
@@ -463,6 +464,75 @@ TEST(Serialize, SparseRowsRoundTrip) {
   ASSERT_EQ(loaded.cols(), rows.cols());
   for (std::uint32_t r = 0; r < rows.rows(); ++r)
     EXPECT_EQ(loaded.row(r), rows.row(r));
+}
+
+TEST(Serialize, SparseRowsRoundTripBitExactWithHolesAndFractions) {
+  SparseRows rows(40);
+  common::Rng rng(91);
+  for (int r = 0; r < 30; ++r) {
+    SparseVector v;
+    for (std::uint32_t c = 0; c < 40; ++c) {
+      if (rng.uniform() < 0.3) v.emplace_back(c, rng.uniform(0.25, 300.0));
+    }
+    rows.add_row(std::move(v));
+  }
+  // Leave holes/relocations behind so serialization sees a mutated pool.
+  rows.replace_row(2, {{0, 0.5}, {39, 256.0}});
+  SparseVector grown;
+  for (std::uint32_t c = 0; c < 35; ++c) grown.emplace_back(c, 1.0 + c);
+  rows.replace_row(5, grown);
+
+  std::stringstream buf;
+  save(buf, rows);
+  const SparseRows loaded = load_sparse_rows(buf);
+  ASSERT_EQ(loaded.rows(), rows.rows());
+  ASSERT_EQ(loaded.total_entries(), rows.total_entries());
+  for (std::uint32_t r = 0; r < rows.rows(); ++r) {
+    const auto a = rows.row(r);
+    const auto b = loaded.row(r);
+    ASSERT_EQ(a.size(), b.size()) << "row " << r;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a.cols()[i], b.cols()[i]);
+      EXPECT_EQ(a.vals()[i], b.vals()[i]) << "row " << r << " entry " << i;
+    }
+  }
+}
+
+TEST(Serialize, LoadsV1UncompressedSparseRows) {
+  // A v1 file (raw u32/f64 pairs per row) written by the previous release
+  // must keep loading through the new codec-aware reader.
+  const SparseVector row0{{1, 2.5}, {6, 3.0}};
+  const SparseVector row1{{0, 1.0}};
+  std::stringstream buf;
+  {
+    common::BinaryWriter w(buf);
+    w.magic("ATSR", 1);
+    w.u64(8);  // cols
+    w.u64(2);  // rows
+    for (const auto* row : {&row0, &row1}) {
+      w.u64(row->size());
+      for (const auto& [c, val] : *row) {
+        w.u32(c);
+        w.f64(val);
+      }
+    }
+  }
+  const SparseRows loaded = load_sparse_rows(buf);
+  ASSERT_EQ(loaded.rows(), 2u);
+  EXPECT_EQ(loaded.cols(), 8u);
+  EXPECT_EQ(loaded.row(0), row0);
+  EXPECT_EQ(loaded.row(1), row1);
+}
+
+TEST(Serialize, UnknownRowsVersionThrows) {
+  std::stringstream buf;
+  {
+    common::BinaryWriter w(buf);
+    w.magic("ATSR", 99);
+    w.u64(4);
+    w.u64(0);
+  }
+  EXPECT_THROW(load_sparse_rows(buf), std::runtime_error);
 }
 
 TEST(Serialize, MatrixAndSvdRoundTrip) {
