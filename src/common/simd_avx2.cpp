@@ -1,0 +1,286 @@
+// AVX2 kernel tier. Compiled with -mavx2 (CMake sets the flag on this file
+// only). FMA is deliberately NOT enabled: fused multiply-adds round once
+// where the scalar reference rounds twice, and the layer's contract is
+// bit-identical results in every tier. The group-varint decoder reuses the
+// SSE 128-bit shuffle path — 4-id groups do not widen usefully to 256 bits.
+#include "common/simd_internal.h"
+
+#if AT_SIMD_X86 && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace at::simd::detail {
+namespace {
+
+constexpr bool kHaveAvx2 = true;
+
+/// Full-width gather via the masked form: the plain _mm256_i32gather_pd
+/// leaves its pass-through operand formally uninitialized, which trips
+/// -Wmaybe-uninitialized inside GCC's intrinsic header.
+inline __m256d gather_pd(const double* base, __m128i idx) {
+  const __m256d all = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+  return _mm256_mask_i32gather_pd(_mm256_setzero_pd(), base, idx, all, 8);
+}
+
+inline double fold_lanes(__m256d acc) {
+  // {s0+s2, s1+s3} then low+high == (s0+s2)+(s1+s3): the canonical order
+  // the scalar tier mirrors.
+  const __m128d folded =
+      _mm_add_pd(_mm256_castpd256_pd128(acc), _mm256_extractf128_pd(acc, 1));
+  return _mm_cvtsd_f64(folded) +
+         _mm_cvtsd_f64(_mm_unpackhi_pd(folded, folded));
+}
+
+double dot(const double* a, const double* b, std::size_t n) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  __m256d acc = _mm256_setzero_pd();
+  for (std::size_t i = 0; i < n4; i += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  double r = fold_lanes(acc);
+  for (std::size_t i = n4; i < n; ++i) r += a[i] * b[i];
+  return r;
+}
+
+double distance_sq(const double* a, const double* b, std::size_t n) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  __m256d acc = _mm256_setzero_pd();
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+  double r = fold_lanes(acc);
+  for (std::size_t i = n4; i < n; ++i) {
+    const double d = a[i] - b[i];
+    r += d * d;
+  }
+  return r;
+}
+
+/// Loads cols[i..i+3] and turns them into factor-array element indices
+/// cols[j] * stride + dim (32-bit math: factor matrices stay well under
+/// 2^31 elements — vocab/item counts times a rank of ~3).
+inline __m128i factor_indices(const std::uint32_t* cols, std::size_t i,
+                              __m128i vstride, __m128i vdim) {
+  const __m128i c =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(cols + i));
+  return _mm_add_epi32(_mm_mullo_epi32(c, vstride), vdim);
+}
+
+void retire_axpy(double* resid, const std::uint32_t* cols, std::size_t n,
+                 const double* factors, std::size_t stride, std::size_t dim,
+                 double scale) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  const __m256d vscale = _mm256_set1_pd(scale);
+  const __m128i vstride = _mm_set1_epi32(static_cast<int>(stride));
+  const __m128i vdim = _mm_set1_epi32(static_cast<int>(dim));
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m128i idx = factor_indices(cols, i, vstride, vdim);
+    const __m256d q = gather_pd(factors, idx);
+    const __m256d r = _mm256_loadu_pd(resid + i);
+    _mm256_storeu_pd(resid + i, _mm256_sub_pd(r, _mm256_mul_pd(vscale, q)));
+  }
+  for (std::size_t i = n4; i < n; ++i) {
+    resid[i] -= scale * factors[cols[i] * stride + dim];
+  }
+}
+
+void score_tfidf(double* out, const double* sqrt_tf,
+                 const std::uint32_t* docs, const double* len_norm, double w,
+                 std::size_t n) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  const __m256d vw = _mm256_set1_pd(w);
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m128i idx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(docs + i));
+    const __m256d ln = gather_pd(len_norm, idx);
+    const __m256d s = _mm256_mul_pd(_mm256_loadu_pd(sqrt_tf + i), vw);
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(s, ln));
+  }
+  for (std::size_t i = n4; i < n; ++i) {
+    out[i] = (sqrt_tf[i] * w) * len_norm[docs[i]];
+  }
+}
+
+void score_bm25(double* out, const double* tf, const std::uint32_t* docs,
+                const double* bm25_norm, double w, double k1p1,
+                std::size_t n) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  const __m256d vw = _mm256_set1_pd(w);
+  const __m256d vk = _mm256_set1_pd(k1p1);
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m128i idx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(docs + i));
+    const __m256d norm = gather_pd(bm25_norm, idx);
+    const __m256d vtf = _mm256_loadu_pd(tf + i);
+    const __m256d num = _mm256_mul_pd(vw, _mm256_mul_pd(vtf, vk));
+    _mm256_storeu_pd(out + i,
+                     _mm256_div_pd(num, _mm256_add_pd(vtf, norm)));
+  }
+  for (std::size_t i = n4; i < n; ++i) {
+    out[i] = (w * (tf[i] * k1p1)) / (tf[i] + bm25_norm[docs[i]]);
+  }
+}
+
+void inv_sqrt_or_zero(double* out, const double* in, std::size_t n) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d zero = _mm256_setzero_pd();
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m256d v = _mm256_loadu_pd(in + i);
+    const __m256d r = _mm256_div_pd(one, _mm256_sqrt_pd(v));
+    // GT_OQ: ordered greater-than, so NaN lengths produce 0 exactly like
+    // the scalar ternary.
+    const __m256d mask = _mm256_cmp_pd(v, zero, _CMP_GT_OQ);
+    _mm256_storeu_pd(out + i, _mm256_blendv_pd(zero, r, mask));
+  }
+  for (std::size_t i = n4; i < n; ++i) {
+    out[i] = in[i] > 0.0 ? 1.0 / std::sqrt(in[i]) : 0.0;
+  }
+}
+
+void bm25_doc_norms(double* out, const double* dl, double k1, double b,
+                    double avg, std::size_t n) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  const __m256d vk1 = _mm256_set1_pd(k1);
+  const __m256d vb = _mm256_set1_pd(b);
+  const __m256d vavg = _mm256_set1_pd(avg);
+  const __m256d one_minus_b = _mm256_set1_pd(1.0 - b);
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m256d v = _mm256_loadu_pd(dl + i);
+    const __m256d t = _mm256_add_pd(
+        one_minus_b, _mm256_div_pd(_mm256_mul_pd(vb, v), vavg));
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(vk1, t));
+  }
+  for (std::size_t i = n4; i < n; ++i) {
+    out[i] = k1 * (1.0 - b + b * dl[i] / avg);
+  }
+}
+
+void score_tfidf_codes(double* out, const std::uint8_t* codes,
+                       const double* lut256, const std::uint32_t* docs,
+                       const double* len_norm, double w, std::size_t n) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  const __m256d vw = _mm256_set1_pd(w);
+  for (std::size_t i = 0; i < n4; i += 4) {
+    std::uint32_t packed;
+    __builtin_memcpy(&packed, codes + i, sizeof packed);
+    const __m128i code_idx =
+        _mm_cvtepu8_epi32(_mm_cvtsi32_si128(static_cast<int>(packed)));
+    const __m256d sqrt_tf = gather_pd(lut256, code_idx);
+    const __m128i doc_idx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(docs + i));
+    const __m256d ln = gather_pd(len_norm, doc_idx);
+    _mm256_storeu_pd(out + i,
+                     _mm256_mul_pd(_mm256_mul_pd(sqrt_tf, vw), ln));
+  }
+  for (std::size_t i = n4; i < n; ++i) {
+    out[i] = (lut256[codes[i]] * w) * len_norm[docs[i]];
+  }
+}
+
+void score_bm25_codes(double* out, const std::uint8_t* codes,
+                      const std::uint32_t* docs, const double* bm25_norm,
+                      double w, double k1p1, std::size_t n) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  const __m256d vw = _mm256_set1_pd(w);
+  const __m256d vk = _mm256_set1_pd(k1p1);
+  for (std::size_t i = 0; i < n4; i += 4) {
+    std::uint32_t packed;
+    __builtin_memcpy(&packed, codes + i, sizeof packed);
+    const __m256d vtf = _mm256_cvtepi32_pd(
+        _mm_cvtepu8_epi32(_mm_cvtsi32_si128(static_cast<int>(packed))));
+    const __m128i doc_idx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(docs + i));
+    const __m256d norm = gather_pd(bm25_norm, doc_idx);
+    const __m256d num = _mm256_mul_pd(vw, _mm256_mul_pd(vtf, vk));
+    _mm256_storeu_pd(out + i,
+                     _mm256_div_pd(num, _mm256_add_pd(vtf, norm)));
+  }
+  for (std::size_t i = n4; i < n; ++i) {
+    const double tf = static_cast<double>(codes[i]);
+    out[i] = (w * (tf * k1p1)) / (tf + bm25_norm[docs[i]]);
+  }
+}
+
+void expand_lut_u8(double* out, const std::uint8_t* codes,
+                   const double* lut256, std::size_t n) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    // 4 bytes -> 4 u32 lane indices -> gathered LUT doubles.
+    std::uint32_t packed;
+    __builtin_memcpy(&packed, codes + i, sizeof packed);
+    const __m128i idx =
+        _mm_cvtepu8_epi32(_mm_cvtsi32_si128(static_cast<int>(packed)));
+    _mm256_storeu_pd(out + i, gather_pd(lut256, idx));
+  }
+  for (std::size_t i = n4; i < n; ++i) out[i] = lut256[codes[i]];
+}
+
+void u8_to_f64(double* out, const std::uint8_t* codes, std::size_t n) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    std::uint32_t packed;
+    __builtin_memcpy(&packed, codes + i, sizeof packed);
+    const __m128i idx =
+        _mm_cvtepu8_epi32(_mm_cvtsi32_si128(static_cast<int>(packed)));
+    _mm256_storeu_pd(out + i, _mm256_cvtepi32_pd(idx));
+  }
+  for (std::size_t i = n4; i < n; ++i) out[i] = static_cast<double>(codes[i]);
+}
+
+const Kernels kAvx2Kernels = {
+    &dot,
+    &distance_sq,
+    &retire_axpy,
+    &score_tfidf,
+    &score_bm25,
+    &inv_sqrt_or_zero,
+    &bm25_doc_norms,
+    &score_tfidf_codes,
+    &score_bm25_codes,
+    &expand_lut_u8,
+    &u8_to_f64,
+    &sse42_decode_group_deltas,
+    &sse42_decode_u8_deltas,
+};
+
+}  // namespace
+
+const Kernels& avx2_kernels() { return kAvx2Kernels; }
+bool avx2_compiled() { return kHaveAvx2; }
+
+}  // namespace at::simd::detail
+
+#else  // !(AT_SIMD_X86 && __AVX2__)
+
+namespace at::simd::detail {
+
+namespace {
+const Kernels kAvx2Fallback = {
+    &scalar_dot,
+    &scalar_distance_sq,
+    &scalar_retire_axpy,
+    &scalar_score_tfidf,
+    &scalar_score_bm25,
+    &scalar_inv_sqrt_or_zero,
+    &scalar_bm25_doc_norms,
+    &scalar_score_tfidf_codes,
+    &scalar_score_bm25_codes,
+    &scalar_expand_lut_u8,
+    &scalar_u8_to_f64,
+    &scalar_decode_group_deltas,
+    &scalar_decode_u8_deltas,
+};
+}  // namespace
+
+const Kernels& avx2_kernels() { return kAvx2Fallback; }
+bool avx2_compiled() { return false; }
+
+}  // namespace at::simd::detail
+
+#endif

@@ -1,0 +1,73 @@
+// Internal glue for the SIMD tier TUs: per-tier entry points assembled
+// into dispatch tables by simd.cpp. Scalar reference kernels are exposed
+// here too so the ISA TUs can fall back to them for operations their tier
+// does not accelerate (results are bit-identical either way).
+#pragma once
+
+#include "common/simd.h"
+
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+#define AT_SIMD_X86 1
+#else
+#define AT_SIMD_X86 0
+#endif
+
+namespace at::simd::detail {
+
+// Scalar reference kernels (simd.cpp). The dot/distance reductions define
+// the canonical 4-lane order every tier must reproduce.
+double scalar_dot(const double* a, const double* b, std::size_t n);
+double scalar_distance_sq(const double* a, const double* b, std::size_t n);
+void scalar_retire_axpy(double* resid, const std::uint32_t* cols,
+                        std::size_t n, const double* factors,
+                        std::size_t stride, std::size_t dim, double scale);
+void scalar_score_tfidf(double* out, const double* sqrt_tf,
+                        const std::uint32_t* docs, const double* len_norm,
+                        double w, std::size_t n);
+void scalar_score_bm25(double* out, const double* tf,
+                       const std::uint32_t* docs, const double* bm25_norm,
+                       double w, double k1p1, std::size_t n);
+void scalar_inv_sqrt_or_zero(double* out, const double* in, std::size_t n);
+void scalar_bm25_doc_norms(double* out, const double* dl, double k1, double b,
+                           double avg, std::size_t n);
+void scalar_score_tfidf_codes(double* out, const std::uint8_t* codes,
+                              const double* lut256,
+                              const std::uint32_t* docs,
+                              const double* len_norm, double w,
+                              std::size_t n);
+void scalar_score_bm25_codes(double* out, const std::uint8_t* codes,
+                             const std::uint32_t* docs,
+                             const double* bm25_norm, double w, double k1p1,
+                             std::size_t n);
+void scalar_expand_lut_u8(double* out, const std::uint8_t* codes,
+                          const double* lut256, std::size_t n);
+void scalar_u8_to_f64(double* out, const std::uint8_t* codes, std::size_t n);
+const std::uint8_t* scalar_decode_group_deltas(const std::uint8_t* p,
+                                               std::uint32_t* ids,
+                                               std::uint32_t* prev,
+                                               std::size_t n);
+const std::uint8_t* scalar_decode_u8_deltas(const std::uint8_t* p,
+                                            std::uint32_t* ids,
+                                            std::uint32_t* prev,
+                                            std::size_t n);
+
+// Tier tables + compile markers (simd_sse42.cpp / simd_avx2.cpp). When the
+// TU could not be compiled for its ISA the table holds scalar fallbacks
+// and the marker is false.
+const Kernels& sse42_kernels();
+bool sse42_compiled();
+const Kernels& avx2_kernels();
+bool avx2_compiled();
+
+// The SSE4.2 group-varint shuffle decode, reused verbatim by the AVX2
+// tier (128-bit pshufb is the sweet spot for 4-id groups).
+const std::uint8_t* sse42_decode_group_deltas(const std::uint8_t* p,
+                                              std::uint32_t* ids,
+                                              std::uint32_t* prev,
+                                              std::size_t n);
+const std::uint8_t* sse42_decode_u8_deltas(const std::uint8_t* p,
+                                           std::uint32_t* ids,
+                                           std::uint32_t* prev,
+                                           std::size_t n);
+
+}  // namespace at::simd::detail

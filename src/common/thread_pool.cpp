@@ -42,7 +42,9 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
-  if (n == 0) return;
+  if (n == 0) return;  // nothing to do; never submit an empty-range task
+  // chunks >= 1: the constructor always spawns at least one worker, so the
+  // ceil-divide below cannot divide by zero even for n < workers.
   const std::size_t chunks = std::min(n, workers_.size());
   const std::size_t per = (n + chunks - 1) / chunks;
   std::vector<std::future<void>> futs;

@@ -45,6 +45,12 @@ class ThreadPool {
   /// Runs fn(i) for i in [0, n) across the pool; blocks until all complete.
   /// Work is divided into contiguous chunks (one per worker) to preserve
   /// cache locality on scans.
+  ///
+  /// Edge behavior (pinned by tests/common_test.cpp): n == 0 returns
+  /// without touching the queue; n < workers submits exactly n
+  /// single-index tasks (never an empty-range task); chunk math divides by
+  /// min(n, workers), which the constructor's >= 1 worker guarantee keeps
+  /// nonzero for every n > 0.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/simd.h"
+
 namespace at::linalg {
 
 void Matrix::append_row(const std::vector<double>& values) {
@@ -34,9 +36,7 @@ void SparseDataset::build_csr() {
 }
 
 double dot(const double* a, const double* b, std::size_t n) {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
-  return acc;
+  return simd::dot(a, b, n);
 }
 
 double norm2(const double* a, std::size_t n) {
@@ -44,12 +44,7 @@ double norm2(const double* a, std::size_t n) {
 }
 
 double distance(const double* a, const double* b, std::size_t n) {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double d = a[i] - b[i];
-    acc += d * d;
-  }
-  return std::sqrt(acc);
+  return std::sqrt(simd::distance_sq(a, b, n));
 }
 
 }  // namespace at::linalg

@@ -97,6 +97,9 @@ struct SparseDataset {
   }
 };
 
+/// Dot product via the dispatched SIMD kernels (common/simd.h). The
+/// reduction uses a fixed 4-lane decomposition so results are identical in
+/// every dispatch tier; for n < 4 it degenerates to the sequential sum.
 double dot(const double* a, const double* b, std::size_t n);
 double norm2(const double* a, std::size_t n);
 /// Euclidean distance between two n-vectors.

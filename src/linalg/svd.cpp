@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/simd.h"
+
 namespace at::linalg {
 
 double SvdModel::predict(std::size_t r, std::size_t c) const {
@@ -167,13 +169,16 @@ SvdModel incremental_svd(const SparseDataset& data, const SvdConfig& config,
       }
       prev_rmse = rmse;
     }
-    // Retire dimension d into the cached residuals.
+    // Retire dimension d into the cached residuals. Element-wise (no
+    // reduction), so the SIMD gather kernel is bit-identical to the scalar
+    // loop in every dispatch tier.
+    const double* col_base = model.col_factors.row(0);
     auto retire = [&](std::size_t s) {
       for (std::size_t r = bounds[s]; r < bounds[s + 1]; ++r) {
-        const double pd = model.row_factors(r, d);
-        for (std::size_t i = es.row_ptr[r]; i < es.row_ptr[r + 1]; ++i) {
-          resid[i] -= pd * model.col_factors(es.cols[i], d);
-        }
+        const std::size_t lo = es.row_ptr[r];
+        simd::retire_axpy(resid.data() + lo, es.cols + lo,
+                          es.row_ptr[r + 1] - lo, col_base, rank, d,
+                          model.row_factors(r, d));
       }
     };
     if (shards == 1) {
@@ -243,9 +248,8 @@ void retrain_row_factors(SvdModel& model, std::size_t row,
       }
     }
     p[d] = pd;
-    for (std::size_t i = 0; i < n; ++i) {
-      resid[i] -= pd * model.col_factors(cols[i], d);
-    }
+    simd::retire_axpy(resid.data(), cols, n, model.col_factors.row(0), rank,
+                      d, pd);
   }
   if (biases) model.row_bias[row] = br;
 }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+
+#include "common/simd.h"
 
 namespace at::search {
 
@@ -72,11 +75,11 @@ InvertedIndex::InvertedIndex(const synopsis::SparseRows& docs,
   const double k1 = scorer_.bm25_k1;
   const double b = scorer_.bm25_b;
   const double avg = mean_doc_length_ > 0.0 ? mean_doc_length_ : 1.0;
-  for (std::size_t d = 0; d < n; ++d) {
-    const double dl = doc_length_[d];
-    len_norm_[d] = dl > 0.0 ? 1.0 / std::sqrt(dl) : 0.0;
-    bm25_norm_[d] = k1 * (1.0 - b + b * dl / avg);
-  }
+  // Vectorized norm passes (ROADMAP "vectorized sqrt pass in index
+  // construction"): hardware sqrt/div are correctly rounded, so every
+  // dispatch tier produces the exact doubles of the scalar loop.
+  simd::inv_sqrt_or_zero(len_norm_.data(), doc_length_.data(), n);
+  simd::bm25_doc_norms(bm25_norm_.data(), doc_length_.data(), k1, b, avg, n);
 }
 
 std::vector<Posting> InvertedIndex::postings(std::uint32_t term) const {
@@ -149,27 +152,60 @@ void InvertedIndex::accumulate(const std::vector<std::uint32_t>& terms,
                                ScoreAccumulator& acc) const {
   acc.begin(num_docs());
   const bool bm25 = scorer_.scorer == Scorer::kBm25;
-  const double k1 = scorer_.bm25_k1;
-  // Fused decode-and-score: postings blocks decode straight into the
-  // accumulator adds — quantized tfs go through the sqrt LUT (tf-idf) or a
-  // plain int->double (BM25), both bit-identical to the raw-array kernel.
+  const double k1p1 = scorer_.bm25_k1 + 1.0;
+  // Block-staged decode-and-score: each 128-posting block decodes its doc
+  // ids into an L1 staging buffer (SIMD shuffle decode for group-varint
+  // blocks), the tf column expands through the sqrt LUT (tf-idf) or an
+  // int->double convert (BM25) and the per-posting score is computed with
+  // the dispatched vector kernels — gathered norms, no per-posting
+  // decode/score dependency. Every tier performs the scalar loop's exact
+  // IEEE operations in the same per-element order, so scores (and the
+  // accumulator's add order) are bit-identical to the fused scalar walk
+  // this replaced. Only the accumulator drain stays scalar: the
+  // first-touch stamp/touched bookkeeping is data-dependent.
+  double tf_buf[codec::kBlockSize];
+  double score_buf[codec::kBlockSize];
   for (auto term : terms) {
     const double w = idf_for(term);
     if (w <= 0.0 || term >= vocab_size()) continue;
-    if (bm25) {
-      postings_.scan(term, [&](std::uint32_t doc, std::uint8_t code,
-                               double exc) {
-        const double tf = code != 0 ? static_cast<double>(code) : exc;
-        acc.add(doc, w * (tf * (k1 + 1.0)) / (tf + bm25_norm_[doc]));
-      });
-    } else {
-      postings_.scan(term, [&](std::uint32_t doc, std::uint8_t code,
-                               double exc) {
-        const double sqrt_tf =
-            code != 0 ? codec::kSqrtLut[code] : std::sqrt(exc);
-        acc.add(doc, sqrt_tf * w * len_norm_[doc]);
-      });
-    }
+    postings_.scan_blocks(term, [&](const codec::BlockView& bv) {
+      if (bv.exc_count == 0) {
+        // Common case: every tf is a quantized code — score straight from
+        // the code bytes, no tf staging round-trip. Bit-identical to the
+        // two-step path below (same ops, same order).
+        if (bm25) {
+          simd::score_bm25_codes(score_buf, bv.codes, bv.docs,
+                                 bm25_norm_.data(), w, k1p1, bv.n);
+        } else {
+          simd::score_tfidf_codes(score_buf, bv.codes, codec::kSqrtLut,
+                                  bv.docs, len_norm_.data(), w, bv.n);
+        }
+      } else {
+        // Rare path: expand tfs, patch the exception entries (code 0)
+        // with their exact doubles in posting order, then score.
+        if (bm25) {
+          simd::u8_to_f64(tf_buf, bv.codes, bv.n);
+        } else {
+          simd::expand_lut_u8(tf_buf, bv.codes, codec::kSqrtLut, bv.n);
+        }
+        const std::uint8_t* excp = bv.excs;
+        for (std::size_t i = 0; i < bv.n; ++i) {
+          if (bv.codes[i] != 0) continue;
+          double exc;
+          std::memcpy(&exc, excp, sizeof exc);
+          excp += sizeof exc;
+          tf_buf[i] = bm25 ? exc : std::sqrt(exc);
+        }
+        if (bm25) {
+          simd::score_bm25(score_buf, tf_buf, bv.docs, bm25_norm_.data(), w,
+                           k1p1, bv.n);
+        } else {
+          simd::score_tfidf(score_buf, tf_buf, bv.docs, len_norm_.data(), w,
+                            bv.n);
+        }
+      }
+      for (std::size_t i = 0; i < bv.n; ++i) acc.add(bv.docs[i], score_buf[i]);
+    });
   }
 }
 

@@ -114,6 +114,9 @@ class InvertedIndex {
   /// Decoded copy of one term's postings (docs ascending). Debug/interop
   /// path — scoring decodes blocks in place and never materializes this.
   std::vector<Posting> postings(std::uint32_t term) const;
+  /// The compressed postings pool itself (benches/tests time the
+  /// decode+score kernel stage over exactly the blocks scoring scans).
+  const CompressedPostings& postings_pool() const { return postings_; }
   std::uint32_t doc_frequency(std::uint32_t term) const {
     return postings_.count(term);
   }

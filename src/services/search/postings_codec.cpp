@@ -37,9 +37,32 @@ const std::uint8_t* get_varint_bounded(const std::uint8_t* p,
   std::uint64_t r = 0;
   int shift = 0;
   for (;;) {
-    if (p >= end || shift > 63) fail_truncated();
+    if (p >= end) fail_truncated();
+    if (shift > 63)
+      throw std::runtime_error("postings codec: over-long varint");
     const std::uint8_t byte = *p++;
     r |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *v = r;
+  return p;
+}
+
+/// Bounded u32 varint read: rejects encodings wider than the 5-byte
+/// canonical maximum (an over-long run of continuation bytes would
+/// otherwise decode as silent garbage after the shift cap).
+const std::uint8_t* get_varint32_bounded(const std::uint8_t* p,
+                                         const std::uint8_t* end,
+                                         std::uint32_t* v) {
+  std::uint32_t r = 0;
+  int shift = 0;
+  for (;;) {
+    if (p >= end) fail_truncated();
+    if (shift > 28)
+      throw std::runtime_error("postings codec: over-long varint");
+    const std::uint8_t byte = *p++;
+    r |= static_cast<std::uint32_t>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) break;
     shift += 7;
   }
@@ -75,15 +98,22 @@ std::uint32_t encode_block(std::vector<std::uint8_t>& out,
   std::uint32_t deltas[kBlockSize];
   std::size_t varint_bytes = 0;
   std::size_t group_bytes = (n + 3) / 4;  // control bytes
+  bool u8_ok = true;
   for (std::size_t i = 0; i < n; ++i) {
     deltas[i] = ids[i] - prev;
     prev = ids[i];
     varint_bytes += varint_len(deltas[i]);
     group_bytes += group_len(deltas[i]);
+    u8_ok = u8_ok && deltas[i] <= 0xFF;
   }
   group_bytes += (n + 3) / 4 * 4 - n;  // padded tail slots cost 1 byte each
+  // Raw u8 deltas cost exactly n bytes, which is <= both alternatives
+  // (varints are >= 1 byte per delta, group adds 1/4 control byte per
+  // delta) — so whenever every gap fits a byte the u8 layout wins on size
+  // and decodes with the SIMD prefix-sum kernel.
   const std::uint8_t tag =
-      group_bytes < varint_bytes ? kTagGroupVarint : kTagVarint;
+      u8_ok ? kTagU8Delta
+            : (group_bytes < varint_bytes ? kTagGroupVarint : kTagVarint);
   out.push_back(tag);
 
   std::uint8_t codes[kBlockSize];
@@ -98,7 +128,11 @@ std::uint32_t encode_block(std::vector<std::uint8_t>& out,
     if (codes[i] == 0) write_f64(out, vals[i]);
   }
 
-  if (tag == kTagGroupVarint) {
+  if (tag == kTagU8Delta) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(static_cast<std::uint8_t>(deltas[i]));
+    }
+  } else if (tag == kTagGroupVarint) {
     for (std::size_t i = 0; i < n; i += 4) {
       std::uint32_t quad[4] = {0, 0, 0, 0};
       for (std::size_t j = 0; j < 4 && i + j < n; ++j) quad[j] = deltas[i + j];
@@ -179,7 +213,7 @@ const std::uint8_t* decode_block(const std::uint8_t* p,
                                  double* vals) {
   if (p >= end) fail_truncated();
   const std::uint8_t tag = *p++;
-  if (tag != kTagVarint && tag != kTagGroupVarint)
+  if (tag != kTagVarint && tag != kTagGroupVarint && tag != kTagU8Delta)
     throw std::runtime_error("postings codec: bad block tag");
 
   if (end - p < static_cast<std::ptrdiff_t>(n)) fail_truncated();
@@ -210,7 +244,13 @@ const std::uint8_t* decode_block(const std::uint8_t* p,
     }
   }
 
-  if (tag == kTagGroupVarint) {
+  if (tag == kTagU8Delta) {
+    if (end - p < static_cast<std::ptrdiff_t>(n)) fail_truncated();
+    for (std::size_t i = 0; i < n; ++i) {
+      prev += *p++;
+      ids[i] = prev;
+    }
+  } else if (tag == kTagGroupVarint) {
     for (std::size_t i = 0; i < n; i += 4) {
       std::uint32_t quad[4];
       p = get_group4_bounded(p, end, quad);
@@ -221,9 +261,9 @@ const std::uint8_t* decode_block(const std::uint8_t* p,
     }
   } else {
     for (std::size_t i = 0; i < n; ++i) {
-      std::uint64_t delta;
-      p = get_varint_bounded(p, end, &delta);
-      prev += static_cast<std::uint32_t>(delta);
+      std::uint32_t delta;
+      p = get_varint32_bounded(p, end, &delta);
+      prev += delta;
       ids[i] = prev;
     }
   }
@@ -264,6 +304,11 @@ CompressedPostings::CompressedPostings(
     counts_.push_back(static_cast<std::uint32_t>(hi - lo));
     total_postings_ += hi - lo;
   }
+  // Slack for the SIMD group-varint decoder's 16-byte loads: the last
+  // group of the last block may read past its own data bytes, and these
+  // zeros keep that read inside the allocation. Not counted in
+  // compressed_bytes().
+  bytes_.insert(bytes_.end(), simd::kDecodePadBytes, 0);
   bytes_.shrink_to_fit();
 }
 

@@ -10,7 +10,8 @@
 // rare non-integral or >255 values.
 //
 // Per-block layout (values before ids, so decoding needs no staging):
-//   tag      u8                 0 = varint deltas, 1 = group-varint deltas
+//   tag      u8                 0 = varint deltas, 1 = group-varint
+//                               deltas, 2 = raw u8 deltas (all gaps <= 255)
 //   tfs      n x u8             1..255 = exact integral tf; 0 = exception
 //   excs     varint count, then count raw IEEE f64s in posting order
 //   deltas   n encoded u32      doc-id gaps; the running previous doc id
@@ -33,6 +34,8 @@
 #include <cstring>
 #include <vector>
 
+#include "common/simd.h"
+
 namespace at::search {
 
 namespace codec {
@@ -41,9 +44,15 @@ namespace codec {
 /// amortizing the per-block tag/exception headers.
 inline constexpr std::size_t kBlockSize = 128;
 
-/// Block encoding tags.
+/// Block encoding tags. kTagU8Delta stores each doc-id gap as one raw
+/// byte — eligible whenever every gap in the block is <= 255, which dense
+/// postings lists (small gaps) almost always satisfy. It is never larger
+/// than the varint layout (a varint costs >= 1 byte per gap) and decodes
+/// with a SIMD widening prefix-sum instead of a serial continuation-bit
+/// chain, so the encoder prefers it whenever it is eligible.
 inline constexpr std::uint8_t kTagVarint = 0;
 inline constexpr std::uint8_t kTagGroupVarint = 1;
+inline constexpr std::uint8_t kTagU8Delta = 2;
 
 /// kSqrtLut[c] == std::sqrt(double(c)); lets the tf-idf decode path skip
 /// the sqrt for quantized tfs without changing a single result bit.
@@ -51,17 +60,25 @@ extern const double kSqrtLut[256];
 
 /// LEB128 varint (u32 payloads; u64 accepted for counts). The decoders
 /// are header-inline so the scoring loop's fused decode inlines fully.
+///
+/// Both readers cap the continuation walk at the widest canonical
+/// encoding (10 bytes / shift 63 for u64, 5 bytes / shift 28 for u32):
+/// well-formed input decodes unchanged, while a malformed run of
+/// continuation bytes can no longer grow the shift count past the operand
+/// width (undefined behavior) or march the cursor arbitrarily far past the
+/// buffer. Garbage in still means garbage out on the trusted in-memory
+/// path — decode_block is the checked walk that rejects it loudly.
 void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v);
 inline const std::uint8_t* get_varint(const std::uint8_t* p,
                                       std::uint64_t* v) {
   std::uint64_t r = 0;
   int shift = 0;
-  while (*p & 0x80) {
+  while ((*p & 0x80) && shift < 63) {
     r |= static_cast<std::uint64_t>(*p & 0x7F) << shift;
     shift += 7;
     ++p;
   }
-  *v = r | (static_cast<std::uint64_t>(*p) << shift);
+  *v = r | (static_cast<std::uint64_t>(*p & 0x7F) << shift);
   return p + 1;
 }
 
@@ -83,11 +100,11 @@ inline const std::uint8_t* get_varint32(const std::uint8_t* p,
   }
   r |= (b & 0x7F) << 7;
   int shift = 14;
-  while ((b = *p++) >= 0x80) {
+  while ((b = *p++) >= 0x80 && shift < 28) {
     r |= (b & 0x7F) << shift;
     shift += 7;
   }
-  *v = r | (b << shift);
+  *v = r | ((b & 0x7F) << shift);
   return p;
 }
 
@@ -138,6 +155,19 @@ const std::uint8_t* decode_block(const std::uint8_t* p,
 void decode_list(const std::uint8_t* p, std::size_t bytes, std::size_t n,
                  std::vector<std::uint32_t>& ids, std::vector<double>& vals);
 
+/// One decoded block as staged by CompressedPostings::scan_blocks: doc ids
+/// are materialized into an L1-resident buffer (SIMD shuffle decode for
+/// group-varint blocks), tf codes and exception doubles stay views into
+/// the compressed pool. `excs` packs exc_count raw f64s in posting order
+/// for the entries whose code is 0.
+struct BlockView {
+  const std::uint32_t* docs = nullptr;
+  const std::uint8_t* codes = nullptr;
+  const std::uint8_t* excs = nullptr;
+  std::size_t exc_count = 0;
+  std::size_t n = 0;
+};
+
 }  // namespace codec
 
 /// All terms' postings in one compressed byte pool with per-term offsets
@@ -158,10 +188,11 @@ class CompressedPostings {
   }
   std::size_t total_postings() const { return total_postings_; }
 
-  /// Compressed footprint: byte pool plus the per-term offset/count
-  /// directory.
+  /// Compressed footprint: byte pool (payload only, excluding the SIMD
+  /// decode pad) plus the per-term offset/count directory.
   std::size_t compressed_bytes() const {
-    return bytes_.size() + offsets_.size() * sizeof(std::uint64_t) +
+    return (offsets_.empty() ? 0 : offsets_.back()) +
+           offsets_.size() * sizeof(std::uint64_t) +
            counts_.size() * sizeof(std::uint32_t);
   }
 
@@ -170,67 +201,83 @@ class CompressedPostings {
   void decode_term(std::uint32_t term, std::vector<std::uint32_t>& docs,
                    std::vector<double>& tfs) const;
 
-  /// Fused decode-and-visit over one term's postings, in doc order:
-  /// `fn(doc, code, exc)` where code is the quantized tf (tf == code
-  /// bit-exactly when nonzero) and exc the exact exception value when
-  /// code == 0. Header-inline so the per-posting work collapses into the
-  /// caller's loop without staging buffers for tf values.
+  /// Block-at-a-time decode-and-visit over one term's postings:
+  /// `fn(const codec::BlockView&)` once per block, doc ids staged into an
+  /// L1-resident buffer (group-varint blocks decode through the dispatched
+  /// SSE shuffle-table kernel; varint blocks through the scalar chain).
+  /// Staging the ids first lets callers run vectorized kernels over the
+  /// whole block — gathered norms, LUT-expanded tfs — instead of paying a
+  /// decode/score dependency per posting.
   ///
   /// This is the *unchecked* mirror of codec::decode_block — it trusts the
   /// in-memory pool the encoder built and elides every bounds check; keep
   /// the two walks in lockstep on any format change (a shared policy
   /// template was measured at ~15% scoring-loop cost and rejected).
   template <typename Fn>
-  void scan(std::uint32_t term, Fn&& fn) const {
+  void scan_blocks(std::uint32_t term, Fn&& fn) const {
     if (term >= num_terms()) return;
     const std::uint8_t* p = bytes_.data() + offsets_[term];
     std::size_t remaining = counts_[term];
     std::uint32_t prev = 0;
+    // kBlockSize is a multiple of 4, so the SIMD decoder's full-quad
+    // stores never step outside the staging buffer.
+    static_assert(codec::kBlockSize % 4 == 0);
+    std::uint32_t ids[codec::kBlockSize];
     while (remaining > 0) {
       const std::size_t n = std::min(remaining, codec::kBlockSize);
       const std::uint8_t tag = *p++;
-      assert(tag == codec::kTagVarint || tag == codec::kTagGroupVarint);
-      // Values precede deltas in the block, so the delta walk streams
-      // straight into fn — no staging buffer.
+      assert(tag == codec::kTagVarint || tag == codec::kTagGroupVarint ||
+             tag == codec::kTagU8Delta);
       const std::uint8_t* codes = p;
       p += n;
       std::uint64_t exc_count;
       p = codec::get_varint(p, &exc_count);
       const std::uint8_t* excp = p;
       p += sizeof(double) * exc_count;
-      const auto emit = [&](std::uint32_t doc, std::uint8_t code) {
-        double exc = 0.0;
-        if (code == 0) {
-          std::memcpy(&exc, excp, sizeof exc);
-          excp += sizeof exc;
-        }
-        fn(doc, code, exc);
-      };
-      if (tag == codec::kTagGroupVarint) {
-        for (std::size_t i = 0; i < n; i += 4) {
-          std::uint32_t quad[4];
-          p = codec::get_group4(p, quad);
-          for (std::size_t j = 0; j < 4 && i + j < n; ++j) {
-            prev += quad[j];
-            emit(prev, codes[i + j]);
-          }
-        }
+      if (tag == codec::kTagU8Delta) {
+        // The SIMD tiers read rounded-up 4-byte windows; the pool keeps
+        // simd::kDecodePadBytes of slack after the payload for this.
+        p = simd::decode_u8_deltas(p, ids, &prev, n);
+      } else if (tag == codec::kTagGroupVarint) {
+        // The SIMD tier reads 16-byte windows (same pool slack).
+        p = simd::decode_group_deltas(p, ids, &prev, n);
       } else {
         for (std::size_t i = 0; i < n; ++i) {
           std::uint32_t delta;
           p = codec::get_varint32(p, &delta);
           prev += delta;
-          emit(prev, codes[i]);
+          ids[i] = prev;
         }
       }
+      fn(codec::BlockView{ids, codes, excp,
+                          static_cast<std::size_t>(exc_count), n});
       remaining -= n;
     }
+  }
+
+  /// Fused per-posting visit, in doc order: `fn(doc, code, exc)` where
+  /// code is the quantized tf (tf == code bit-exactly when nonzero) and
+  /// exc the exact exception value when code == 0. Thin adapter over
+  /// scan_blocks for callers that don't batch.
+  template <typename Fn>
+  void scan(std::uint32_t term, Fn&& fn) const {
+    scan_blocks(term, [&](const codec::BlockView& bv) {
+      const std::uint8_t* excp = bv.excs;
+      for (std::size_t i = 0; i < bv.n; ++i) {
+        double exc = 0.0;
+        if (bv.codes[i] == 0) {
+          std::memcpy(&exc, excp, sizeof exc);
+          excp += sizeof exc;
+        }
+        fn(bv.docs[i], bv.codes[i], exc);
+      }
+    });
   }
 
  private:
   std::vector<std::uint64_t> offsets_;  // per-term byte offset, terms+1
   std::vector<std::uint32_t> counts_;   // postings per term (df)
-  std::vector<std::uint8_t> bytes_;
+  std::vector<std::uint8_t> bytes_;     // payload + simd::kDecodePadBytes
   std::size_t total_postings_ = 0;
 };
 

@@ -20,10 +20,15 @@ constexpr std::uint32_t kVersion = 1;
 // SparseRows format versions: v1 stored each row as raw (u32 col, f64 val)
 // pairs; v2 stores each row as one block-compressed list (delta-varint
 // columns, u8-quantized values with an exact-double exception table —
-// services/search/postings_codec.h). Values round-trip bit-exactly in
-// both. Writers emit v2; the loader accepts both.
+// services/search/postings_codec.h); v3 is byte-identical in structure
+// but its blocks may carry the kTagU8Delta delta layout, which a v2-era
+// reader would reject as a bad block tag — the bump turns that into a
+// clean version error instead. Values round-trip bit-exactly in all
+// three. Writers emit v3; the loader accepts every version (v2 and v3
+// share one decode path).
 constexpr std::uint32_t kRowsVersionRaw = 1;
 constexpr std::uint32_t kRowsVersionCompressed = 2;
+constexpr std::uint32_t kRowsVersionCompressedU8 = 3;
 
 /// Works for SparseVector and SparseRowView alike.
 template <typename Row>
@@ -50,7 +55,7 @@ SparseVector read_sparse_vector(common::BinaryReader& r) {
 
 void save(std::ostream& os, const SparseRows& rows) {
   common::BinaryWriter w(os);
-  w.magic(kRowsMagic, kRowsVersionCompressed);
+  w.magic(kRowsMagic, kRowsVersionCompressedU8);
   w.u64(rows.cols());
   w.u64(rows.rows());
   std::vector<std::uint8_t> buf;
@@ -73,7 +78,8 @@ SparseRows load_sparse_rows(std::istream& is) {
     for (std::uint64_t i = 0; i < n; ++i) {
       rows.add_row(read_sparse_vector(r));
     }
-  } else if (version == kRowsVersionCompressed) {
+  } else if (version == kRowsVersionCompressed ||
+             version == kRowsVersionCompressedU8) {
     std::vector<std::uint32_t> ids;
     std::vector<double> vals;
     for (std::uint64_t i = 0; i < n; ++i) {

@@ -16,10 +16,11 @@
 
 namespace at::synopsis {
 
-/// SparseRows are written in the v2 block-compressed format (delta-varint
-/// columns + quantized values, see services/search/postings_codec.h); the
-/// loader also accepts the v1 raw pair layout. Both round-trip values
-/// bit-exactly.
+/// SparseRows are written in the v3 block-compressed format (delta
+/// columns — u8/varint/group-varint per block — + quantized values, see
+/// services/search/postings_codec.h); the loader also accepts the v2
+/// layout (same structure, no u8-delta blocks) and the v1 raw pair
+/// layout. All round-trip values bit-exactly.
 void save(std::ostream& os, const SparseRows& rows);
 SparseRows load_sparse_rows(std::istream& is);
 

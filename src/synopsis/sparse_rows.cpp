@@ -52,6 +52,7 @@ std::uint32_t SparseRows::add_row(SparseVector v) {
   }
   extents_.push_back(e);
   live_entries_ += v.size();
+  ++generation_;  // pool may have reallocated: outstanding views are stale
   return static_cast<std::uint32_t>(extents_.size() - 1);
 }
 
@@ -82,13 +83,17 @@ void SparseRows::replace_row(std::uint32_t row, SparseVector v) {
     }
   }
   live_entries_ += v.size();
+  ++generation_;  // slot rewritten or relocated: outstanding views are stale
   // ROADMAP "Hole compaction": reclaim once holes exceed 25% of the live
   // payload, so repeated grown replacements can't leak the pool unbounded.
+  // Note this makes replace_row a potential whole-pool rewrite: views of
+  // *other* rows do not survive it either (see the row() contract).
   if (dead_entries_ * 4 > live_entries_) compact();
 }
 
 void SparseRows::compact() {
   if (dead_entries_ == 0) return;
+  ++generation_;  // every extent is about to move
   std::vector<std::uint32_t> cols;
   std::vector<double> vals;
   cols.reserve(live_entries_);

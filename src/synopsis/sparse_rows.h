@@ -217,8 +217,24 @@ class SparseRows {
   /// 25% of live entries the pools are compacted in place.
   void replace_row(std::uint32_t row, SparseVector v);
 
-  /// View of row r. Invalidated by add_row/replace_row.
+  /// View of row r.
+  ///
+  /// LIFETIME CONTRACT: a SparseRowView borrows raw pool pointers and is
+  /// invalidated by ANY mutation — add_row (pool reallocation),
+  /// replace_row (slot rewrite/relocation, and it may trigger compact()
+  /// once holes exceed 25% of live entries), or an explicit compact()
+  /// (every extent is rewritten). Callers that interleave mutation with
+  /// iteration must re-acquire views after each mutation — the
+  /// SynopsisUpdater does all replace_row calls in a sequential phase and
+  /// only then takes the views its parallel retraining reads. generation()
+  /// observes this: it ticks on every potentially invalidating mutation,
+  /// and tests assert stale views are never read across a tick.
   SparseRowView row(std::uint32_t r) const;
+
+  /// Mutation counter for the view-lifetime contract: incremented by
+  /// add_row, replace_row and compact. A view taken at generation g must
+  /// not be dereferenced once generation() != g.
+  std::uint64_t generation() const { return generation_; }
 
   /// Number of live entries (holes from grown replacements excluded).
   std::size_t total_entries() const { return live_entries_; }
@@ -256,6 +272,7 @@ class SparseRows {
   std::vector<Extent> extents_;
   std::size_t live_entries_ = 0;
   std::size_t dead_entries_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace at::synopsis

@@ -1,5 +1,6 @@
 #include "synopsis/updater.h"
 
+#include <cassert>
 #include <cmath>
 #include <span>
 #include <stdexcept>
@@ -77,8 +78,18 @@ UpdateReport SynopsisUpdater::apply(SynopsisStructure& s, SparseRows& data,
 
     // Phase 2 (parallel): retrain each changed row's reduced coordinates
     // against frozen column factors. Rows are disjoint, so this is exact.
+    //
+    // View-lifetime contract (SparseRows::row): every replace_row above —
+    // including any 25%-dead compaction it triggered — completed before
+    // this phase, and phase 2 performs no mutation, so the views acquired
+    // inside the tasks cannot be invalidated mid-retrain. The generation
+    // snapshot asserts that no stale extent is ever read.
+    const std::uint64_t gen = data.generation();
+    (void)gen;  // referenced only by the assert in release builds
     auto retrain = [&](std::size_t k) {
       const std::uint32_t row = retrain_rows[k];
+      assert(data.generation() == gen &&
+             "SparseRows mutated while retraining holds row views");
       const SparseRowView rv = data.row(row);
       linalg::retrain_row_factors(s.svd, row, rv.cols(), rv.vals(), rv.size(),
                                   config_.svd);

@@ -330,6 +330,44 @@ TEST(ThreadPool, ParallelForEmpty) {
   pool.parallel_for(0, [](std::size_t) { FAIL(); });
 }
 
+TEST(ThreadPool, ParallelForFewerIndicesThanWorkers) {
+  // n < workers must submit exactly n single-index tasks: every index
+  // visited exactly once, no empty-range task, no divide-by-zero in the
+  // chunk math.
+  ThreadPool pool(8);
+  for (std::size_t n : {1u, 2u, 7u}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) {
+      ASSERT_LT(i, n);
+      hits[i]++;
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForIndexCountsAroundWorkerMultiples) {
+  // Around the chunking boundaries (workers, workers +/- 1, 2*workers + 1)
+  // the ceil-divide must neither drop nor duplicate indices.
+  ThreadPool pool(3);
+  for (std::size_t n : {2u, 3u, 4u, 7u, 9u}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) { hits[i]++; });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForSingleWorkerPool) {
+  // Degenerate one-worker pool: chunk math must still cover everything
+  // (chunks == 1, per == n) for any n including n == 0.
+  ThreadPool pool(1);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+  std::vector<std::atomic<int>> hits(5);
+  pool.parallel_for(5, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPool, ParallelForPropagatesException) {
   ThreadPool pool(2);
   EXPECT_THROW(pool.parallel_for(10,

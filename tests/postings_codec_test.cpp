@@ -207,31 +207,42 @@ TEST(ListCodec, RandomListsRoundTrip) {
   }
 }
 
-TEST(ListCodec, GroupVarintFallbackBeatsVarintOnTwoByteDeltas) {
-  // Deltas in [128, 255] cost 2 varint bytes but only 1 group-varint data
-  // byte + 1/4 control byte, so the encoder must pick the group layout —
-  // and a dense list (delta 1) must pick plain varint. Both decode alike;
-  // this asserts the size advantage that proves the fallback engaged.
-  std::vector<std::uint32_t> sparse_ids, dense_ids;
+TEST(ListCodec, EncoderPicksCheapestDeltaLayoutPerBlock) {
+  // Three regimes, one per layout:
+  //  * byte-size gaps (<= 255) take the raw u8 layout: 1 byte per delta,
+  //    never worse than varint and SIMD prefix-sum decodable;
+  //  * two-byte gaps in [2^14, 2^16) take group varint: 2 data bytes +
+  //    1/4 control beats the 3-byte varint;
+  //  * mixed gaps where group padding would overshoot keep plain varint.
+  std::vector<std::uint32_t> u8_ids, group_ids, varint_ids;
   std::vector<double> vals;
-  std::uint32_t id = 0;
+  std::uint32_t a = 0, b = 0, c = 0;
   for (std::size_t i = 0; i < codec::kBlockSize; ++i) {
-    id += 200;
-    sparse_ids.push_back(id);
-    dense_ids.push_back(static_cast<std::uint32_t>(i));
+    a += 200;       // <= 255 -> u8
+    b += 20000;     // [2^14, 2^16) -> group
+    c += (i % 4 == 0) ? 1 : 300;  // mixed 1/2-byte varints, group pads lose
+    u8_ids.push_back(a);
+    group_ids.push_back(b);
+    varint_ids.push_back(c);
     vals.push_back(1.0);
   }
-  std::vector<std::uint8_t> sparse_buf, dense_buf;
-  codec::encode_list(sparse_buf, sparse_ids.data(), vals.data(),
-                     sparse_ids.size());
-  codec::encode_list(dense_buf, dense_ids.data(), vals.data(),
-                     dense_ids.size());
-  // Group: 1 tag + 32 control + 128 data + tfs/exc; varint would be 1 + 256.
+  std::vector<std::uint8_t> u8_buf, group_buf, varint_buf;
+  codec::encode_list(u8_buf, u8_ids.data(), vals.data(), u8_ids.size());
+  codec::encode_list(group_buf, group_ids.data(), vals.data(),
+                     group_ids.size());
+  codec::encode_list(varint_buf, varint_ids.data(), vals.data(),
+                     varint_ids.size());
   const std::size_t overhead = 1 + codec::kBlockSize + 1;  // tag + tfs + exc
-  EXPECT_EQ(sparse_buf.size(), overhead + 32 + codec::kBlockSize);
-  EXPECT_EQ(dense_buf.size(), overhead + codec::kBlockSize);
-  expect_round_trip(sparse_ids, vals);
-  expect_round_trip(dense_ids, vals);
+  EXPECT_EQ(u8_buf[0], codec::kTagU8Delta);
+  EXPECT_EQ(u8_buf.size(), overhead + codec::kBlockSize);
+  EXPECT_EQ(group_buf[0], codec::kTagGroupVarint);
+  EXPECT_EQ(group_buf.size(), overhead + 32 + 2 * codec::kBlockSize);
+  EXPECT_EQ(varint_buf[0], codec::kTagVarint);
+  // 32 one-byte + 96 two-byte varints.
+  EXPECT_EQ(varint_buf.size(), overhead + 32 + 2 * 96);
+  expect_round_trip(u8_ids, vals);
+  expect_round_trip(group_ids, vals);
+  expect_round_trip(varint_ids, vals);
 }
 
 CompressedPostings three_term_postings() {
@@ -318,6 +329,118 @@ TEST(ScanTest, EmptyAndOutOfRangeTermsVisitNothing) {
   p.scan(1, count);
   p.scan(42, count);
   EXPECT_EQ(calls, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-varint regression (the shift-overflow UB fix)
+// ---------------------------------------------------------------------------
+
+TEST(VarintCorruptInput, UnterminatedRunsStopAtMaxEncodedWidth) {
+  // A run of continuation bytes with the terminator missing used to walk
+  // the shift count past the operand width (UB: shift >= 64 / >= 32) and
+  // the cursor arbitrarily far. The exact-sized heap buffers make any
+  // over-read an ASan failure and the capped shifts keep UBSan quiet; the
+  // decoded value is unspecified garbage, only the consumption contract
+  // (10 bytes for u64, 5 for u32) is pinned.
+  {
+    std::vector<std::uint8_t> buf(10, 0xFF);  // exactly the max u64 width
+    std::uint64_t v;
+    const std::uint8_t* end = codec::get_varint(buf.data(), &v);
+    EXPECT_EQ(end, buf.data() + buf.size());
+  }
+  {
+    std::vector<std::uint8_t> buf(5, 0xFF);  // exactly the max u32 width
+    std::uint32_t v;
+    const std::uint8_t* end = codec::get_varint32(buf.data(), &v);
+    EXPECT_EQ(end, buf.data() + buf.size());
+  }
+}
+
+TEST(VarintCorruptInput, WellFormedMaxWidthValuesStillDecode) {
+  // The caps must not clip legitimate maximum-width encodings.
+  std::vector<std::uint8_t> buf;
+  codec::put_varint(buf, 0xFFFFFFFFFFFFFFFFull);
+  ASSERT_EQ(buf.size(), 10u);
+  std::uint64_t v64;
+  EXPECT_EQ(codec::get_varint(buf.data(), &v64), buf.data() + buf.size());
+  EXPECT_EQ(v64, 0xFFFFFFFFFFFFFFFFull);
+
+  buf.clear();
+  codec::put_varint(buf, 0xFFFFFFFFull);
+  ASSERT_EQ(buf.size(), 5u);
+  std::uint32_t v32;
+  EXPECT_EQ(codec::get_varint32(buf.data(), &v32), buf.data() + buf.size());
+  EXPECT_EQ(v32, 0xFFFFFFFFu);
+}
+
+TEST(VarintCorruptInput, CheckedDecodeThrowsOnOverLongVarints) {
+  // Build one valid single-posting list whose delta takes the varint
+  // layout (> 255, so the u8 layout is ineligible), then corrupt the
+  // delta section into an over-long varint (six continuation bytes for a
+  // u32). The checked decoder must reject it rather than silently wrap.
+  const std::uint32_t id = 300;
+  const double val = 2.0;  // integral -> no exception table
+  std::vector<std::uint8_t> buf;
+  codec::encode_list(buf, &id, &val, 1);
+  ASSERT_EQ(buf[0], codec::kTagVarint);
+  // Layout: tag, 1 tf code, exc count (0), two-byte delta varint.
+  ASSERT_EQ(buf.size(), 5u);
+  std::vector<std::uint8_t> bad(buf.begin(), buf.end() - 2);
+  bad.insert(bad.end(), {0x83, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01});
+  std::vector<std::uint32_t> ids;
+  std::vector<double> vals;
+  EXPECT_THROW(codec::decode_list(bad.data(), bad.size(), 1, ids, vals),
+               std::runtime_error);
+
+  // An over-long exception *count* varint (shift past 63) must throw too.
+  std::vector<std::uint8_t> bad_count{buf[0], buf[1]};
+  bad_count.insert(bad_count.end(), 11, 0x80);  // 11 continuation bytes
+  bad_count.push_back(0x01);
+  ids.clear();
+  vals.clear();
+  EXPECT_THROW(
+      codec::decode_list(bad_count.data(), bad_count.size(), 1, ids, vals),
+      std::runtime_error);
+}
+
+TEST(VarintCorruptInput, FuzzedCorruptionsThrowOrDecodeNeverCrash) {
+  // Fuzz-style regression: random byte flips/truncations over a real
+  // encoded list must either decode (possibly to different values) or
+  // throw — never read out of bounds or trip UBSan. Run under the ASan and
+  // UBSan CI jobs.
+  common::Rng rng(2024);
+  std::vector<std::uint32_t> ids;
+  std::vector<double> vals;
+  std::uint32_t id = 0;
+  for (int i = 0; i < 300; ++i) {
+    id += 1 + static_cast<std::uint32_t>(rng.uniform_index(1000));
+    ids.push_back(id);
+    vals.push_back(i % 9 == 0 ? 0.75 : static_cast<double>(1 + i % 200));
+  }
+  std::vector<std::uint8_t> clean;
+  codec::encode_list(clean, ids.data(), vals.data(), ids.size());
+
+  for (int trial = 0; trial < 500; ++trial) {
+    // Exact-sized copy so any out-of-bounds read is a heap overflow ASan
+    // can see, with a random truncation half the time.
+    std::vector<std::uint8_t> fuzzed = clean;
+    if (trial % 2 == 0) {
+      fuzzed.resize(1 + rng.uniform_index(clean.size()));
+    }
+    const int flips = 1 + static_cast<int>(rng.uniform_index(8));
+    for (int f = 0; f < flips; ++f) {
+      fuzzed[rng.uniform_index(fuzzed.size())] =
+          static_cast<std::uint8_t>(rng.uniform_index(256));
+    }
+    std::vector<std::uint32_t> got_ids;
+    std::vector<double> got_vals;
+    try {
+      codec::decode_list(fuzzed.data(), fuzzed.size(), ids.size(), got_ids,
+                         got_vals);
+    } catch (const std::runtime_error&) {
+      // Expected for most corruptions.
+    }
+  }
 }
 
 TEST(CompressedPostingsTest, CompressesTypicalPostingsWell) {

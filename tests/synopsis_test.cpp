@@ -9,6 +9,7 @@
 #include "common/binary_io.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "services/search/postings_codec.h"
 #include "synopsis/aggregate.h"
 #include "synopsis/builder.h"
 #include "synopsis/index_file.h"
@@ -71,6 +72,59 @@ TEST(SparseRows, DatasetConversion) {
   EXPECT_EQ(tail.rows, 1u);
   EXPECT_EQ(tail.entries.size(), 1u);
   EXPECT_EQ(tail.entries[0].row, 0u);  // re-indexed
+}
+
+TEST(SparseRows, GenerationTicksOnEveryViewInvalidatingMutation) {
+  // The view-lifetime contract (SparseRows::row): any mutation may move
+  // pool storage, and generation() must tick so holders of raw views can
+  // assert they never read across a mutation.
+  SparseRows rows(16);
+  const auto g0 = rows.generation();
+  rows.add_row({{0, 1.0}, {3, 2.0}, {7, 3.0}});
+  EXPECT_GT(rows.generation(), g0);
+  // A second, larger row keeps the dead ratio under the 25% auto-compact
+  // trigger for the shrink below, so each tick source is observed alone.
+  rows.add_row({{1, 1.0}, {2, 1.0}, {4, 1.0}, {5, 1.0},
+                {6, 1.0}, {8, 1.0}, {9, 1.0}, {10, 1.0}});
+
+  auto g = rows.generation();
+  rows.replace_row(0, {{2, 9.0}, {3, 1.0}});  // in-place shrink, 1 dead slot
+  EXPECT_GT(rows.generation(), g);
+  ASSERT_EQ(rows.dead_entries(), 1u);  // auto-compact must not have run
+
+  g = rows.generation();
+  rows.compact();  // dead entries exist -> extents rewritten
+  EXPECT_GT(rows.generation(), g);
+  EXPECT_EQ(rows.dead_entries(), 0u);
+
+  g = rows.generation();
+  rows.compact();  // no dead entries: a no-op leaves views valid
+  EXPECT_EQ(rows.generation(), g);
+}
+
+TEST(SparseRows, CompactionTriggeredByReplaceTicksGeneration) {
+  // Repeated grown replacements cross the 25% dead threshold inside
+  // replace_row; the implicit compact must be observable through
+  // generation() just like an explicit one.
+  SparseRows rows(32);
+  common::Rng rng(5);
+  for (int r = 0; r < 10; ++r) {
+    SparseVector v;
+    for (std::uint32_t c = 0; c < 32; ++c)
+      if (rng.uniform() < 0.25) v.emplace_back(c, 1.0);
+    rows.add_row(std::move(v));
+  }
+  std::uint64_t last = rows.generation();
+  for (int round = 0; round < 30; ++round) {
+    SparseVector v;
+    for (std::uint32_t c = 0; c < 32; ++c)
+      if (rng.uniform() < 0.8) v.emplace_back(c, 2.0);
+    rows.replace_row(static_cast<std::uint32_t>(round % 10), std::move(v));
+    EXPECT_GT(rows.generation(), last);
+    last = rows.generation();
+    // The compaction invariant the trigger maintains.
+    ASSERT_LE(rows.dead_entries() * 4, rows.total_entries());
+  }
 }
 
 TEST(IndexFile, PartitionValidation) {
@@ -321,6 +375,67 @@ TEST_F(UpdaterTest, IncrementalMatchesRebuildAggregation) {
   }
 }
 
+TEST_F(UpdaterTest, CompactionDuringRetrainingCannotAliasStaleExtents) {
+  // Regression for the view-lifetime hazard the 25% compaction trigger
+  // introduced: a batch of grown replacements compacts the pools midway
+  // through the updater's replace phase, relocating every extent. The
+  // updater must only take row views *after* all replacements (its
+  // retraining phase asserts generation stability), so the retrained
+  // coordinates must match a run on a pristine copy where the same final
+  // contents were applied without ever triggering compaction mid-batch —
+  // any stale-extent read would diverge.
+  common::Rng rng(7);
+  UpdateBatch batch;
+  std::vector<std::pair<std::uint32_t, SparseVector>> finals;
+  for (std::uint32_t r = 0; r < 30; ++r) {
+    SparseVector v;
+    for (std::uint32_t c = 0; c < 16; ++c)
+      if (rng.uniform() < 0.95) v.emplace_back(c, rng.uniform(1.0, 5.0));
+    finals.emplace_back(r * 3, v);
+    batch.changed.emplace_back(r * 3, std::move(v));
+  }
+
+  // Reference: identical initial state, identical batch, sequential apply.
+  auto ref_rows = rows_;
+  auto ref_structure = SynopsisBuilder(cfg_).build(ref_rows);
+  auto ref_synopsis =
+      aggregate_all(ref_rows, ref_structure.index, AggregationKind::kMean);
+
+  SynopsisUpdater updater(cfg_);
+  const auto gen_before = rows_.generation();
+  common::ThreadPool pool(4);
+  updater.apply(structure_, rows_, synopsis_, batch, AggregationKind::kMean,
+                &pool);
+  // The batch really did force pool rewrites (grown replacements compact).
+  EXPECT_GT(rows_.generation(), gen_before);
+  ASSERT_LE(rows_.dead_entries() * 4, rows_.total_entries());
+
+  updater.apply(ref_structure, ref_rows, ref_synopsis, batch,
+                AggregationKind::kMean, nullptr);
+
+  // Contents: every changed row reads back its final batch content.
+  for (const auto& [row, content] : finals) {
+    auto expect = content;
+    normalize(expect);
+    EXPECT_EQ(rows_.row(row), expect) << "row " << row;
+  }
+  // Retrained coordinates bit-match the sequential reference — stale
+  // extents (pre-compaction pool pointers) would have fed the retraining
+  // garbage and diverged.
+  ASSERT_EQ(structure_.svd.row_factors.rows(),
+            ref_structure.svd.row_factors.rows());
+  for (std::size_t r = 0; r < structure_.svd.row_factors.rows(); ++r)
+    for (std::size_t d = 0; d < structure_.svd.row_factors.cols(); ++d)
+      ASSERT_EQ(structure_.svd.row_factors(r, d),
+                ref_structure.svd.row_factors(r, d))
+          << "row factor (" << r << "," << d << ")";
+  ASSERT_EQ(synopsis_.size(), ref_synopsis.size());
+  for (std::size_t g = 0; g < synopsis_.size(); ++g) {
+    EXPECT_EQ(synopsis_.points[g].features, ref_synopsis.points[g].features)
+        << "group " << g;
+  }
+}
+
 TEST_F(UpdaterTest, CleanGroupsAreReused) {
   // A tiny, localized change should leave most groups clean.
   UpdateBatch batch;
@@ -522,6 +637,34 @@ TEST(Serialize, LoadsV1UncompressedSparseRows) {
   EXPECT_EQ(loaded.cols(), 8u);
   EXPECT_EQ(loaded.row(0), row0);
   EXPECT_EQ(loaded.row(1), row1);
+}
+
+TEST(Serialize, LoadsV2CompressedSparseRows) {
+  // A v2 file (block-compressed, but from before the u8-delta tag existed
+  // — only varint/group-varint blocks) must keep loading; the writer now
+  // stamps v3 because its blocks may carry the new tag.
+  const SparseVector row0{{300, 2.5}, {1200, 3.0}};  // gaps > 255: varint
+  std::stringstream buf;
+  {
+    common::BinaryWriter w(buf);
+    w.magic("ATSR", 2);
+    w.u64(2048);  // cols
+    w.u64(1);     // rows
+    std::vector<std::uint32_t> ids;
+    std::vector<double> vals;
+    for (const auto& [c, val] : row0) {
+      ids.push_back(c);
+      vals.push_back(val);
+    }
+    std::vector<std::uint8_t> blob;
+    search::codec::encode_list(blob, ids.data(), vals.data(), ids.size());
+    ASSERT_EQ(blob[0], search::codec::kTagVarint);  // genuinely v2-shaped
+    w.u64(ids.size());
+    w.blob(blob);
+  }
+  const SparseRows loaded = load_sparse_rows(buf);
+  ASSERT_EQ(loaded.rows(), 1u);
+  EXPECT_EQ(loaded.row(0), row0);
 }
 
 TEST(Serialize, UnknownRowsVersionThrows) {
