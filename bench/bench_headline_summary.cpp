@@ -11,8 +11,10 @@
 // across rates/hours.
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "bench/bench_common.h"
+#include "common/artifact.h"
 #include "workload/diurnal.h"
 
 namespace at::bench {
@@ -23,10 +25,29 @@ struct ServiceSummary {
   double at_loss_pct = 0.0;
   double loss_reduction_vs_partial = 0.0;
   search::IndexSizeStats index_size;  // search service only
+  /// Total component-snapshot artifact bytes per value codec (the state a
+  /// builder ships to serving components).
+  std::size_t snapshot_bytes[3] = {0, 0, 0};
 };
+
+/// Sums the per-codec artifact sizes of every component snapshot.
+template <typename Service>
+void measure_snapshots(const Service& service, ServiceSummary& s) {
+  for (common::Codec codec : common::kAllCodecs) {
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < service.num_components(); ++c) {
+      std::ostringstream os;
+      service.component(c).save(os, codec);
+      total += os.str().size();
+    }
+    s.snapshot_bytes[static_cast<std::size_t>(codec)] = total;
+  }
+}
 
 ServiceSummary run_cf() {
   auto fx = make_cf_fixture(25.0, 250, 2);
+  ServiceSummary sizes;
+  measure_snapshots(*fx.service, sizes);
   auto scfg = default_sim_config(fx);
   const double duration_s = large_scale() ? 90.0 : 30.0;
   double reissue_sum = 0.0, at_sum = 0.0, partial_loss = 0.0, at_loss = 0.0;
@@ -51,7 +72,7 @@ ServiceSummary run_cf() {
             .loss_pct;
     ++samples;
   }
-  ServiceSummary s;
+  ServiceSummary s = sizes;
   s.latency_reduction_vs_reissue = reissue_sum / at_sum;
   s.at_loss_pct = at_loss / samples;
   s.loss_reduction_vs_partial =
@@ -63,6 +84,7 @@ ServiceSummary run_search() {
   auto fx = make_search_fixture(12.0, 250);
   ServiceSummary sizes;  // captured up front; the sim loop reuses fx
   sizes.index_size = fx.service->index_size();
+  measure_snapshots(*fx.service, sizes);
   auto scfg = default_sim_config(fx);
   apply_search_imax(scfg, fx);
   scfg.session_length_s = 1e9;
@@ -126,6 +148,13 @@ void write_json(const ServiceSummary& cf, const ServiceSummary& se) {
          << s.index_size.compressed_bytes
          << ",\n    \"index_size_ratio\": " << s.index_size.ratio();
     }
+    const auto raw =
+        s.snapshot_bytes[static_cast<std::size_t>(common::Codec::kRaw)];
+    os << ",\n    \"snapshot_raw_bytes\": " << raw
+       << ",\n    \"snapshot_shuffle_bytes\": "
+       << s.snapshot_bytes[static_cast<std::size_t>(common::Codec::kShuffle)]
+       << ",\n    \"snapshot_q8_bytes\": "
+       << s.snapshot_bytes[static_cast<std::size_t>(common::Codec::kQ8)];
     os << "\n  }" << (last ? "\n" : ",\n");
   };
   os << "{\n  \"bench\": \"bench_headline_summary\",\n"
@@ -173,6 +202,24 @@ int main() {
             << " B -> compressed " << se.index_size.compressed_bytes
             << " B (ratio "
             << common::TableWriter::fmt(se.index_size.ratio(), 3) << ")\n";
+  const auto snapshot_line = [](const char* name, const ServiceSummary& s) {
+    const auto raw =
+        s.snapshot_bytes[static_cast<std::size_t>(common::Codec::kRaw)];
+    const auto shuffle =
+        s.snapshot_bytes[static_cast<std::size_t>(common::Codec::kShuffle)];
+    const auto q8 =
+        s.snapshot_bytes[static_cast<std::size_t>(common::Codec::kQ8)];
+    std::cout << "  " << name << " snapshot artifacts: raw " << raw
+              << " B, shuffle " << shuffle << " B ("
+              << common::TableWriter::fmt(
+                     raw ? static_cast<double>(shuffle) / raw : 0.0, 3)
+              << "x), q8 " << q8 << " B ("
+              << common::TableWriter::fmt(
+                     raw ? static_cast<double>(q8) / raw : 0.0, 3)
+              << "x)\n";
+  };
+  snapshot_line("CF", cf);
+  snapshot_line("search", se);
   write_json(cf, se);
   return 0;
 }

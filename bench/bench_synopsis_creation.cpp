@@ -9,15 +9,18 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "bench/bench_common.h"
 #include "bench/seed_reference.h"
+#include "common/artifact.h"
 #include "common/simd.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "linalg/svd.h"
 #include "synopsis/aggregate.h"
 #include "synopsis/builder.h"
+#include "synopsis/serialize.h"
 
 namespace at::bench {
 namespace {
@@ -33,7 +36,27 @@ struct StepTimes {
   std::size_t groups = 0;
   std::size_t synopsis_features = 0;
   std::size_t input_entries = 0;
+  /// Serialized SVD-model artifact size per value codec (same model,
+  /// exact round-trip in every codec), plus the synopsis artifact.
+  std::size_t svd_artifact_bytes[3] = {0, 0, 0};
+  std::size_t synopsis_artifact_bytes = 0;
+
+  double svd_codec_ratio(common::Codec codec) const {
+    const auto raw =
+        svd_artifact_bytes[static_cast<std::size_t>(common::Codec::kRaw)];
+    return raw > 0 ? static_cast<double>(
+                         svd_artifact_bytes[static_cast<std::size_t>(codec)]) /
+                         static_cast<double>(raw)
+                   : 0.0;
+  }
 };
+
+template <typename Fn>
+std::size_t artifact_bytes(Fn&& fn) {
+  std::ostringstream os;
+  fn(os);
+  return os.str().size();
+}
 
 StepTimes time_creation(const synopsis::SparseRows& rows,
                         const synopsis::BuildConfig& cfg,
@@ -92,6 +115,17 @@ StepTimes time_creation(const synopsis::SparseRows& rows,
 
   t.groups = index.size();
   t.synopsis_features = synopsis.total_features();
+
+  // Artifact-store footprint of the shippable state (ROADMAP "Compress
+  // remaining artifacts"): the SVD model under each value codec and the
+  // aggregated synopsis. All encodings are exact, so the ratios are pure
+  // size wins.
+  for (common::Codec codec : common::kAllCodecs) {
+    t.svd_artifact_bytes[static_cast<std::size_t>(codec)] = artifact_bytes(
+        [&](std::ostream& os) { linalg::save(os, svd, codec); });
+  }
+  t.synopsis_artifact_bytes =
+      artifact_bytes([&](std::ostream& os) { synopsis::save(os, synopsis); });
   return t;
 }
 
@@ -129,6 +163,22 @@ void report(const char* service, const StepTimes& t) {
                                           3),
                  ""});
   table.print(std::cout);
+  std::cout << "  SVD model artifact: raw="
+            << t.svd_artifact_bytes[static_cast<std::size_t>(
+                   common::Codec::kRaw)]
+            << " B, shuffle="
+            << t.svd_artifact_bytes[static_cast<std::size_t>(
+                   common::Codec::kShuffle)]
+            << " B ("
+            << common::TableWriter::fmt(
+                   t.svd_codec_ratio(common::Codec::kShuffle), 3)
+            << "x), q8="
+            << t.svd_artifact_bytes[static_cast<std::size_t>(
+                   common::Codec::kQ8)]
+            << " B ("
+            << common::TableWriter::fmt(t.svd_codec_ratio(common::Codec::kQ8),
+                                        3)
+            << "x); synopsis artifact=" << t.synopsis_artifact_bytes << " B\n";
   std::cout << "  points=" << t.points << " groups=" << t.groups
             << " points/aggregated="
             << common::TableWriter::fmt(
@@ -164,7 +214,21 @@ void write_json(const StepTimes& cf, const StepTimes& ws) {
        << "    \"rtree_s\": " << t.rtree_s << ",\n"
        << "    \"aggregate_s\": " << t.aggregate_s << ",\n"
        << "    \"points\": " << t.points << ",\n"
-       << "    \"groups\": " << t.groups << "\n  }" << tail << "\n";
+       << "    \"groups\": " << t.groups << ",\n"
+       << "    \"svd_artifact_raw_bytes\": "
+       << t.svd_artifact_bytes[static_cast<std::size_t>(common::Codec::kRaw)]
+       << ",\n"
+       << "    \"svd_artifact_shuffle_bytes\": "
+       << t.svd_artifact_bytes[static_cast<std::size_t>(
+              common::Codec::kShuffle)]
+       << ",\n"
+       << "    \"svd_artifact_q8_bytes\": "
+       << t.svd_artifact_bytes[static_cast<std::size_t>(common::Codec::kQ8)]
+       << ",\n"
+       << "    \"svd_artifact_shuffle_ratio\": "
+       << t.svd_codec_ratio(common::Codec::kShuffle) << ",\n"
+       << "    \"synopsis_artifact_bytes\": " << t.synopsis_artifact_bytes
+       << "\n  }" << tail << "\n";
   };
   os << "{\n  \"bench\": \"bench_synopsis_creation\",\n"
      << "  \"scale\": \"" << (large_scale() ? "large" : "small") << "\",\n"
@@ -211,5 +275,25 @@ int main() {
     report("web search (one shard)", ws_times);
   }
   write_json(cf_times, ws_times);
+
+  // CI guard: with AT_REQUIRE_ARTIFACT_RATIO set (e.g. 0.9), the shuffle
+  // codec must keep the SVD-model artifact at or below that fraction of
+  // the raw encoding for both services — the storage analogue of the
+  // postings-codec AT_REQUIRE_RATIO guard.
+  if (const char* bound_env = std::getenv("AT_REQUIRE_ARTIFACT_RATIO")) {
+    const double bound = std::atof(bound_env);
+    const double worst =
+        std::max(cf_times.svd_codec_ratio(common::Codec::kShuffle),
+                 ws_times.svd_codec_ratio(common::Codec::kShuffle));
+    if (!(bound > 0.0) || worst > bound) {
+      std::cerr << "FAIL: SVD-model shuffle/raw artifact ratio "
+                << common::TableWriter::fmt(worst, 3) << " exceeds bound "
+                << bound_env << "\n";
+      return 1;
+    }
+    std::cout << "  artifact ratio guard OK: shuffle/raw "
+              << common::TableWriter::fmt(worst, 3) << " <= " << bound_env
+              << "\n";
+  }
   return 0;
 }

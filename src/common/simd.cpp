@@ -162,6 +162,60 @@ const std::uint8_t* scalar_decode_u8_deltas(const std::uint8_t* p,
 
 namespace {
 
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41 reflected to 0x82F63B78) —
+// the polynomial the SSE4.2 crc32 instruction implements, so the table
+// walk and the hardware tier agree bit for bit.
+struct Crc32cTable {
+  std::uint32_t t[256];
+};
+
+constexpr Crc32cTable make_crc32c_table() {
+  Crc32cTable tb{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+    }
+    tb.t[i] = c;
+  }
+  return tb;
+}
+
+constexpr Crc32cTable kCrc32cTable = make_crc32c_table();
+
+}  // namespace
+
+std::uint32_t scalar_crc32c_update(std::uint32_t crc, const std::uint8_t* p,
+                                   std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = kCrc32cTable.t[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+void scalar_shuffle_u64(std::uint8_t* out, const std::uint64_t* in,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t x = in[i];
+    for (std::size_t plane = 0; plane < 8; ++plane) {
+      out[plane * n + i] = static_cast<std::uint8_t>(x >> (8 * plane));
+    }
+  }
+}
+
+void scalar_unshuffle_u64(std::uint64_t* out, const std::uint8_t* in,
+                          std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t x = 0;
+    for (std::size_t plane = 0; plane < 8; ++plane) {
+      x |= static_cast<std::uint64_t>(in[plane * n + i]) << (8 * plane);
+    }
+    out[i] = x;
+  }
+}
+
+namespace {
+
 const Kernels kScalarKernels = {
     &scalar_dot,
     &scalar_distance_sq,
@@ -176,6 +230,9 @@ const Kernels kScalarKernels = {
     &scalar_u8_to_f64,
     &scalar_decode_group_deltas,
     &scalar_decode_u8_deltas,
+    &scalar_crc32c_update,
+    &scalar_shuffle_u64,
+    &scalar_unshuffle_u64,
 };
 
 const Kernels& table_for(Tier t) {

@@ -118,6 +118,19 @@ struct Kernels {
   const std::uint8_t* (*decode_u8_deltas)(const std::uint8_t* p,
                                           std::uint32_t* ids,
                                           std::uint32_t* prev, std::size_t n);
+  /// Running CRC32C (Castagnoli, reflected). Callers seed with ~0u and
+  /// finalize with ~crc; the SSE4.2 tier uses the hardware crc32
+  /// instruction, which computes the exact same polynomial as the scalar
+  /// table walk.
+  std::uint32_t (*crc32c_update)(std::uint32_t crc, const std::uint8_t* p,
+                                 std::size_t n);
+  /// Byte-plane transpose (Blosc-style "shuffle") of n 8-byte elements:
+  /// out[plane * n + i] = byte `plane` of in[i]. `out` holds 8*n bytes.
+  void (*shuffle_u64)(std::uint8_t* out, const std::uint64_t* in,
+                      std::size_t n);
+  /// Inverse transpose: out[i] reassembled from the 8 planes of `in`.
+  void (*unshuffle_u64)(std::uint64_t* out, const std::uint8_t* in,
+                        std::size_t n);
 };
 
 extern std::atomic<const Kernels*> g_active;
@@ -207,6 +220,21 @@ inline const std::uint8_t* decode_u8_deltas(const std::uint8_t* p,
                                             std::uint32_t* prev,
                                             std::size_t n) {
   return detail::active().decode_u8_deltas(p, ids, prev, n);
+}
+
+inline std::uint32_t crc32c_update(std::uint32_t crc, const std::uint8_t* p,
+                                   std::size_t n) {
+  return detail::active().crc32c_update(crc, p, n);
+}
+
+inline void shuffle_u64(std::uint8_t* out, const std::uint64_t* in,
+                        std::size_t n) {
+  detail::active().shuffle_u64(out, in, n);
+}
+
+inline void unshuffle_u64(std::uint64_t* out, const std::uint8_t* in,
+                          std::size_t n) {
+  detail::active().unshuffle_u64(out, in, n);
 }
 
 /// Slack the group-varint SIMD decoder may read past the last encoded

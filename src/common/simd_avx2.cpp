@@ -247,6 +247,9 @@ const Kernels kAvx2Kernels = {
     &u8_to_f64,
     &sse42_decode_group_deltas,
     &sse42_decode_u8_deltas,
+    &sse42_crc32c_update,
+    &sse42_shuffle_u64,
+    &sse42_unshuffle_u64,
 };
 
 }  // namespace
@@ -275,6 +278,9 @@ const Kernels kAvx2Fallback = {
     &scalar_u8_to_f64,
     &scalar_decode_group_deltas,
     &scalar_decode_u8_deltas,
+    &scalar_crc32c_update,
+    &scalar_shuffle_u64,
+    &scalar_unshuffle_u64,
 };
 }  // namespace
 

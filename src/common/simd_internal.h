@@ -50,6 +50,12 @@ const std::uint8_t* scalar_decode_u8_deltas(const std::uint8_t* p,
                                             std::uint32_t* ids,
                                             std::uint32_t* prev,
                                             std::size_t n);
+std::uint32_t scalar_crc32c_update(std::uint32_t crc, const std::uint8_t* p,
+                                   std::size_t n);
+void scalar_shuffle_u64(std::uint8_t* out, const std::uint64_t* in,
+                        std::size_t n);
+void scalar_unshuffle_u64(std::uint64_t* out, const std::uint8_t* in,
+                          std::size_t n);
 
 // Tier tables + compile markers (simd_sse42.cpp / simd_avx2.cpp). When the
 // TU could not be compiled for its ISA the table holds scalar fallbacks
@@ -69,5 +75,15 @@ const std::uint8_t* sse42_decode_u8_deltas(const std::uint8_t* p,
                                            std::uint32_t* ids,
                                            std::uint32_t* prev,
                                            std::size_t n);
+
+// The SSE4.2 artifact-store kernels (hardware crc32 + the 8x8 byte
+// transpose), reused verbatim by the AVX2 tier — both are 128-bit
+// sweet-spot operations.
+std::uint32_t sse42_crc32c_update(std::uint32_t crc, const std::uint8_t* p,
+                                  std::size_t n);
+void sse42_shuffle_u64(std::uint8_t* out, const std::uint64_t* in,
+                       std::size_t n);
+void sse42_unshuffle_u64(std::uint64_t* out, const std::uint8_t* in,
+                         std::size_t n);
 
 }  // namespace at::simd::detail

@@ -221,6 +221,99 @@ const std::uint8_t* sse42_decode_u8_deltas(const std::uint8_t* p,
   return p + n;
 }
 
+std::uint32_t sse42_crc32c_update(std::uint32_t crc, const std::uint8_t* p,
+                                  std::size_t n) {
+  // The crc32 instruction implements the Castagnoli polynomial directly;
+  // widening to u64 steps just feeds it 8 input bytes per issue.
+  std::uint64_t c = crc;
+  const std::size_t n8 = n & ~std::size_t{7};
+  for (std::size_t i = 0; i < n8; i += 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, p + i, sizeof chunk);
+    c = _mm_crc32_u64(c, chunk);
+  }
+  std::uint32_t c32 = static_cast<std::uint32_t>(c);
+  for (std::size_t i = n8; i < n; ++i) {
+    c32 = _mm_crc32_u8(c32, p[i]);
+  }
+  return c32;
+}
+
+// 8x8 byte transpose of one element group: doubles d0..d7 in four 16-byte
+// registers ([d0,d1], [d2,d3], [d4,d5], [d6,d7]) to four registers of two
+// 8-byte planes each ([p0,p1], [p2,p3], [p4,p5], [p6,p7]). Three unpack
+// stages; the network is an involution on the 8x8 byte matrix, so
+// unshuffle runs the identical network with planes as input rows.
+inline void transpose8x8(__m128i r0, __m128i r1, __m128i r2, __m128i r3,
+                         __m128i& w0, __m128i& w1, __m128i& w2, __m128i& w3) {
+  const __m128i t0 = _mm_unpacklo_epi8(r0, r1);  // rows 0,2 interleaved
+  const __m128i t1 = _mm_unpackhi_epi8(r0, r1);  // rows 1,3 interleaved
+  const __m128i t2 = _mm_unpacklo_epi8(r2, r3);  // rows 4,6
+  const __m128i t3 = _mm_unpackhi_epi8(r2, r3);  // rows 5,7
+  const __m128i u0 = _mm_unpacklo_epi8(t0, t1);  // cols 0..3 of rows 0..3
+  const __m128i u1 = _mm_unpackhi_epi8(t0, t1);  // cols 4..7 of rows 0..3
+  const __m128i u2 = _mm_unpacklo_epi8(t2, t3);  // cols 0..3 of rows 4..7
+  const __m128i u3 = _mm_unpackhi_epi8(t2, t3);  // cols 4..7 of rows 4..7
+  w0 = _mm_unpacklo_epi32(u0, u2);
+  w1 = _mm_unpackhi_epi32(u0, u2);
+  w2 = _mm_unpacklo_epi32(u1, u3);
+  w3 = _mm_unpackhi_epi32(u1, u3);
+}
+
+void sse42_shuffle_u64(std::uint8_t* out, const std::uint64_t* in,
+                       std::size_t n) {
+  const std::size_t n8 = n & ~std::size_t{7};
+  for (std::size_t i = 0; i < n8; i += 8) {
+    const __m128i* src = reinterpret_cast<const __m128i*>(in + i);
+    __m128i w0, w1, w2, w3;
+    transpose8x8(_mm_loadu_si128(src), _mm_loadu_si128(src + 1),
+                 _mm_loadu_si128(src + 2), _mm_loadu_si128(src + 3), w0, w1,
+                 w2, w3);
+    const __m128i w[4] = {w0, w1, w2, w3};
+    for (int k = 0; k < 4; ++k) {
+      _mm_storel_epi64(reinterpret_cast<__m128i*>(out + (2 * k) * n + i),
+                       w[k]);
+      _mm_storel_epi64(reinterpret_cast<__m128i*>(out + (2 * k + 1) * n + i),
+                       _mm_srli_si128(w[k], 8));
+    }
+  }
+  for (std::size_t i = n8; i < n; ++i) {
+    const std::uint64_t x = in[i];
+    for (std::size_t plane = 0; plane < 8; ++plane) {
+      out[plane * n + i] = static_cast<std::uint8_t>(x >> (8 * plane));
+    }
+  }
+}
+
+void sse42_unshuffle_u64(std::uint64_t* out, const std::uint8_t* in,
+                         std::size_t n) {
+  const std::size_t n8 = n & ~std::size_t{7};
+  for (std::size_t i = 0; i < n8; i += 8) {
+    __m128i r[4];
+    for (int k = 0; k < 4; ++k) {
+      const __m128i lo = _mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(in + (2 * k) * n + i));
+      const __m128i hi = _mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(in + (2 * k + 1) * n + i));
+      r[k] = _mm_unpacklo_epi64(lo, hi);
+    }
+    __m128i w0, w1, w2, w3;
+    transpose8x8(r[0], r[1], r[2], r[3], w0, w1, w2, w3);
+    __m128i* dst = reinterpret_cast<__m128i*>(out + i);
+    _mm_storeu_si128(dst, w0);
+    _mm_storeu_si128(dst + 1, w1);
+    _mm_storeu_si128(dst + 2, w2);
+    _mm_storeu_si128(dst + 3, w3);
+  }
+  for (std::size_t i = n8; i < n; ++i) {
+    std::uint64_t x = 0;
+    for (std::size_t plane = 0; plane < 8; ++plane) {
+      x |= static_cast<std::uint64_t>(in[plane * n + i]) << (8 * plane);
+    }
+    out[i] = x;
+  }
+}
+
 namespace {
 
 const Kernels kSse42Kernels = {
@@ -237,6 +330,9 @@ const Kernels kSse42Kernels = {
     &scalar_u8_to_f64,
     &sse42_decode_group_deltas,
     &sse42_decode_u8_deltas,
+    &sse42_crc32c_update,
+    &sse42_shuffle_u64,
+    &sse42_unshuffle_u64,
 };
 
 }  // namespace
@@ -265,6 +361,9 @@ const Kernels kSse42Fallback = {
     &scalar_u8_to_f64,
     &scalar_decode_group_deltas,
     &scalar_decode_u8_deltas,
+    &scalar_crc32c_update,
+    &scalar_shuffle_u64,
+    &scalar_unshuffle_u64,
 };
 }  // namespace
 
@@ -281,6 +380,18 @@ const std::uint8_t* sse42_decode_u8_deltas(const std::uint8_t* p,
                                            std::uint32_t* prev,
                                            std::size_t n) {
   return scalar_decode_u8_deltas(p, ids, prev, n);
+}
+std::uint32_t sse42_crc32c_update(std::uint32_t crc, const std::uint8_t* p,
+                                  std::size_t n) {
+  return scalar_crc32c_update(crc, p, n);
+}
+void sse42_shuffle_u64(std::uint8_t* out, const std::uint64_t* in,
+                       std::size_t n) {
+  scalar_shuffle_u64(out, in, n);
+}
+void sse42_unshuffle_u64(std::uint64_t* out, const std::uint8_t* in,
+                         std::size_t n) {
+  scalar_unshuffle_u64(out, in, n);
 }
 
 }  // namespace at::simd::detail

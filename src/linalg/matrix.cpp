@@ -1,7 +1,11 @@
 #include "linalg/matrix.h"
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 
+#include "common/artifact.h"
+#include "common/binary_io.h"
 #include "common/simd.h"
 
 namespace at::linalg {
@@ -33,6 +37,63 @@ void SparseDataset::build_csr() {
     col_idx[slot] = e.col;
     values[slot] = e.value;
   }
+}
+
+namespace {
+/// Untrusted-dimension guard: rows * cols must not wrap (a wrapped
+/// product would pass the element-count check and then index out of
+/// bounds of the undersized storage).
+void check_loaded_dims(std::size_t rows, std::size_t cols) {
+  if (cols != 0 && rows > std::numeric_limits<std::size_t>::max() / cols)
+    throw std::runtime_error("load_matrix: dimensions overflow");
+}
+}  // namespace
+
+void save(std::ostream& os, const Matrix& m, common::Codec codec) {
+  common::ArtifactWriter w(os, "MATX", 1);
+  common::ChunkWriter meta;
+  meta.u64(m.rows());
+  meta.u64(m.cols());
+  w.chunk("META", meta);
+  common::ChunkWriter data;
+  data.f64_column(m.data().data(), m.data().size(), codec);
+  w.chunk("DATA", data);
+  w.finish();
+}
+
+Matrix load_matrix(std::istream& is) {
+  if (!common::next_is_artifact(is)) {
+    // Legacy "ATMX" v1: raw row-major doubles.
+    common::BinaryReader r(is);
+    if (r.magic("ATMX") != 1)
+      throw std::runtime_error("load_matrix: unsupported legacy version");
+    const auto rows = r.u64();
+    const auto cols = r.u64();
+    check_loaded_dims(rows, cols);
+    Matrix m(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) m(i, j) = r.f64();
+    }
+    return m;
+  }
+  common::ArtifactReader r(is, "MATX");
+  if (r.version() != 1)
+    throw common::ArtifactError("load_matrix: unsupported version");
+  common::ChunkReader meta = r.chunk("META");
+  const auto rows = static_cast<std::size_t>(meta.u64());
+  const auto cols = static_cast<std::size_t>(meta.u64());
+  meta.expect_consumed();
+  check_loaded_dims(rows, cols);
+  common::ChunkReader data = r.chunk("DATA");
+  const std::vector<double> values = data.vec_f64();
+  data.expect_consumed();
+  r.finish();
+  if (values.size() != rows * cols)
+    throw common::ArtifactError("load_matrix: element count mismatch");
+  Matrix m(rows, cols);
+  if (!values.empty())
+    std::memcpy(m.row(0), values.data(), values.size() * sizeof(double));
+  return m;
 }
 
 double dot(const double* a, const double* b, std::size_t n) {

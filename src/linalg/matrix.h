@@ -3,8 +3,11 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <stdexcept>
 #include <vector>
+
+#include "common/artifact.h"
 
 namespace at::linalg {
 
@@ -96,6 +99,13 @@ struct SparseDataset {
     return total > 0 ? static_cast<double>(num_entries()) / total : 0.0;
   }
 };
+
+/// Artifact-store persistence (kind "MATX"): chunked + checksummed, the
+/// element column through any of the exact f64 codecs. The loader also
+/// accepts the legacy "ATMX" v1 raw-double stream.
+void save(std::ostream& os, const Matrix& m,
+          common::Codec codec = common::default_codec());
+Matrix load_matrix(std::istream& is);
 
 /// Dot product via the dispatched SIMD kernels (common/simd.h). The
 /// reduction uses a fixed 4-lane decomposition so results are identical in

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/artifact.h"
+#include "common/binary_io.h"
 #include "common/simd.h"
 
 namespace at::linalg {
@@ -301,6 +303,50 @@ void fold_in_rows(SvdModel& model, const SparseDataset& new_rows,
   } else {
     for (std::size_t r = 0; r < new_rows.rows; ++r) train_row(r);
   }
+}
+
+void save(std::ostream& os, const SvdModel& model, common::Codec codec) {
+  common::ArtifactWriter w(os, "SVDM", 1);
+  common::ChunkWriter meta;
+  meta.f64(model.train_rmse);
+  meta.f64(model.global_mean);
+  meta.vec_f64(model.row_bias, codec);
+  meta.vec_f64(model.col_bias, codec);
+  w.chunk("META", meta);
+  save(os, model.row_factors, codec);
+  save(os, model.col_factors, codec);
+  w.finish();
+}
+
+SvdModel load_svd_model(std::istream& is) {
+  if (!common::next_is_artifact(is)) {
+    // Legacy "ATSV" v1: scalars + raw bias vectors, then legacy matrices.
+    common::BinaryReader r(is);
+    if (r.magic("ATSV") != 1)
+      throw std::runtime_error("load_svd_model: unsupported legacy version");
+    SvdModel model;
+    model.train_rmse = r.f64();
+    model.global_mean = r.f64();
+    model.row_bias = r.vec_f64();
+    model.col_bias = r.vec_f64();
+    model.row_factors = load_matrix(is);
+    model.col_factors = load_matrix(is);
+    return model;
+  }
+  common::ArtifactReader r(is, "SVDM");
+  if (r.version() != 1)
+    throw common::ArtifactError("load_svd_model: unsupported version");
+  common::ChunkReader meta = r.chunk("META");
+  SvdModel model;
+  model.train_rmse = meta.f64();
+  model.global_mean = meta.f64();
+  model.row_bias = meta.vec_f64();
+  model.col_bias = meta.vec_f64();
+  meta.expect_consumed();
+  model.row_factors = load_matrix(is);
+  model.col_factors = load_matrix(is);
+  r.finish();
+  return model;
 }
 
 }  // namespace at::linalg

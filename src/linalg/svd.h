@@ -75,6 +75,13 @@ struct SvdModel {
   double predict(std::size_t r, std::size_t c) const;
 };
 
+/// Artifact-store persistence of a model (kind "SVDM"): biases and both
+/// factor matrices go through the chosen f64 codec, every chunk is
+/// CRC-checked. The loader also accepts the legacy "ATSV" v1 stream.
+void save(std::ostream& os, const SvdModel& model,
+          common::Codec codec = common::default_codec());
+SvdModel load_svd_model(std::istream& is);
+
 /// Trains a rank-`config.rank` factorization of the observed entries.
 /// `pool` enables hogwild sharding when config.deterministic is false.
 SvdModel incremental_svd(const SparseDataset& data, const SvdConfig& config,

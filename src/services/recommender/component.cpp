@@ -152,33 +152,60 @@ RecommenderComponent::RecommenderComponent(LoadedTag,
   rebuild_derived();
 }
 
-void RecommenderComponent::save(std::ostream& os) const {
-  common::BinaryWriter w(os);
-  w.magic("ATRC", 1);
-  w.u64(config_.svd.rank);
-  w.u64(config_.svd.epochs_per_dim);
-  w.f64(config_.svd.learning_rate);
-  w.f64(config_.svd.regularization);
-  w.f64(config_.size_ratio);
-  w.u64(config_.min_groups);
+void RecommenderComponent::save(std::ostream& os,
+                                common::Codec codec) const {
+  common::ArtifactWriter w(os, "RCMP", 1);
+  common::ChunkWriter conf;
+  conf.u64(config_.svd.rank);
+  conf.u64(config_.svd.epochs_per_dim);
+  conf.f64(config_.svd.learning_rate);
+  conf.f64(config_.svd.regularization);
+  conf.f64(config_.size_ratio);
+  conf.u64(config_.min_groups);
+  w.chunk("CONF", conf);
   synopsis::save(os, users_);
-  synopsis::save(os, structure_);
+  synopsis::save(os, structure_, codec);
   synopsis::save(os, synopsis_);
+  w.finish();
 }
 
 RecommenderComponent RecommenderComponent::load(std::istream& is) {
-  common::BinaryReader r(is);
-  r.magic("ATRC");
+  if (!common::next_is_artifact(is)) {
+    // Legacy "ATRC" v1 snapshot.
+    common::BinaryReader r(is);
+    if (r.magic("ATRC") != 1)
+      throw std::runtime_error(
+          "RecommenderComponent::load: unsupported legacy version");
+    synopsis::BuildConfig config;
+    config.svd.rank = r.u64();
+    config.svd.epochs_per_dim = r.u64();
+    config.svd.learning_rate = r.f64();
+    config.svd.regularization = r.f64();
+    config.size_ratio = r.f64();
+    config.min_groups = r.u64();
+    auto users = synopsis::load_sparse_rows(is);
+    auto structure = synopsis::load_structure(is);
+    auto synopsis = synopsis::load_synopsis(is);
+    return RecommenderComponent(LoadedTag{}, std::move(users), config,
+                                std::move(structure), std::move(synopsis));
+  }
+  common::ArtifactReader r(is, "RCMP");
+  if (r.version() != 1)
+    throw common::ArtifactError(
+        "RecommenderComponent::load: unsupported version");
+  common::ChunkReader conf = r.chunk("CONF");
   synopsis::BuildConfig config;
-  config.svd.rank = r.u64();
-  config.svd.epochs_per_dim = r.u64();
-  config.svd.learning_rate = r.f64();
-  config.svd.regularization = r.f64();
-  config.size_ratio = r.f64();
-  config.min_groups = r.u64();
+  config.svd.rank = conf.u64();
+  config.svd.epochs_per_dim = conf.u64();
+  config.svd.learning_rate = conf.f64();
+  config.svd.regularization = conf.f64();
+  config.size_ratio = conf.f64();
+  config.min_groups = conf.u64();
+  conf.expect_consumed();
   auto users = synopsis::load_sparse_rows(is);
   auto structure = synopsis::load_structure(is);
   auto synopsis = synopsis::load_synopsis(is);
+  r.finish();
   return RecommenderComponent(LoadedTag{}, std::move(users), config,
                               std::move(structure), std::move(synopsis));
 }

@@ -71,9 +71,11 @@ class RecommenderComponent {
   synopsis::UpdateReport update(const synopsis::UpdateBatch& batch);
 
   /// Persists the component (subset + synopsis structure + aggregated
-  /// synopsis); a reloaded component serves requests and continues
-  /// incremental updates identically.
-  void save(std::ostream& os) const;
+  /// synopsis) as an artifact-store snapshot (kind "RCMP"); a reloaded
+  /// component serves requests and continues incremental updates
+  /// identically. The loader also accepts the legacy "ATRC" v1 snapshot.
+  void save(std::ostream& os,
+            common::Codec codec = common::default_codec()) const;
   static RecommenderComponent load(std::istream& is);
 
  private:

@@ -114,42 +114,72 @@ SearchComponent::SearchComponent(LoadedTag, synopsis::SparseRows docs,
   rebuild_index();
 }
 
-void SearchComponent::save(std::ostream& os) const {
-  common::BinaryWriter w(os);
-  w.magic("ATSC", 1);
-  w.u64(doc_id_base_);
-  w.u64(config_.svd.rank);
-  w.u64(config_.svd.epochs_per_dim);
-  w.f64(config_.svd.learning_rate);
-  w.f64(config_.svd.regularization);
-  w.f64(config_.size_ratio);
-  w.u64(config_.min_groups);
-  w.u8(scorer_.scorer == Scorer::kBm25 ? 1 : 0);
-  w.f64(scorer_.bm25_k1);
-  w.f64(scorer_.bm25_b);
+void SearchComponent::save(std::ostream& os, common::Codec codec) const {
+  common::ArtifactWriter w(os, "SCMP", 1);
+  common::ChunkWriter conf;
+  conf.u64(doc_id_base_);
+  conf.u64(config_.svd.rank);
+  conf.u64(config_.svd.epochs_per_dim);
+  conf.f64(config_.svd.learning_rate);
+  conf.f64(config_.svd.regularization);
+  conf.f64(config_.size_ratio);
+  conf.u64(config_.min_groups);
+  conf.u8(scorer_.scorer == Scorer::kBm25 ? 1 : 0);
+  conf.f64(scorer_.bm25_k1);
+  conf.f64(scorer_.bm25_b);
+  w.chunk("CONF", conf);
   synopsis::save(os, docs_);
-  synopsis::save(os, structure_);
+  synopsis::save(os, structure_, codec);
   synopsis::save(os, synopsis_);
+  w.finish();
 }
 
 SearchComponent SearchComponent::load(std::istream& is) {
-  common::BinaryReader r(is);
-  r.magic("ATSC");
-  const auto doc_id_base = r.u64();
+  if (!common::next_is_artifact(is)) {
+    // Legacy "ATSC" v1 snapshot.
+    common::BinaryReader r(is);
+    if (r.magic("ATSC") != 1)
+      throw std::runtime_error(
+          "SearchComponent::load: unsupported legacy version");
+    const auto doc_id_base = r.u64();
+    synopsis::BuildConfig config;
+    config.svd.rank = r.u64();
+    config.svd.epochs_per_dim = r.u64();
+    config.svd.learning_rate = r.f64();
+    config.svd.regularization = r.f64();
+    config.size_ratio = r.f64();
+    config.min_groups = r.u64();
+    ScorerParams scorer;
+    scorer.scorer = r.u8() != 0 ? Scorer::kBm25 : Scorer::kTfIdf;
+    scorer.bm25_k1 = r.f64();
+    scorer.bm25_b = r.f64();
+    auto docs = synopsis::load_sparse_rows(is);
+    auto structure = synopsis::load_structure(is);
+    auto synopsis = synopsis::load_synopsis(is);
+    return SearchComponent(LoadedTag{}, std::move(docs), doc_id_base, config,
+                           scorer, std::move(structure), std::move(synopsis));
+  }
+  common::ArtifactReader r(is, "SCMP");
+  if (r.version() != 1)
+    throw common::ArtifactError("SearchComponent::load: unsupported version");
+  common::ChunkReader conf = r.chunk("CONF");
+  const auto doc_id_base = conf.u64();
   synopsis::BuildConfig config;
-  config.svd.rank = r.u64();
-  config.svd.epochs_per_dim = r.u64();
-  config.svd.learning_rate = r.f64();
-  config.svd.regularization = r.f64();
-  config.size_ratio = r.f64();
-  config.min_groups = r.u64();
+  config.svd.rank = conf.u64();
+  config.svd.epochs_per_dim = conf.u64();
+  config.svd.learning_rate = conf.f64();
+  config.svd.regularization = conf.f64();
+  config.size_ratio = conf.f64();
+  config.min_groups = conf.u64();
   ScorerParams scorer;
-  scorer.scorer = r.u8() != 0 ? Scorer::kBm25 : Scorer::kTfIdf;
-  scorer.bm25_k1 = r.f64();
-  scorer.bm25_b = r.f64();
+  scorer.scorer = conf.u8() != 0 ? Scorer::kBm25 : Scorer::kTfIdf;
+  scorer.bm25_k1 = conf.f64();
+  scorer.bm25_b = conf.f64();
+  conf.expect_consumed();
   auto docs = synopsis::load_sparse_rows(is);
   auto structure = synopsis::load_structure(is);
   auto synopsis = synopsis::load_synopsis(is);
+  r.finish();
   return SearchComponent(LoadedTag{}, std::move(docs), doc_id_base, config,
                          scorer, std::move(structure), std::move(synopsis));
 }

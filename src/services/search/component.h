@@ -82,8 +82,12 @@ class SearchComponent {
   synopsis::UpdateReport update(const synopsis::UpdateBatch& batch);
 
   /// Persists the shard (documents + synopsis structure + aggregated
-  /// synopsis + scorer); the inverted index is rebuilt on load.
-  void save(std::ostream& os) const;
+  /// synopsis + scorer) as an artifact-store snapshot (kind "SCMP"); f64
+  /// columns go through `codec`, every chunk is CRC-checked, and the
+  /// inverted index is rebuilt on load. The loader also accepts the legacy
+  /// "ATSC" v1 snapshot.
+  void save(std::ostream& os,
+            common::Codec codec = common::default_codec()) const;
   static SearchComponent load(std::istream& is);
 
  private:

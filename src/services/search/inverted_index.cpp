@@ -165,6 +165,12 @@ void InvertedIndex::accumulate(const std::vector<std::uint32_t>& terms,
   // first-touch stamp/touched bookkeeping is data-dependent.
   double tf_buf[codec::kBlockSize];
   double score_buf[codec::kBlockSize];
+  // The first scored term hits a fresh epoch: within one term's postings
+  // every doc id occurs once, so none of its adds can be a repeat touch
+  // and the whole term bulk-appends without stamp checks (ROADMAP drain
+  // fast path). Later terms (including a duplicated first term) take the
+  // stamped path.
+  bool fresh = true;
   for (auto term : terms) {
     const double w = idf_for(term);
     if (w <= 0.0 || term >= vocab_size()) continue;
@@ -204,8 +210,14 @@ void InvertedIndex::accumulate(const std::vector<std::uint32_t>& terms,
                             bv.n);
         }
       }
-      for (std::size_t i = 0; i < bv.n; ++i) acc.add(bv.docs[i], score_buf[i]);
+      if (fresh) {
+        acc.bulk_add_fresh(bv.docs, score_buf, bv.n);
+      } else {
+        for (std::size_t i = 0; i < bv.n; ++i)
+          acc.add(bv.docs[i], score_buf[i]);
+      }
     });
+    fresh = false;
   }
 }
 

@@ -17,6 +17,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -83,6 +84,26 @@ class ScoreAccumulator {
       touched_.push_back(doc);
     } else {
       score_[doc] += score;
+    }
+  }
+
+  /// Fresh-epoch fast path (ROADMAP accumulator-drain item): bulk-appends
+  /// docs the CALLER guarantees are untouched this epoch — e.g. a query's
+  /// first term, whose postings contain each doc id at most once. Skips
+  /// the per-posting stamp compare/branch and appends the staged block ids
+  /// with one memcpy; the resulting state (scores, touched order, stamps)
+  /// is identical to n add() calls, which the parity test pins.
+  void bulk_add_fresh(const std::uint32_t* docs, const double* scores,
+                      std::size_t n) {
+    const std::size_t base = touched_.size();
+    touched_.resize(base + n);
+    std::memcpy(touched_.data() + base, docs, n * sizeof(std::uint32_t));
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t doc = docs[i];
+      assert(doc < stamp_.size() && "bulk_add_fresh() beyond begin() size");
+      assert(stamp_[doc] != epoch_ && "bulk_add_fresh() on a touched doc");
+      stamp_[doc] = epoch_;
+      score_[doc] = scores[i];
     }
   }
 

@@ -8,6 +8,7 @@ namespace at::search {
 QueryCache::QueryCache(std::size_t capacity) : capacity_(capacity) {
   if (capacity_ == 0)
     throw std::invalid_argument("QueryCache: capacity must be >= 1");
+  index_.reserve(capacity_);
 }
 
 std::vector<std::uint32_t> QueryCache::canonical_key(

@@ -4,14 +4,16 @@
 // whole two-stage pipeline.
 //
 // Keys are canonicalized (terms sorted, duplicates removed) so "a b" and
-// "b a" share an entry. Thread-safe; the service invalidates the cache
-// whenever a component's input data changes.
+// "b a" share an entry, and looked up through a hashed index (FNV-1a over
+// the canonical term ids) — O(key length) per probe instead of the
+// ordered-map's O(log n) full-key comparisons. Thread-safe; the service
+// invalidates the cache whenever a component's input data changes.
 #pragma once
 
 #include <cstdint>
 #include <list>
-#include <map>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "services/search/topk.h"
@@ -64,10 +66,23 @@ class QueryCache {
     std::vector<ScoredDoc> result;
   };
 
+  /// FNV-1a over the canonical key's term ids (length folded in first so
+  /// prefixes do not collide trivially).
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::uint64_t h = 0xCBF29CE484222325ull ^ (k.size() * 0x9E3779B97F4A7C15ull);
+      for (const std::uint32_t t : k) {
+        h ^= t;
+        h *= 0x100000001B3ull;
+      }
+      return static_cast<std::size_t>(h ^ (h >> 32));
+    }
+  };
+
   std::size_t capacity_;
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  // front = most recent
-  std::map<Key, std::list<Entry>::iterator> index_;
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
   QueryCacheStats stats_;
 };
 

@@ -4,6 +4,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/artifact.h"
+#include "common/binary_io.h"
+
 namespace at::synopsis {
 
 std::size_t IndexFile::total_members() const {
@@ -55,6 +58,60 @@ void IndexFile::validate_partition(std::size_t n) const {
     os << "IndexFile: covers " << covered << " of " << n << " points";
     throw std::logic_error(os.str());
   }
+}
+
+void IndexFile::save(std::ostream& os) const {
+  common::ArtifactWriter w(os, "INDX", 1);
+  common::ChunkWriter groups;
+  groups.u64(groups_.size());
+  for (const auto& g : groups_) {
+    groups.u64(g.node_id);
+    groups.u64(g.version);
+    groups.vec_u32(g.members);
+  }
+  w.chunk("GRPS", groups);
+  w.finish();
+}
+
+IndexFile IndexFile::load(std::istream& is) {
+  if (!common::next_is_artifact(is)) {
+    // Legacy "ATIX" v1.
+    common::BinaryReader r(is);
+    if (r.magic("ATIX") != 1)
+      throw std::runtime_error("IndexFile::load: unsupported legacy version");
+    const auto n = r.u64();
+    std::vector<IndexGroup> groups;
+    groups.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      IndexGroup g;
+      g.node_id = r.u64();
+      g.version = r.u64();
+      g.members = r.vec_u32();
+      groups.push_back(std::move(g));
+    }
+    return IndexFile(std::move(groups));
+  }
+  common::ArtifactReader r(is, "INDX");
+  if (r.version() != 1)
+    throw common::ArtifactError("IndexFile::load: unsupported version");
+  common::ChunkReader c = r.chunk("GRPS");
+  const auto n = c.u64();
+  // A group costs >= 24 payload bytes, so this rejects a forged count
+  // before reserving for it.
+  if (n > c.remaining() / 24)
+    throw common::ArtifactError("IndexFile::load: group count overruns chunk");
+  std::vector<IndexGroup> groups;
+  groups.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    IndexGroup g;
+    g.node_id = c.u64();
+    g.version = c.u64();
+    g.members = c.vec_u32();
+    groups.push_back(std::move(g));
+  }
+  c.expect_consumed();
+  r.finish();
+  return IndexFile(std::move(groups));
 }
 
 std::string IndexFile::summary() const {

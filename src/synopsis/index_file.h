@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,12 @@ class IndexFile {
   void validate_partition(std::size_t n) const;
 
   std::string summary() const;
+
+  /// Artifact-store persistence (kind "INDX", one CRC-checked chunk for
+  /// the whole group table). The loader also accepts the legacy "ATIX" v1
+  /// stream.
+  void save(std::ostream& os) const;
+  static IndexFile load(std::istream& is);
 
  private:
   std::vector<IndexGroup> groups_;

@@ -2,7 +2,9 @@
 
 #include <istream>
 #include <ostream>
+#include <sstream>
 
+#include "common/artifact.h"
 #include "common/binary_io.h"
 #include "rtree/rtree.h"
 #include "services/search/postings_codec.h"
@@ -10,37 +12,31 @@
 namespace at::synopsis {
 
 namespace {
-constexpr char kRowsMagic[4] = {'A', 'T', 'S', 'R'};
-constexpr char kMatrixMagic[4] = {'A', 'T', 'M', 'X'};
-constexpr char kSvdMagic[4] = {'A', 'T', 'S', 'V'};
-constexpr char kIndexMagic[4] = {'A', 'T', 'I', 'X'};
-constexpr char kSynMagic[4] = {'A', 'T', 'S', 'Y'};
-constexpr char kStructMagic[4] = {'A', 'T', 'S', 'S'};
-constexpr std::uint32_t kVersion = 1;
-// SparseRows format versions: v1 stored each row as raw (u32 col, f64 val)
-// pairs; v2 stores each row as one block-compressed list (delta-varint
-// columns, u8-quantized values with an exact-double exception table —
-// services/search/postings_codec.h); v3 is byte-identical in structure
-// but its blocks may carry the kTagU8Delta delta layout, which a v2-era
-// reader would reject as a bad block tag — the bump turns that into a
-// clean version error instead. Values round-trip bit-exactly in all
-// three. Writers emit v3; the loader accepts every version (v2 and v3
-// share one decode path).
-constexpr std::uint32_t kRowsVersionRaw = 1;
-constexpr std::uint32_t kRowsVersionCompressed = 2;
-constexpr std::uint32_t kRowsVersionCompressedU8 = 3;
 
-/// Works for SparseVector and SparseRowView alike.
-template <typename Row>
-void write_sparse_vector(common::BinaryWriter& w, const Row& v) {
-  w.u64(v.size());
-  for (const auto& [c, val] : v) {
-    w.u32(c);
-    w.f64(val);
-  }
+// Legacy (pre-artifact-container) magics. Writers no longer emit these;
+// the loaders below keep accepting them so every on-disk file from
+// earlier releases still loads (golden fixtures: tests/data/golden/).
+constexpr char kLegacyRowsMagic[4] = {'A', 'T', 'S', 'R'};
+constexpr char kLegacySynMagic[4] = {'A', 'T', 'S', 'Y'};
+constexpr char kLegacyStructMagic[4] = {'A', 'T', 'S', 'S'};
+// Legacy SparseRows versions: v1 raw (u32 col, f64 val) pairs; v2
+// block-compressed (varint/group-varint delta blocks + quantized values);
+// v3 structurally identical to v2 but blocks may carry the u8-delta tag.
+constexpr std::uint32_t kLegacyRowsRaw = 1;
+constexpr std::uint32_t kLegacyRowsCompressed = 2;
+constexpr std::uint32_t kLegacyRowsCompressedU8 = 3;
+
+/// Forged-count guard for codec-encoded lists: every encoding spends at
+/// least one payload byte per entry (the tf/value code byte), so a count
+/// beyond the blob size is corrupt — reject it before decode_list
+/// reserves for it.
+void check_row_entries(std::uint64_t entries, std::size_t blob_bytes) {
+  if (entries > blob_bytes)
+    throw common::ArtifactError(
+        "sparse list: entry count overruns encoded bytes");
 }
 
-SparseVector read_sparse_vector(common::BinaryReader& r) {
+SparseVector read_legacy_sparse_vector(common::BinaryReader& r) {
   const auto n = r.u64();
   SparseVector v;
   v.reserve(n);
@@ -51,40 +47,25 @@ SparseVector read_sparse_vector(common::BinaryReader& r) {
   }
   return v;
 }
-}  // namespace
 
-void save(std::ostream& os, const SparseRows& rows) {
-  common::BinaryWriter w(os);
-  w.magic(kRowsMagic, kRowsVersionCompressedU8);
-  w.u64(rows.cols());
-  w.u64(rows.rows());
-  std::vector<std::uint8_t> buf;
-  for (std::uint32_t r = 0; r < rows.rows(); ++r) {
-    const SparseRowView row = rows.row(r);
-    buf.clear();
-    search::codec::encode_list(buf, row.cols(), row.vals(), row.size());
-    w.u64(row.size());
-    w.blob(buf);
-  }
-}
-
-SparseRows load_sparse_rows(std::istream& is) {
+SparseRows load_legacy_sparse_rows(std::istream& is) {
   common::BinaryReader r(is);
-  const std::uint32_t version = r.magic(kRowsMagic);
+  const std::uint32_t version = r.magic(kLegacyRowsMagic);
   const auto cols = r.u64();
   const auto n = r.u64();
   SparseRows rows(cols);
-  if (version == kRowsVersionRaw) {
+  if (version == kLegacyRowsRaw) {
     for (std::uint64_t i = 0; i < n; ++i) {
-      rows.add_row(read_sparse_vector(r));
+      rows.add_row(read_legacy_sparse_vector(r));
     }
-  } else if (version == kRowsVersionCompressed ||
-             version == kRowsVersionCompressedU8) {
+  } else if (version == kLegacyRowsCompressed ||
+             version == kLegacyRowsCompressedU8) {
     std::vector<std::uint32_t> ids;
     std::vector<double> vals;
     for (std::uint64_t i = 0; i < n; ++i) {
       const auto entries = r.u64();
       const auto buf = r.blob();
+      check_row_entries(entries, buf.size());
       ids.clear();
       vals.clear();
       search::codec::decode_list(buf.data(), buf.size(), entries, ids, vals);
@@ -100,94 +81,10 @@ SparseRows load_sparse_rows(std::istream& is) {
   return rows;
 }
 
-void save(std::ostream& os, const linalg::Matrix& m) {
-  common::BinaryWriter w(os);
-  w.magic(kMatrixMagic, kVersion);
-  w.u64(m.rows());
-  w.u64(m.cols());
-  for (std::size_t r = 0; r < m.rows(); ++r) {
-    for (std::size_t c = 0; c < m.cols(); ++c) w.f64(m(r, c));
-  }
-}
-
-linalg::Matrix load_matrix(std::istream& is) {
+Synopsis load_legacy_synopsis(std::istream& is) {
   common::BinaryReader r(is);
-  r.magic(kMatrixMagic);
-  const auto rows = r.u64();
-  const auto cols = r.u64();
-  linalg::Matrix m(rows, cols);
-  for (std::size_t i = 0; i < rows; ++i) {
-    for (std::size_t j = 0; j < cols; ++j) m(i, j) = r.f64();
-  }
-  return m;
-}
-
-void save(std::ostream& os, const linalg::SvdModel& model) {
-  common::BinaryWriter w(os);
-  w.magic(kSvdMagic, kVersion);
-  w.f64(model.train_rmse);
-  w.f64(model.global_mean);
-  w.vec_f64(model.row_bias);
-  w.vec_f64(model.col_bias);
-  save(os, model.row_factors);
-  save(os, model.col_factors);
-}
-
-linalg::SvdModel load_svd_model(std::istream& is) {
-  common::BinaryReader r(is);
-  r.magic(kSvdMagic);
-  linalg::SvdModel model;
-  model.train_rmse = r.f64();
-  model.global_mean = r.f64();
-  model.row_bias = r.vec_f64();
-  model.col_bias = r.vec_f64();
-  model.row_factors = load_matrix(is);
-  model.col_factors = load_matrix(is);
-  return model;
-}
-
-void save(std::ostream& os, const IndexFile& index) {
-  common::BinaryWriter w(os);
-  w.magic(kIndexMagic, kVersion);
-  w.u64(index.size());
-  for (const auto& g : index.groups()) {
-    w.u64(g.node_id);
-    w.u64(g.version);
-    w.vec_u32(g.members);
-  }
-}
-
-IndexFile load_index_file(std::istream& is) {
-  common::BinaryReader r(is);
-  r.magic(kIndexMagic);
-  const auto n = r.u64();
-  std::vector<IndexGroup> groups;
-  groups.reserve(n);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    IndexGroup g;
-    g.node_id = r.u64();
-    g.version = r.u64();
-    g.members = r.vec_u32();
-    groups.push_back(std::move(g));
-  }
-  return IndexFile(std::move(groups));
-}
-
-void save(std::ostream& os, const Synopsis& synopsis) {
-  common::BinaryWriter w(os);
-  w.magic(kSynMagic, kVersion);
-  w.u64(synopsis.points.size());
-  for (const auto& p : synopsis.points) {
-    w.u64(p.node_id);
-    w.u32(p.member_count);
-    write_sparse_vector(w, p.features);
-    w.vec_u32(p.support);
-  }
-}
-
-Synopsis load_synopsis(std::istream& is) {
-  common::BinaryReader r(is);
-  r.magic(kSynMagic);
+  if (r.magic(kLegacySynMagic) != 1)
+    throw std::runtime_error("load_synopsis: unsupported legacy version");
   const auto n = r.u64();
   Synopsis synopsis;
   synopsis.points.reserve(n);
@@ -195,31 +92,196 @@ Synopsis load_synopsis(std::istream& is) {
     AggregatedPoint p;
     p.node_id = r.u64();
     p.member_count = r.u32();
-    p.features = read_sparse_vector(r);
+    p.features = read_legacy_sparse_vector(r);
     p.support = r.vec_u32();
     synopsis.points.push_back(std::move(p));
   }
   return synopsis;
 }
 
-void save(std::ostream& os, const SynopsisStructure& s) {
-  common::BinaryWriter w(os);
-  w.magic(kStructMagic, kVersion);
-  w.u64(s.level);
-  save(os, s.svd);
-  save(os, s.reduced);
-  s.tree.save(os);
-  save(os, s.index);
-}
-
-SynopsisStructure load_structure(std::istream& is) {
+SynopsisStructure load_legacy_structure(std::istream& is) {
   common::BinaryReader r(is);
-  r.magic(kStructMagic);
+  if (r.magic(kLegacyStructMagic) != 1)
+    throw std::runtime_error("load_structure: unsupported legacy version");
   const auto level = r.u64();
   linalg::SvdModel svd = load_svd_model(is);
   linalg::Matrix reduced = load_matrix(is);
   rtree::RTree tree = rtree::RTree::load(is);
   IndexFile index = load_index_file(is);
+  return SynopsisStructure{std::move(svd), std::move(reduced),
+                           std::move(tree), level, std::move(index)};
+}
+
+}  // namespace
+
+void save(std::ostream& os, const SparseRows& rows) {
+  common::ArtifactWriter w(os, "SROW", 1);
+  common::ChunkWriter meta;
+  meta.u64(rows.cols());
+  meta.u64(rows.rows());
+  w.chunk("META", meta);
+  // All rows in one CRC-checked chunk, each as its entry count plus one
+  // postings-codec blob (delta-encoded columns, quantized values with an
+  // exact-double exception table — bit-exact round-trip).
+  common::ChunkWriter body;
+  std::vector<std::uint8_t> buf;
+  for (std::uint32_t r = 0; r < rows.rows(); ++r) {
+    const SparseRowView row = rows.row(r);
+    buf.clear();
+    search::codec::encode_list(buf, row.cols(), row.vals(), row.size());
+    body.u64(row.size());
+    body.blob(buf);
+  }
+  w.chunk("ROWS", body);
+  w.finish();
+}
+
+SparseRows load_sparse_rows(std::istream& is) {
+  if (!common::next_is_artifact(is)) return load_legacy_sparse_rows(is);
+  common::ArtifactReader r(is, "SROW");
+  if (r.version() != 1)
+    throw common::ArtifactError("load_sparse_rows: unsupported version");
+  common::ChunkReader meta = r.chunk("META");
+  const auto cols = meta.u64();
+  const auto n = meta.u64();
+  meta.expect_consumed();
+  common::ChunkReader body = r.chunk("ROWS");
+  if (n > body.remaining() / 16)
+    throw common::ArtifactError("load_sparse_rows: row count overruns chunk");
+  SparseRows rows(cols);
+  std::vector<std::uint32_t> ids;
+  std::vector<double> vals;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto entries = body.u64();
+    const auto buf = body.blob();
+    check_row_entries(entries, buf.size());
+    ids.clear();
+    vals.clear();
+    search::codec::decode_list(buf.data(), buf.size(), entries, ids, vals);
+    SparseVector v;
+    v.reserve(ids.size());
+    for (std::size_t j = 0; j < ids.size(); ++j) v.emplace_back(ids[j], vals[j]);
+    rows.add_row(std::move(v));
+  }
+  body.expect_consumed();
+  r.finish();
+  return rows;
+}
+
+linalg::Matrix load_matrix(std::istream& is) {
+  return linalg::load_matrix(is);
+}
+
+linalg::SvdModel load_svd_model(std::istream& is) {
+  return linalg::load_svd_model(is);
+}
+
+void save(std::ostream& os, const IndexFile& index) { index.save(os); }
+
+IndexFile load_index_file(std::istream& is) { return IndexFile::load(is); }
+
+void save(std::ostream& os, const Synopsis& synopsis) {
+  common::ArtifactWriter w(os, "SYNO", 1);
+  common::ChunkWriter body;
+  body.u64(synopsis.points.size());
+  std::vector<std::uint8_t> buf;
+  for (const auto& p : synopsis.points) {
+    body.u64(p.node_id);
+    body.u32(p.member_count);
+    body.u64(p.features.size());
+    buf.clear();
+    if (!p.features.empty()) {
+      // Feature vectors ride the same exact list codec as SparseRows
+      // (columns ascending and duplicate-free by SparseVector contract).
+      std::vector<std::uint32_t> ids;
+      std::vector<double> vals;
+      ids.reserve(p.features.size());
+      vals.reserve(p.features.size());
+      for (const auto& [c, val] : p.features) {
+        ids.push_back(c);
+        vals.push_back(val);
+      }
+      search::codec::encode_list(buf, ids.data(), vals.data(), ids.size());
+    }
+    body.blob(buf);
+    body.vec_u32(p.support);
+  }
+  w.chunk("PNTS", body);
+  w.finish();
+}
+
+Synopsis load_synopsis(std::istream& is) {
+  if (!common::next_is_artifact(is)) return load_legacy_synopsis(is);
+  common::ArtifactReader r(is, "SYNO");
+  if (r.version() != 1)
+    throw common::ArtifactError("load_synopsis: unsupported version");
+  common::ChunkReader body = r.chunk("PNTS");
+  const auto n = body.u64();
+  if (n > body.remaining() / 36)
+    throw common::ArtifactError("load_synopsis: point count overruns chunk");
+  Synopsis synopsis;
+  synopsis.points.reserve(static_cast<std::size_t>(n));
+  std::vector<std::uint32_t> ids;
+  std::vector<double> vals;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    AggregatedPoint p;
+    p.node_id = body.u64();
+    p.member_count = body.u32();
+    const auto entries = body.u64();
+    const auto buf = body.blob();
+    check_row_entries(entries, buf.size());
+    ids.clear();
+    vals.clear();
+    search::codec::decode_list(buf.data(), buf.size(), entries, ids, vals);
+    p.features.reserve(ids.size());
+    for (std::size_t j = 0; j < ids.size(); ++j)
+      p.features.emplace_back(ids[j], vals[j]);
+    p.support = body.vec_u32();
+    synopsis.points.push_back(std::move(p));
+  }
+  body.expect_consumed();
+  r.finish();
+  return synopsis;
+}
+
+void save(std::ostream& os, const SynopsisStructure& s, common::Codec codec) {
+  common::ArtifactWriter w(os, "SSTR", 1);
+  common::ChunkWriter meta;
+  meta.u64(s.level);
+  w.chunk("META", meta);
+  linalg::save(os, s.svd, codec);
+  linalg::save(os, s.reduced, codec);
+  // The R-tree keeps its own format; wrapping the bytes in a chunk adds
+  // the CRC and framing the raw stream lacked.
+  std::ostringstream tree_bytes;
+  s.tree.save(tree_bytes);
+  common::ChunkWriter tree;
+  tree.blob(std::move(tree_bytes).str());
+  w.chunk("TREE", tree);
+  save(os, s.index);
+  w.finish();
+}
+
+SynopsisStructure load_structure(std::istream& is) {
+  if (!common::next_is_artifact(is)) return load_legacy_structure(is);
+  common::ArtifactReader r(is, "SSTR");
+  if (r.version() != 1)
+    throw common::ArtifactError("load_structure: unsupported version");
+  common::ChunkReader meta = r.chunk("META");
+  const auto level = meta.u64();
+  meta.expect_consumed();
+  linalg::SvdModel svd = load_svd_model(is);
+  linalg::Matrix reduced = load_matrix(is);
+  common::ChunkReader tree_chunk = r.chunk("TREE");
+  const auto tree_blob = tree_chunk.blob();
+  tree_chunk.expect_consumed();
+  // Move the image into the stream (C++20 rvalue ctor) — one transient
+  // copy instead of two for large trees.
+  std::istringstream tree_bytes(
+      std::string(tree_blob.begin(), tree_blob.end()), std::ios::in);
+  rtree::RTree tree = rtree::RTree::load(tree_bytes);
+  IndexFile index = load_index_file(is);
+  r.finish();
   return SynopsisStructure{std::move(svd), std::move(reduced),
                            std::move(tree), level, std::move(index)};
 }

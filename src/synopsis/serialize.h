@@ -2,32 +2,43 @@
 // generated, the R-tree and the index file are stored and they can be used
 // as the starting point of synopsis updating").
 //
-// A saved SynopsisStructure round-trips everything needed to (a) serve
-// stage-1 queries and (b) continue incremental updates: the SVD model,
-// the reduced coordinates, the R-tree (with stable node ids/versions so
-// dirty-tracking survives the reload), the selected level and index file.
+// Every artifact is written through the unified artifact store
+// (common/artifact.h): a chunked container with a kind/version header and
+// CRC32C-checked chunks, f64 columns going through a pluggable exact codec
+// (raw / shuffle / q8). A saved SynopsisStructure round-trips everything
+// needed to (a) serve stage-1 queries and (b) continue incremental
+// updates: the SVD model, the reduced coordinates, the R-tree (with stable
+// node ids/versions so dirty-tracking survives the reload), the selected
+// level and index file.
+//
+// Compat: every loader also accepts the pre-container legacy formats —
+// SparseRows "ATSR" v1 (raw pairs), v2 (block-compressed), v3 (v2 plus the
+// u8-delta block tag), and the "ATMX"/"ATSV"/"ATIX"/"ATSY"/"ATSS" v1
+// streams — so all existing on-disk files keep loading (golden fixtures:
+// tests/data/golden/). All values round-trip bit-exactly in every format
+// and codec.
 #pragma once
 
 #include <iosfwd>
 
+#include "common/artifact.h"
 #include "linalg/svd.h"
 #include "synopsis/aggregate.h"
 #include "synopsis/builder.h"
 
 namespace at::synopsis {
 
-/// SparseRows are written in the v3 block-compressed format (delta
-/// columns — u8/varint/group-varint per block — + quantized values, see
-/// services/search/postings_codec.h); the loader also accepts the v2
-/// layout (same structure, no u8-delta blocks) and the v1 raw pair
-/// layout. All round-trip values bit-exactly.
+/// SparseRows persist as one checksummed chunk of block-compressed rows
+/// (delta columns + quantized values with an exact-double exception table,
+/// see services/search/postings_codec.h).
 void save(std::ostream& os, const SparseRows& rows);
 SparseRows load_sparse_rows(std::istream& is);
 
-void save(std::ostream& os, const linalg::Matrix& m);
+// Matrix/SVD-model persistence lives with its types (linalg::save /
+// linalg::load_matrix / linalg::load_svd_model; unqualified save() calls
+// resolve there via ADL). The istream-only loaders are re-exposed here
+// because argument-dependent lookup cannot find them from this namespace.
 linalg::Matrix load_matrix(std::istream& is);
-
-void save(std::ostream& os, const linalg::SvdModel& model);
 linalg::SvdModel load_svd_model(std::istream& is);
 
 void save(std::ostream& os, const IndexFile& index);
@@ -36,7 +47,8 @@ IndexFile load_index_file(std::istream& is);
 void save(std::ostream& os, const Synopsis& synopsis);
 Synopsis load_synopsis(std::istream& is);
 
-void save(std::ostream& os, const SynopsisStructure& s);
+void save(std::ostream& os, const SynopsisStructure& s,
+          common::Codec codec = common::default_codec());
 SynopsisStructure load_structure(std::istream& is);
 
 }  // namespace at::synopsis

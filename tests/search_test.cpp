@@ -165,6 +165,49 @@ TEST(ScoreAccumulatorTest, WrapThenResizeKeepsNewSlotsUntouched) {
   EXPECT_DOUBLE_EQ(acc.score(1), 2.0);
 }
 
+TEST(ScoreAccumulatorTest, BulkFreshPathMatchesSlowPathExactly) {
+  // Parity guard for the fresh-epoch fast path: bulk_add_fresh must leave
+  // the accumulator in the exact state of per-posting add() calls — same
+  // scores, same touched order, and identical interaction with later
+  // stamped adds.
+  const std::uint32_t docs[] = {3, 7, 8, 20, 21, 22, 40};
+  const double scores[] = {0.5, 1.25, -2.0, 0.0, 3.5, 7.0, 0.125};
+  const std::size_t n = sizeof(docs) / sizeof(docs[0]);
+
+  ScoreAccumulator slow, fast;
+  slow.begin(64);
+  for (std::size_t i = 0; i < n; ++i) slow.add(docs[i], scores[i]);
+  fast.begin(64);
+  fast.bulk_add_fresh(docs, scores, n);
+  ASSERT_EQ(fast.touched(), slow.touched());
+  for (auto d : slow.touched()) EXPECT_EQ(fast.score(d), slow.score(d));
+
+  // Second-term adds (stamped path) behave identically on both.
+  const std::uint32_t docs2[] = {7, 8, 9};
+  for (auto* acc : {&slow, &fast}) {
+    acc->add(docs2[0], 1.0);
+    acc->add(docs2[1], 2.0);
+    acc->add(docs2[2], 4.0);
+  }
+  ASSERT_EQ(fast.touched(), slow.touched());
+  for (auto d : slow.touched()) EXPECT_EQ(fast.score(d), slow.score(d));
+}
+
+TEST(InvertedIndexTest, FirstTermFastPathParityWithRepeatedTerms) {
+  // End-to-end parity: the accumulate() fast path kicks in for the first
+  // scored term; a query repeating that term must still double its
+  // contribution (the repeat takes the stamped path).
+  auto docs = tiny_docs();
+  const InvertedIndex idx(docs);
+  const auto once = idx.topk({0}, 0, 10);
+  const auto twice = idx.topk({0, 0}, 0, 10);
+  ASSERT_EQ(once.size(), twice.size());
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_EQ(twice[i].doc, once[i].doc);
+    EXPECT_DOUBLE_EQ(twice[i].score, 2.0 * once[i].score);
+  }
+}
+
 TEST(InvertedIndexTest, RepeatedQueriesAfterIndexGrowthMatchFreshIndex) {
   // Thread-local scratch resizes when a bigger index scores on the same
   // thread; >1 query after the resize must still match a cold computation.
@@ -456,6 +499,58 @@ TEST(QueryCacheTest, InvalidateAll) {
 
 TEST(QueryCacheTest, ZeroCapacityThrows) {
   EXPECT_THROW(QueryCache(0), std::invalid_argument);
+}
+
+TEST(QueryCacheTest, StatsAcrossFullLifecycle) {
+  // Counter semantics through insert/refresh/evict/invalidate sequences on
+  // the hashed index: refreshing an existing key counts neither insertion
+  // nor eviction, invalidation clears entries but keeps counters running.
+  QueryCache cache(2);
+  cache.insert({1}, {});
+  cache.insert({2}, {});
+  cache.insert({2}, {});  // refresh, not an insertion
+  EXPECT_EQ(cache.stats().insertions, 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  cache.insert({3}, {});  // evicts {1}
+  cache.insert({4}, {});  // evicts {2}
+  EXPECT_EQ(cache.stats().insertions, 4u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_FALSE(cache.lookup({1}, nullptr));
+  EXPECT_TRUE(cache.lookup({4}, nullptr));
+  cache.invalidate_all();
+  EXPECT_FALSE(cache.lookup({4}, nullptr));
+  const auto s = cache.stats();
+  EXPECT_EQ(s.invalidations, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 1.0 / 3.0);
+  EXPECT_EQ(cache.size(), 0u);
+  // The cache keeps working after invalidation (index and list agree).
+  cache.insert({5}, {{1.0, 11}});
+  std::vector<ScoredDoc> out;
+  EXPECT_TRUE(cache.lookup({5}, &out));
+  EXPECT_EQ(out[0].doc, 11u);
+}
+
+TEST(QueryCacheTest, ManyKeysHashedIndexStaysConsistent) {
+  // Churn far past capacity: size never exceeds the bound, the newest
+  // window of keys stays resident, and hits equal list membership (the
+  // hashed index and the LRU list cannot drift apart).
+  QueryCache cache(16);
+  for (std::uint32_t i = 0; i < 400; ++i) {
+    cache.insert({i, i + 1, i + 2}, {{static_cast<double>(i), i}});
+    ASSERT_LE(cache.size(), 16u);
+  }
+  EXPECT_EQ(cache.stats().insertions, 400u);
+  EXPECT_EQ(cache.stats().evictions, 384u);
+  std::vector<ScoredDoc> out;
+  for (std::uint32_t i = 384; i < 400; ++i) {
+    ASSERT_TRUE(cache.lookup({i + 2, i, i + 1}, &out)) << i;  // canonical hit
+    EXPECT_EQ(out[0].doc, i);
+  }
+  for (std::uint32_t i = 0; i < 384; ++i) {
+    ASSERT_FALSE(cache.lookup({i, i + 1, i + 2}, nullptr)) << i;
+  }
 }
 
 class SearchServiceTest : public ::testing::Test {
