@@ -4,7 +4,9 @@
 // creation time for reference — updates must be much cheaper than
 // re-creation, and "changed" must cost more than "added" (delete + insert
 // vs. insert only).
+#include <fstream>
 #include <iostream>
+#include <thread>
 
 #include "bench/bench_common.h"
 #include "bench/seed_reference.h"
@@ -16,6 +18,11 @@ namespace at::bench {
 namespace {
 
 constexpr int kRepeats = 3;
+
+/// ROADMAP multi-core scaling curve: mean update cost of a 5% added + 5%
+/// changed batch per pool size, 1..nproc (AT_BENCH_THREADS extends the
+/// sweep past nproc for oversubscription measurements).
+std::vector<std::pair<std::size_t, double>> g_sweep_cf, g_sweep_ws;
 
 struct Scenario {
   synopsis::SparseRows rows;
@@ -98,6 +105,56 @@ void report_foldin_kernel(const char* name, const Scenario& scenario) {
   table.print(std::cout);
 }
 
+void report_thread_sweep(const char* name, const Scenario& scenario,
+                         std::vector<std::pair<std::size_t, double>>* out) {
+  const std::size_t max_threads = sweep_max_threads();
+  common::TableWriter table(
+      std::string("Update thread sweep (5% added + 5% changed), ") + name);
+  table.set_columns({"threads", "seconds", "speedup vs 1 thr"});
+  out->clear();
+  for (std::size_t threads = 1; threads <= max_threads; ++threads) {
+    common::ThreadPool pool(threads);
+    double mean = 0.0;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      mean += time_update(scenario, 0.05, 0.05, 5000 + rep, nullptr, &pool);
+    }
+    mean /= kRepeats;
+    out->emplace_back(threads, mean);
+    table.add_row({std::to_string(threads), common::TableWriter::fmt(mean, 4),
+                   common::TableWriter::fmt(out->front().second / mean, 2) +
+                       "x"});
+  }
+  table.print(std::cout);
+}
+
+/// Machine-readable scaling record (ROADMAP asks for the curves). Path
+/// override: AT_FIG3_JSON.
+void write_json() {
+  const char* path_env = std::getenv("AT_FIG3_JSON");
+  const std::string path =
+      path_env != nullptr ? path_env : "BENCH_fig3_synopsis_update.json";
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "warning: could not write " << path << "\n";
+    return;
+  }
+  const auto emit = [&os](const char* name,
+                          const std::vector<std::pair<std::size_t, double>>&
+                              sweep,
+                          const char* tail) {
+    os << "  \"" << name << "\": ";
+    write_sweep_json(os, sweep);
+    os << tail << "\n";
+  };
+  os << "{\n  \"bench\": \"bench_fig3_synopsis_update\",\n"
+     << "  \"scale\": \"" << (large_scale() ? "large" : "small") << "\",\n"
+     << "  \"batch\": \"5pct_added_plus_5pct_changed\",\n";
+  emit("cf_update_seconds_by_threads", g_sweep_cf, ",");
+  emit("search_update_seconds_by_threads", g_sweep_ws, "");
+  os << "}\n";
+  std::cout << "  wrote " << path << "\n";
+}
+
 void run_service(const char* name, const Scenario& scenario) {
   common::ThreadPool pool;
   common::Stopwatch w;
@@ -156,6 +213,7 @@ int main() {
                synopsis::AggregationKind::kMean,
                [gen](common::Rng& rng) { return gen.sample_user(rng); }};
     run_service("CF recommender", s);
+    report_thread_sweep("CF recommender", s, &g_sweep_cf);
   }
   {
     auto ccfg = default_corpus_config();
@@ -166,6 +224,8 @@ int main() {
                synopsis::AggregationKind::kMerge,
                [gen](common::Rng& rng) { return gen.sample_doc(rng); }};
     run_service("web search", s);
+    report_thread_sweep("web search", s, &g_sweep_ws);
   }
+  write_json();
   return 0;
 }

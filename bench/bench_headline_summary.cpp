@@ -9,12 +9,17 @@
 // Methodology mirrors the paper: CF uses the five synthetic rates of
 // Tables 1-2; search uses the 24-hour diurnal workload; ratios are averaged
 // across rates/hours.
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "bench/bench_common.h"
 #include "common/artifact.h"
+#include "common/sharded_executor.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "common/topology.h"
 #include "workload/diurnal.h"
 
 namespace at::bench {
@@ -124,9 +129,80 @@ ServiceSummary run_search() {
   return s;
 }
 
+/// Query fan-out latency of the exact path under the three dispatch modes:
+/// sequential, the global ThreadPool, and the topology-aware
+/// ShardedExecutor (per-node heaps + home-group dispatch; components built
+/// node-locally). On single-node hardware the executor degrades to one
+/// group, and AT_REQUIRE_FANOUT_PARITY turns that into a CI no-regression
+/// guard against the global pool.
+struct FanoutLatency {
+  double sequential_us = 0.0;
+  double pool_us = 0.0;
+  double sharded_us = 0.0;
+  std::size_t groups = 1;
+  std::string topology;
+};
+
+FanoutLatency run_fanout() {
+  FanoutLatency out;
+  common::ShardedExecutor exec;  // AT_TOPOLOGY-resolved machine layout
+  out.groups = exec.num_groups();
+  out.topology = exec.topology().describe();
+  auto fx = make_search_fixture_sharded(exec, 12.0, 200);
+
+  // Best-of-3 full sweeps over the query set; the checksum both defeats
+  // dead-code elimination and cross-checks dispatch-mode parity.
+  double check_ref = -1.0;
+  const auto measure = [&](double* check) {
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      double sum = 0.0;
+      common::Stopwatch w;
+      for (const auto& q : fx.queries) {
+        for (const auto& d : fx.service->exact_topk(q))
+          sum += d.score + static_cast<double>(d.doc);
+      }
+      best = std::min(best, w.elapsed_seconds());
+      *check = sum;
+    }
+    return best * 1e6 / static_cast<double>(fx.queries.size());
+  };
+
+  out.sharded_us = measure(&check_ref);
+  fx.service->set_executor(nullptr);
+  fx.service->set_pool(nullptr);
+  double check = 0.0;
+  out.sequential_us = measure(&check);
+  if (check != check_ref) {
+    std::cerr << "FAIL: sharded fan-out results diverge from sequential\n";
+    std::exit(1);
+  }
+  common::ThreadPool pool;
+  fx.service->set_pool(&pool);
+  out.pool_us = measure(&check);
+  if (check != check_ref) {
+    std::cerr << "FAIL: pooled fan-out results diverge from sequential\n";
+    std::exit(1);
+  }
+  fx.service->set_pool(nullptr);
+
+  common::TableWriter table("Exact query fan-out latency (us/query)");
+  table.set_columns({"dispatch", "us/query", "notes"});
+  table.add_row({"sequential", common::TableWriter::fmt(out.sequential_us, 1),
+                 "one thread, component order"});
+  table.add_row({"global pool", common::TableWriter::fmt(out.pool_us, 1),
+                 "parallel_for over components"});
+  table.add_row({"sharded executor",
+                 common::TableWriter::fmt(out.sharded_us, 1),
+                 out.topology + ", per-node heaps"});
+  table.print(std::cout);
+  return out;
+}
+
 /// Machine-readable record of the headline numbers so later PRs can diff
 /// the perf/accuracy trajectory. Path override: AT_BENCH_JSON.
-void write_json(const ServiceSummary& cf, const ServiceSummary& se) {
+void write_json(const ServiceSummary& cf, const ServiceSummary& se,
+                const FanoutLatency& fan) {
   const char* path_env = std::getenv("AT_BENCH_JSON");
   const std::string path =
       path_env != nullptr ? path_env : "BENCH_headline.json";
@@ -158,7 +234,13 @@ void write_json(const ServiceSummary& cf, const ServiceSummary& se) {
     os << "\n  }" << (last ? "\n" : ",\n");
   };
   os << "{\n  \"bench\": \"bench_headline_summary\",\n"
-     << "  \"scale\": \"" << (large_scale() ? "large" : "small") << "\",\n";
+     << "  \"scale\": \"" << (large_scale() ? "large" : "small") << "\",\n"
+     << "  \"fanout\": {\n"
+     << "    \"topology\": \"" << fan.topology << "\",\n"
+     << "    \"groups\": " << fan.groups << ",\n"
+     << "    \"sequential_us_per_query\": " << fan.sequential_us << ",\n"
+     << "    \"global_pool_us_per_query\": " << fan.pool_us << ",\n"
+     << "    \"sharded_us_per_query\": " << fan.sharded_us << "\n  },\n";
   service("cf_recommender", cf, false);
   service("web_search", se, true);
   os << "}\n";
@@ -220,6 +302,28 @@ int main() {
   };
   snapshot_line("CF", cf);
   snapshot_line("search", se);
-  write_json(cf, se);
+  const auto fan = run_fanout();
+  write_json(cf, se, fan);
+
+  // CI guard: with AT_REQUIRE_FANOUT_PARITY set (e.g. 1.25), the sharded
+  // executor's per-query latency must stay within that factor of the
+  // global thread pool's. On a single-node runner the executor runs one
+  // group, so this pins the "no regression in the fallback" acceptance;
+  // on multi-node hardware it additionally catches dispatch overhead
+  // swamping the locality win.
+  if (const char* bound_env = std::getenv("AT_REQUIRE_FANOUT_PARITY")) {
+    const double bound = std::atof(bound_env);
+    const double ratio =
+        fan.pool_us > 0.0 ? fan.sharded_us / fan.pool_us : 0.0;
+    if (!(bound > 0.0) || ratio > bound) {
+      std::cerr << "FAIL: sharded/pool fan-out latency ratio "
+                << common::TableWriter::fmt(ratio, 3) << " exceeds bound "
+                << bound_env << " (" << fan.topology << ")\n";
+      return 1;
+    }
+    std::cout << "  fan-out parity guard OK: sharded/pool "
+              << common::TableWriter::fmt(ratio, 3) << " <= " << bound_env
+              << "\n";
+  }
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "bench/bench_common.h"
 #include "bench/seed_reference.h"
 #include "common/artifact.h"
+#include "common/sharded_executor.h"
 #include "common/simd.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -30,6 +31,13 @@ struct StepTimes {
   double svd_scalar_s = 0.0;   // CSR + cached residual, scalar dispatch tier
   double svd_s = 0.0;          // CSR + cached residual, best SIMD tier
   double svd_hogwild_s = 0.0;  // CSR + cached-residual, hogwild on 4 threads
+  /// ROADMAP multi-core scaling curve: hogwild SVD wall clock per pool
+  /// size, 1..nproc (extend past nproc with AT_BENCH_THREADS to measure
+  /// oversubscription).
+  std::vector<std::pair<std::size_t, double>> hogwild_sweep;
+  /// Node-partitioned SVD on the AT_TOPOLOGY-resolved ShardedExecutor.
+  double svd_sharded_s = 0.0;
+  std::string topology;
   double rtree_s = 0.0;
   double aggregate_s = 0.0;
   std::size_t points = 0;
@@ -80,6 +88,32 @@ StepTimes time_creation(const synopsis::SparseRows& rows,
     auto hw_svd = linalg::incremental_svd(dataset, hw_cfg, &hw_pool);
     t.svd_hogwild_s = w.elapsed_seconds();
     (void)hw_svd;
+  }
+  {
+    // Thread-count sweep 1..nproc (ROADMAP "multi-core wall-clock
+    // measurement"): the hogwild scaling curve, best of 2 per point.
+    auto hw_cfg = cfg.svd;
+    hw_cfg.deterministic = false;
+    for (std::size_t threads = 1; threads <= sweep_max_threads();
+         ++threads) {
+      common::ThreadPool pool(threads);
+      double best = 1e300;
+      for (int rep = 0; rep < 2; ++rep) {
+        w.reset();
+        auto svd = linalg::incremental_svd(dataset, hw_cfg, &pool);
+        best = std::min(best, w.elapsed_seconds());
+        (void)svd;
+      }
+      t.hogwild_sweep.emplace_back(threads, best);
+    }
+    // Node-partitioned run on the machine layout (one group on
+    // single-node hardware — the fallback whose parity CI guards).
+    common::ShardedExecutor exec;
+    t.topology = exec.topology().describe();
+    w.reset();
+    auto sharded = linalg::incremental_svd_sharded(dataset, hw_cfg, exec);
+    t.svd_sharded_s = w.elapsed_seconds();
+    (void)sharded;
   }
   {
     const simd::Tier entry_tier = simd::active_tier();  // honor AT_SIMD
@@ -152,6 +186,16 @@ void report(const char* service, const StepTimes& t) {
                  common::TableWriter::fmt(t.svd_hogwild_s, 3),
                  common::TableWriter::fmt(t.svd_seed_s / t.svd_hogwild_s, 2) +
                      "x vs seed"});
+  for (const auto& [threads, seconds] : t.hogwild_sweep) {
+    table.add_row(
+        {"1. SVD hogwild sweep (" + std::to_string(threads) + " thr)",
+         common::TableWriter::fmt(seconds, 3),
+         common::TableWriter::fmt(t.hogwild_sweep.front().second / seconds,
+                                  2) +
+             "x vs 1 thr"});
+  }
+  table.add_row({"1. SVD sharded executor",
+                 common::TableWriter::fmt(t.svd_sharded_s, 3), t.topology});
   table.add_row({"2. R-tree + index file",
                  common::TableWriter::fmt(t.rtree_s, 3),
                  "bulk load + level select"});
@@ -211,6 +255,11 @@ void write_json(const StepTimes& cf, const StepTimes& ws) {
        << "    \"svd_simd_speedup_vs_scalar_tier\": "
        << t.svd_scalar_s / t.svd_s << ",\n"
        << "    \"svd_hogwild_s\": " << t.svd_hogwild_s << ",\n"
+       << "    \"svd_hogwild_sweep\": ";
+    write_sweep_json(os, t.hogwild_sweep);
+    os << ",\n"
+       << "    \"svd_sharded_s\": " << t.svd_sharded_s << ",\n"
+       << "    \"topology\": \"" << t.topology << "\",\n"
        << "    \"rtree_s\": " << t.rtree_s << ",\n"
        << "    \"aggregate_s\": " << t.aggregate_s << ",\n"
        << "    \"points\": " << t.points << ",\n"

@@ -1,8 +1,31 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace at::common {
+
+namespace {
+
+void pin_current_thread(int cpu) {
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  CPU_SET(cpu, &mask);
+  // Best effort: an out-of-mask CPU or a restricted environment leaves the
+  // worker unpinned, which only costs locality, never correctness.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(mask), &mask);
+#else
+  (void)cpu;
+#endif
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -10,7 +33,20 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop({}, i); });
+  }
+}
+
+ThreadPool::ThreadPool(const std::vector<int>& pin_cpus,
+                       std::function<void(std::size_t)> on_worker_start) {
+  const std::size_t threads = std::max<std::size_t>(1, pin_cpus.size());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    const int cpu = pin_cpus.empty() ? -1 : pin_cpus[i];
+    workers_.emplace_back([this, i, cpu, on_worker_start] {
+      if (cpu >= 0) pin_current_thread(cpu);
+      worker_loop(on_worker_start, i);
+    });
   }
 }
 
@@ -23,7 +59,9 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::function<void(std::size_t)> on_start,
+                             std::size_t index) {
+  if (on_start) on_start(index);
   for (;;) {
     std::function<void()> task;
     {
@@ -38,6 +76,18 @@ void ThreadPool::worker_loop() {
     }
     task();
   }
+}
+
+bool ThreadPool::run_one_queued_task() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  task();
+  return true;
 }
 
 void ThreadPool::parallel_for(std::size_t n,
@@ -60,8 +110,24 @@ void ThreadPool::parallel_for(std::size_t n,
   // Wait for every task before returning (or rethrowing): tasks capture
   // references to fn and this frame, so unwinding on the first exception
   // while siblings still run would leave them with dangling references.
+  //
+  // While waiting, HELP: execute queued tasks on this thread. This keeps
+  // nested parallel_for calls (a pool task fanning out on its own pool)
+  // deadlock-free — the blocked caller drains the work its chunks may be
+  // queued behind — and costs nothing on the non-nested path because the
+  // queue is empty by the time the last chunks finish.
   std::exception_ptr first;
   for (auto& f : futs) {
+    while (f.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!run_one_queued_task()) {
+        // Queue drained but this chunk is still in flight on another
+        // thread; block until it finishes (new tasks queued after this
+        // point belong to someone who can still run them).
+        f.wait();
+        break;
+      }
+    }
     try {
       f.get();
     } catch (...) {

@@ -3,6 +3,8 @@
 // Used by the synopsis builder (the paper runs information aggregation on
 // Spark; we run the same per-aggregated-point tasks on a shared-memory
 // pool) and by benchmark drivers that evaluate many requests concurrently.
+// The sharded execution layer (sharded_executor.h) builds one pinned pool
+// per topology node from the pinning constructor.
 #pragma once
 
 #include <condition_variable>
@@ -20,6 +22,16 @@ class ThreadPool {
  public:
   /// threads == 0 means hardware_concurrency (at least 1).
   explicit ThreadPool(std::size_t threads = 0);
+
+  /// Spawns one worker per entry of `pin_cpus`, each pinned (best effort —
+  /// a failed sched_setaffinity is ignored, non-Linux builds never pin) to
+  /// that logical CPU. The same CPU may appear repeatedly (simulated
+  /// multi-node layouts on small machines). When `on_worker_start` is set
+  /// it runs first inside each new worker thread, with the worker's index;
+  /// the executor uses it to label workers with their home node.
+  explicit ThreadPool(const std::vector<int>& pin_cpus,
+                      std::function<void(std::size_t)> on_worker_start = {});
+
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -46,6 +58,12 @@ class ThreadPool {
   /// Work is divided into contiguous chunks (one per worker) to preserve
   /// cache locality on scans.
   ///
+  /// Reentrant: while waiting for its chunks, the calling thread executes
+  /// queued tasks. A task running ON the pool may therefore call
+  /// parallel_for on the same pool without deadlocking, even on a
+  /// one-worker pool — the sharded fan-out paths rely on this (a per-node
+  /// dispatch task fans its component work out on its own node group).
+  ///
   /// Edge behavior (pinned by tests/common_test.cpp): n == 0 returns
   /// without touching the queue; n < workers submits exactly n
   /// single-index tasks (never an empty-range task); chunk math divides by
@@ -54,7 +72,11 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
-  void worker_loop();
+  void worker_loop(std::function<void(std::size_t)> on_start,
+                   std::size_t index);
+  /// Pops and runs one queued task if any is pending. Used by waiting
+  /// parallel_for callers to help drain the queue.
+  bool run_one_queued_task();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;

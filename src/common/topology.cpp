@@ -1,0 +1,208 @@
+#include "common/topology.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace at::common {
+
+std::string Topology::describe() const {
+  std::ostringstream os;
+  os << num_nodes() << (num_nodes() == 1 ? " node" : " nodes");
+  if (simulated) os << " (simulated)";
+  os << ":";
+  for (const auto& cpus : node_cpus) {
+    os << " [";
+    // Render as collapsed ranges, mirroring the cpulist input syntax.
+    for (std::size_t i = 0; i < cpus.size();) {
+      std::size_t j = i;
+      while (j + 1 < cpus.size() && cpus[j + 1] == cpus[j] + 1) ++j;
+      if (i > 0) os << ",";
+      os << cpus[i];
+      if (j > i) os << "-" << cpus[j];
+      i = j + 1;
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+std::vector<int> schedulable_cpus() {
+  std::vector<int> cpus;
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    for (int c = 0; c < CPU_SETSIZE; ++c) {
+      if (CPU_ISSET(c, &mask)) cpus.push_back(c);
+    }
+  }
+#endif
+  if (cpus.empty()) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    for (unsigned c = 0; c < hw; ++c) cpus.push_back(static_cast<int>(c));
+  }
+  return cpus;
+}
+
+bool parse_cpulist(const std::string& spec, std::vector<int>* out) {
+  std::vector<int> cpus;
+  std::size_t i = 0;
+  const auto read_int = [&](int* v) {
+    if (i >= spec.size() || !std::isdigit(static_cast<unsigned char>(spec[i])))
+      return false;
+    long n = 0;
+    while (i < spec.size() &&
+           std::isdigit(static_cast<unsigned char>(spec[i]))) {
+      n = n * 10 + (spec[i] - '0');
+      if (n > 1 << 20) return false;  // no machine has a million CPUs
+      ++i;
+    }
+    *v = static_cast<int>(n);
+    return true;
+  };
+  while (i < spec.size()) {
+    int lo = 0;
+    if (!read_int(&lo)) return false;
+    int hi = lo;
+    if (i < spec.size() && spec[i] == '-') {
+      ++i;
+      if (!read_int(&hi) || hi < lo) return false;
+    }
+    for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+    if (i < spec.size()) {
+      if (spec[i] != ',') return false;
+      ++i;
+      if (i == spec.size()) return false;  // trailing comma
+    }
+  }
+  if (cpus.empty()) return false;
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  *out = std::move(cpus);
+  return true;
+}
+
+Topology physical_topology() {
+  Topology topo;
+  const std::vector<int> allowed = schedulable_cpus();
+#if defined(__linux__)
+  for (int node = 0; node < 1 << 12; ++node) {
+    std::ifstream is("/sys/devices/system/node/node" + std::to_string(node) +
+                     "/cpulist");
+    if (!is.good()) {
+      // Node ids are not guaranteed dense, but a long gap means the end of
+      // the hierarchy; 64 covers sparse ids on any real machine.
+      if (node - static_cast<int>(topo.node_cpus.size()) > 64) break;
+      continue;
+    }
+    std::string line;
+    std::getline(is, line);
+    std::vector<int> cpus;
+    if (!parse_cpulist(line, &cpus)) continue;  // memory-only node: ""
+    // Keep only CPUs the process may actually run on.
+    std::vector<int> usable;
+    for (int c : cpus) {
+      if (std::binary_search(allowed.begin(), allowed.end(), c))
+        usable.push_back(c);
+    }
+    if (!usable.empty()) topo.node_cpus.push_back(std::move(usable));
+  }
+#endif
+  if (topo.node_cpus.empty()) {
+    topo.node_cpus.push_back(allowed);
+  }
+  return topo;
+}
+
+Topology simulated_topology(std::size_t nodes, std::vector<int> cpus) {
+  Topology topo;
+  topo.simulated = true;
+  if (nodes == 0 || cpus.empty()) return topo;  // invalid; caller checks
+  topo.node_cpus.resize(nodes);
+  if (cpus.size() >= nodes) {
+    for (std::size_t i = 0; i < cpus.size(); ++i)
+      topo.node_cpus[i % nodes].push_back(cpus[i]);
+  } else {
+    // Fewer CPUs than simulated nodes: reuse CPUs so every node stays
+    // non-empty (the point is exercising multi-node code paths, not
+    // exclusive placement).
+    for (std::size_t n = 0; n < nodes; ++n)
+      topo.node_cpus[n].push_back(cpus[n % cpus.size()]);
+  }
+  for (auto& node : topo.node_cpus) std::sort(node.begin(), node.end());
+  return topo;
+}
+
+Topology simulated_topology(std::size_t nodes) {
+  return simulated_topology(nodes, schedulable_cpus());
+}
+
+bool parse_topology(const char* spec, const std::vector<int>& schedulable,
+                    Topology* out) {
+  if (spec == nullptr || *spec == '\0' || schedulable.empty()) return false;
+  std::string s(spec);
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s == "auto") {
+    *out = physical_topology();
+    return true;
+  }
+  if (s == "flat" || s == "1") {
+    Topology topo;
+    topo.simulated = true;
+    topo.node_cpus.push_back(schedulable);
+    *out = std::move(topo);
+    return true;
+  }
+  if (std::all_of(s.begin(), s.end(), [](unsigned char c) {
+        return std::isdigit(c) != 0;
+      })) {
+    const long n = std::strtol(s.c_str(), nullptr, 10);
+    if (n < 1 || n > 1 << 10) return false;
+    *out = simulated_topology(static_cast<std::size_t>(n), schedulable);
+    return true;
+  }
+  // Explicit ';'-separated cpulists, one per node.
+  Topology topo;
+  topo.simulated = true;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t sep = s.find(';', start);
+    const std::string part =
+        s.substr(start, sep == std::string::npos ? sep : sep - start);
+    std::vector<int> cpus;
+    if (!parse_cpulist(part, &cpus)) return false;
+    topo.node_cpus.push_back(std::move(cpus));
+    if (sep == std::string::npos) break;
+    start = sep + 1;
+  }
+  if (topo.node_cpus.empty()) return false;
+  *out = std::move(topo);
+  return true;
+}
+
+const Topology& active_topology() {
+  static const Topology topo = [] {
+    const std::vector<int> cpus = schedulable_cpus();
+    if (const char* spec = std::getenv("AT_TOPOLOGY")) {
+      Topology parsed;
+      if (parse_topology(spec, cpus, &parsed)) return parsed;
+      std::cerr << "warning: ignoring invalid AT_TOPOLOGY spec \"" << spec
+                << "\"\n";
+    }
+    return physical_topology();
+  }();
+  return topo;
+}
+
+}  // namespace at::common

@@ -1,0 +1,83 @@
+// Machine-topology discovery for the sharded execution layer (ROADMAP
+// "NUMA-aware sharding").
+//
+// A Topology is the list of memory nodes the process may run on, each with
+// the logical CPUs it owns (filtered through the process affinity mask).
+// The physical layout comes from /sys/devices/system/node/node*/cpulist;
+// machines without that hierarchy (or non-Linux builds) collapse to one
+// node holding every schedulable CPU.
+//
+// Like the SIMD kernel layer's AT_SIMD, the AT_TOPOLOGY environment
+// variable overrides discovery so any box can exercise multi-node code
+// paths:
+//
+//   AT_TOPOLOGY=auto     physical discovery (the default)
+//   AT_TOPOLOGY=flat     one node over every schedulable CPU
+//   AT_TOPOLOGY=<N>      simulate N nodes by dealing the schedulable CPUs
+//                        round-robin (a CPU may serve several simulated
+//                        nodes when N exceeds the CPU count, so 2/4-node
+//                        layouts are testable even on a 1-CPU container)
+//   AT_TOPOLOGY=0-3;4-7  explicit nodes: ';'-separated sysfs-style cpulists
+//                        (comma-separated ids and inclusive ranges)
+//
+// The resolved topology is what ShardedExecutor (sharded_executor.h) builds
+// its pinned per-node worker groups from.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace at::common {
+
+struct Topology {
+  /// Logical CPU ids per node, sorted ascending within a node. Never
+  /// contains an empty node; never empty itself for a valid topology.
+  std::vector<std::vector<int>> node_cpus;
+  /// True when the layout was simulated/overridden rather than discovered.
+  bool simulated = false;
+
+  std::size_t num_nodes() const { return node_cpus.size(); }
+  std::size_t total_cpus() const {
+    std::size_t n = 0;
+    for (const auto& cpus : node_cpus) n += cpus.size();
+    return n;
+  }
+  /// "2 nodes: [0-1][2-3]" — for logs and bench JSON.
+  std::string describe() const;
+};
+
+/// Logical CPUs the process may be scheduled on (sched_getaffinity),
+/// sorted. Falls back to 0..hardware_concurrency-1 when the mask cannot be
+/// read.
+std::vector<int> schedulable_cpus();
+
+/// Reads the physical node layout from sysfs, filtered through the
+/// affinity mask; single-node fallback when sysfs is absent or every
+/// discovered node was masked out. Never returns an empty topology.
+Topology physical_topology();
+
+/// Simulated `nodes`-node layout over `cpus` dealt round-robin. When
+/// `nodes` exceeds the CPU count, CPUs are reused so every node stays
+/// non-empty. `nodes` must be >= 1 and `cpus` non-empty.
+Topology simulated_topology(std::size_t nodes, std::vector<int> cpus);
+/// Convenience: simulated layout over the schedulable CPUs.
+Topology simulated_topology(std::size_t nodes);
+
+/// Parses a sysfs-style cpulist ("0-3,8,10-11"). Returns false on
+/// malformed input; duplicates collapse and the result is sorted.
+bool parse_cpulist(const std::string& spec, std::vector<int>* out);
+
+/// Parses an AT_TOPOLOGY spec (see header comment). `schedulable` supplies
+/// the CPU pool for "auto"/"flat"/<N>; explicit cpulists are taken
+/// verbatim (they may name CPUs outside the mask — pinning degrades
+/// gracefully). Returns false on an unknown/malformed spec.
+bool parse_topology(const char* spec, const std::vector<int>& schedulable,
+                    Topology* out);
+
+/// The process-wide topology: AT_TOPOLOGY when set and valid (an invalid
+/// spec is ignored with a warning to stderr), else physical discovery.
+/// Resolved once and cached.
+const Topology& active_topology();
+
+}  // namespace at::common

@@ -21,12 +21,43 @@ CfService::CfService(std::vector<RecommenderComponent> components,
 
 void CfService::set_pool(common::ThreadPool* pool) {
   pool_ = pool;
+  if (exec_ != nullptr) return;  // executor assignment wins until cleared
   for (auto& c : components_) c.set_pool(pool);
+}
+
+void CfService::set_executor(common::ShardedExecutor* exec) {
+  exec_ = exec;
+  if (exec_ != nullptr) {
+    for (std::size_t c = 0; c < components_.size(); ++c)
+      components_[c].set_pool(&exec_->group(exec_->home_group(c)));
+  } else {
+    for (auto& c : components_) c.set_pool(pool_);
+  }
+}
+
+synopsis::UpdateReport CfService::update_component(
+    std::size_t c, const synopsis::UpdateBatch& batch) {
+  synopsis::UpdateReport report;
+  if (exec_ != nullptr) {
+    // Mutate the subset on its home group so new rows and re-aggregated
+    // groups are first-touched node-locally (the component's own pool is
+    // already the home group's).
+    exec_->submit(exec_->home_group(c),
+                  [&] { report = components_.at(c).update(batch); })
+        .get();
+  } else {
+    report = components_.at(c).update(batch);
+  }
+  return report;
 }
 
 void CfService::for_each_component(
     const std::function<void(std::size_t)>& fn) const {
-  if (pool_ != nullptr && components_.size() > 1) {
+  if (exec_ != nullptr && components_.size() > 1) {
+    // Topology path: each component analyzes on its home group; the
+    // callers' merges stay in component order, so results are identical.
+    exec_->for_each_shard_grouped(components_.size(), fn);
+  } else if (pool_ != nullptr && components_.size() > 1) {
     pool_->parallel_for(components_.size(), fn);
   } else {
     for (std::size_t c = 0; c < components_.size(); ++c) fn(c);

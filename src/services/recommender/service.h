@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/sharded_executor.h"
 #include "core/outcome.h"
 #include "core/technique.h"
 #include "services/recommender/component.h"
@@ -49,6 +50,21 @@ class CfService {
   /// the pool's lifetime; pass nullptr to go sequential.
   void set_pool(common::ThreadPool* pool);
 
+  /// Installs a topology-aware executor (overrides any set_pool): each
+  /// component is homed on one executor group (round-robin), its synopsis
+  /// updates run on that group's pinned pool, and request fan-out
+  /// dispatches every component to its home group. Partial results still
+  /// merge in component order, so predictions are bit-identical to the
+  /// sequential path. Caller owns the executor's lifetime; pass nullptr to
+  /// fall back to the plain pool.
+  void set_executor(common::ShardedExecutor* exec);
+  common::ShardedExecutor* executor() const { return exec_; }
+
+  /// Routes an input-data change batch to component `c`, on its home group
+  /// when an executor is installed.
+  synopsis::UpdateReport update_component(std::size_t c,
+                                          const synopsis::UpdateBatch& batch);
+
   /// Exact prediction: every component contributes its full subset.
   double predict_exact(const CfRequest& request) const;
 
@@ -82,6 +98,7 @@ class CfService {
   double min_rating_;
   double max_rating_;
   common::ThreadPool* pool_ = nullptr;
+  common::ShardedExecutor* exec_ = nullptr;
 };
 
 }  // namespace at::reco

@@ -1,6 +1,7 @@
 #include "services/search/service.h"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
 
 #include "core/algorithm1.h"
@@ -40,14 +41,80 @@ void SearchService::enable_query_cache(std::size_t capacity) {
 
 void SearchService::set_pool(common::ThreadPool* pool) {
   pool_ = pool;
+  if (exec_ != nullptr) return;  // executor assignment wins until cleared
   for (auto& c : components_) c.set_pool(pool);
+}
+
+void SearchService::set_executor(common::ShardedExecutor* exec) {
+  exec_ = exec;
+  if (exec_ != nullptr) {
+    // Each component's internal parallelism (synopsis updates, rebuilds)
+    // runs on its home node's pinned pool, so the shard's pages stay
+    // node-local as the data evolves.
+    for (std::size_t c = 0; c < components_.size(); ++c)
+      components_[c].set_pool(&exec_->group(exec_->home_group(c)));
+  } else {
+    for (auto& c : components_) c.set_pool(pool_);
+  }
 }
 
 synopsis::UpdateReport SearchService::update_component(
     std::size_t c, const synopsis::UpdateBatch& batch) {
-  auto report = components_.at(c).update(batch);
+  synopsis::UpdateReport report;
+  if (exec_ != nullptr) {
+    // Run the mutation on the shard's home group: the batch's new rows and
+    // rebuilt postings are first-touched by node-local threads. The
+    // update's own parallel phases fan out on the same group (nested
+    // parallel_for helps while waiting, so one-worker groups are safe).
+    exec_->submit(exec_->home_group(c),
+                  [&] { report = components_.at(c).update(batch); })
+        .get();
+  } else {
+    report = components_.at(c).update(batch);
+  }
   if (cache_ != nullptr) cache_->invalidate_all();
   return report;
+}
+
+void SearchService::fan_out_topk(
+    const std::function<std::vector<ScoredDoc>(std::size_t)>& scan,
+    TopK& top) const {
+  if (exec_ != nullptr && components_.size() > 1) {
+    // Topology path: every component scans on its home group and offers
+    // into its node's heap; the tiny per-node heaps merge at the end
+    // instead of funneling every local list through one thread. `better`
+    // is a strict total order over unique doc ids, so heap contents are
+    // insertion-order independent and the merged result is identical to
+    // the sequential component-order scan.
+    const std::size_t groups = exec_->num_groups();
+    std::vector<TopK> node_tops(groups, TopK(top.k()));
+    std::vector<std::mutex> node_locks(groups);
+    exec_->for_each_shard_grouped(components_.size(), [&](std::size_t c) {
+      const auto local = scan(c);
+      if (local.empty()) return;
+      const std::size_t g = exec_->home_group(c);
+      std::lock_guard<std::mutex> lock(node_locks[g]);
+      for (const auto& d : local) node_tops[g].offer(d);
+    });
+    for (const auto& nt : node_tops) {
+      for (const auto& d : nt.take()) top.offer(d);
+    }
+    return;
+  }
+  if (pool_ != nullptr && components_.size() > 1) {
+    // Fan the local scans out across the pool; merge in component order so
+    // the result is identical to the sequential path.
+    std::vector<std::vector<ScoredDoc>> locals(components_.size());
+    pool_->parallel_for(components_.size(),
+                        [&](std::size_t c) { locals[c] = scan(c); });
+    for (const auto& local : locals) {
+      for (const auto& d : local) top.offer(d);
+    }
+    return;
+  }
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    for (const auto& d : scan(c)) top.offer(d);
+  }
 }
 
 std::vector<ScoredDoc> SearchService::exact_topk(
@@ -57,21 +124,9 @@ std::vector<ScoredDoc> SearchService::exact_topk(
     if (cache_->lookup(request.terms, &cached)) return cached;
   }
   TopK top(k_);
-  if (pool_ != nullptr && components_.size() > 1) {
-    // Fan the local scans out across the pool; merge in component order so
-    // the result is identical to the sequential path.
-    std::vector<std::vector<ScoredDoc>> locals(components_.size());
-    pool_->parallel_for(components_.size(), [&](std::size_t c) {
-      locals[c] = components_[c].exact_topk(request, k_);
-    });
-    for (const auto& local : locals) {
-      for (const auto& d : local) top.offer(d);
-    }
-  } else {
-    for (const auto& comp : components_) {
-      for (const auto& d : comp.exact_topk(request, k_)) top.offer(d);
-    }
-  }
+  fan_out_topk(
+      [&](std::size_t c) { return components_[c].exact_topk(request, k_); },
+      top);
   auto result = top.take();
   if (cache_ != nullptr) cache_->insert(request.terms, result);
   return result;
@@ -90,22 +145,12 @@ std::vector<ScoredDoc> SearchService::retrieve(
 
   if (technique == Technique::kPartialExecution) {
     TopK top(k_);
-    if (pool_ != nullptr && components_.size() > 1) {
-      std::vector<std::vector<ScoredDoc>> locals(components_.size());
-      pool_->parallel_for(components_.size(), [&](std::size_t c) {
-        if (!outcomes[c].included) return;
-        locals[c] = components_[c].exact_topk(request, k_);
-      });
-      for (const auto& local : locals) {
-        for (const auto& d : local) top.offer(d);
-      }
-    } else {
-      for (std::size_t c = 0; c < components_.size(); ++c) {
-        if (!outcomes[c].included) continue;
-        for (const auto& d : components_[c].exact_topk(request, k_))
-          top.offer(d);
-      }
-    }
+    fan_out_topk(
+        [&](std::size_t c) -> std::vector<ScoredDoc> {
+          if (!outcomes[c].included) return {};
+          return components_[c].exact_topk(request, k_);
+        },
+        top);
     return top.take();
   }
 
@@ -122,7 +167,11 @@ std::vector<ScoredDoc> SearchService::retrieve(
   };
   std::vector<PendingGroup> unprocessed;
   std::vector<SearchComponentWork> works(components_.size());
-  if (pool_ != nullptr && components_.size() > 1) {
+  if (exec_ != nullptr && components_.size() > 1) {
+    exec_->for_each_shard_grouped(components_.size(), [&](std::size_t c) {
+      works[c] = components_[c].analyze(request);
+    });
+  } else if (pool_ != nullptr && components_.size() > 1) {
     pool_->parallel_for(components_.size(), [&](std::size_t c) {
       works[c] = components_[c].analyze(request);
     });

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/sharded_executor.h"
 #include "core/outcome.h"
 #include "core/technique.h"
 #include "services/search/component.h"
@@ -53,6 +54,18 @@ class SearchService {
   /// caller owns the pool's lifetime; pass nullptr to go sequential.
   void set_pool(common::ThreadPool* pool);
 
+  /// Installs a topology-aware executor (overrides any set_pool): every
+  /// component is assigned a home group (round-robin over the executor's
+  /// nodes), its update/build work runs on that group's pinned pool, and
+  /// query fan-out dispatches each component to its home group, collecting
+  /// into one top-k heap per node that is merged at the end. The scoring
+  /// order (score desc, doc asc) is a strict total order over globally
+  /// unique doc ids, so the per-node merge is bit-identical to the
+  /// sequential component-order scan (pinned by tests). The caller owns
+  /// the executor's lifetime; pass nullptr to fall back to the plain pool.
+  void set_executor(common::ShardedExecutor* exec);
+  common::ShardedExecutor* executor() const { return exec_; }
+
   /// Routes an input-data change batch to component `c` and invalidates
   /// the query cache (every cached answer is potentially stale).
   synopsis::UpdateReport update_component(std::size_t c,
@@ -82,11 +95,20 @@ class SearchService {
                                     ComponentOutcome outcome) const;
 
  private:
+  /// Runs the per-component scan and merges the locals into `top`: on the
+  /// executor via per-node heaps, else on the pool / sequentially in
+  /// component order. `scan` returns the component's local top-k (empty
+  /// for skipped components).
+  void fan_out_topk(
+      const std::function<std::vector<ScoredDoc>(std::size_t)>& scan,
+      TopK& top) const;
+
   std::vector<SearchComponent> components_;
   std::size_t k_;
   std::size_t total_docs_ = 0;
   std::unique_ptr<QueryCache> cache_;
   common::ThreadPool* pool_ = nullptr;
+  common::ShardedExecutor* exec_ = nullptr;
 };
 
 }  // namespace at::search

@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "common/binary_io.h"
+#include "common/rng.h"
 #include "common/simd.h"
 #include "services/recommender/component.h"
 #include "services/search/component.h"
@@ -505,6 +506,302 @@ TEST(GoldenLegacy, RecommenderComponentV1AnalyzesLikeFreshBuild) {
   const auto loaded = reco::RecommenderComponent::load(is);
   reco::RecommenderComponent fresh(testing::golden_rows(),
                                    testing::golden_build_config(), nullptr);
+  const auto request =
+      reco::CfRequest::make({{2, 4.0}, {9, 2.0}, {16, 5.0}}, 5);
+  const auto got = loaded.analyze(request).exact();
+  const auto want = fresh.analyze(request).exact();
+  EXPECT_EQ(got.weighted_dev, want.weighted_dev);
+  EXPECT_EQ(got.weight_abs, want.weight_abs);
+  EXPECT_EQ(got.neighbors, want.neighbors);
+}
+
+// ---------------------------------------------------------------------------
+// Codec edge-case property tests: IEEE special values through the q8
+// exception table and the shuffle exponent/mantissa bit-split. Every codec
+// must reproduce the exact bit patterns (NaN payloads included) in every
+// SIMD dispatch tier, and the encoded bytes must not depend on the tier.
+// ---------------------------------------------------------------------------
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+double from_bits(std::uint64_t b) {
+  double v;
+  std::memcpy(&v, &b, sizeof v);
+  return v;
+}
+
+/// Columns of pure and salted special values. Uniform columns steer the
+/// shuffle encoder toward its dict/RLE plane layout, continuous ones
+/// toward the exponent/mantissa bit-split, count-like ones toward q8's
+/// quantized path — so the specials hit every decoder branch.
+std::vector<std::pair<const char*, std::vector<double>>> special_columns() {
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  const double snan = from_bits(0x7ff4deadbeef0001ull);  // signaling payload
+  const double nnan = from_bits(0xfff8000000000123ull);  // negative, payload
+  const double inf = std::numeric_limits<double>::infinity();
+  const double dmin = std::numeric_limits<double>::denorm_min();
+
+  std::vector<std::pair<const char*, std::vector<double>>> cols;
+  cols.emplace_back("all_nan", std::vector<double>(97, qnan));
+  cols.emplace_back("nan_payloads", std::vector<double>{qnan, snan, nnan,
+                                                        qnan, snan, nnan});
+  cols.emplace_back("all_inf", std::vector<double>(64, inf));
+  cols.emplace_back("mixed_inf", std::vector<double>{inf, -inf, inf, -inf});
+  cols.emplace_back("neg_zero", std::vector<double>(130, -0.0));
+  cols.emplace_back("zero_signs", std::vector<double>{0.0, -0.0, 0.0, -0.0});
+  cols.emplace_back("all_denormal", [&] {
+    std::vector<double> v;
+    for (int i = 1; i <= 100; ++i)
+      v.push_back(from_bits(static_cast<std::uint64_t>(i * 977)));
+    return v;
+  }());
+  cols.emplace_back("denormal_extremes",
+                    std::vector<double>{
+                        dmin, -dmin,
+                        from_bits(0x000fffffffffffffull),   // largest subnormal
+                        from_bits(0x800fffffffffffffull),   // negative largest
+                        std::numeric_limits<double>::min(), // smallest normal
+                        0.0});
+  // Continuous data (forces the exp-split layout) salted with specials.
+  cols.emplace_back("continuous_salted", [&] {
+    auto v = continuous_column(512);
+    for (std::size_t i = 0; i < v.size(); i += 37) v[i] = qnan;
+    for (std::size_t i = 13; i < v.size(); i += 53) v[i] = (i % 2) ? inf : -inf;
+    for (std::size_t i = 7; i < v.size(); i += 41) v[i] = -0.0;
+    for (std::size_t i = 3; i < v.size(); i += 61) v[i] = dmin * double(i);
+    return v;
+  }());
+  // Count-like data (q8's quantized path) salted with specials, which must
+  // all land in the exception table.
+  cols.emplace_back("counts_salted", [&] {
+    auto v = count_column(512);
+    for (std::size_t i = 0; i < v.size(); i += 29) v[i] = snan;
+    for (std::size_t i = 11; i < v.size(); i += 43) v[i] = -inf;
+    for (std::size_t i = 5; i < v.size(); i += 31) v[i] = -0.0;
+    for (std::size_t i = 2; i < v.size(); i += 59) v[i] = dmin;
+    return v;
+  }());
+  return cols;
+}
+
+TEST(CodecSpecialValues, ExactBitsPerCodecPerTier) {
+  TierGuard guard;
+  for (const auto& [name, column] : special_columns()) {
+    for (Codec codec : kAllCodecs) {
+      for (simd::Tier enc_tier : supported_tiers()) {
+        simd::set_tier(enc_tier);
+        std::vector<std::uint8_t> bytes;
+        encode_f64(bytes, column.data(), column.size(), codec);
+        for (simd::Tier dec_tier : supported_tiers()) {
+          simd::set_tier(dec_tier);
+          std::vector<double> out(column.size());
+          const std::uint8_t* end = decode_f64(
+              bytes.data(), bytes.data() + bytes.size(), out.data(),
+              out.size());
+          ASSERT_EQ(end, bytes.data() + bytes.size())
+              << name << " via " << codec_name(codec);
+          for (std::size_t i = 0; i < column.size(); ++i) {
+            ASSERT_EQ(bits_of(out[i]), bits_of(column[i]))
+                << name << " via " << codec_name(codec) << " enc "
+                << simd::tier_name(enc_tier) << " dec "
+                << simd::tier_name(dec_tier) << " value " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(CodecSpecialValues, EncodedBytesTierIndependent) {
+  TierGuard guard;
+  for (const auto& [name, column] : special_columns()) {
+    for (Codec codec : kAllCodecs) {
+      simd::set_tier(simd::Tier::kScalar);
+      std::vector<std::uint8_t> want;
+      encode_f64(want, column.data(), column.size(), codec);
+      for (simd::Tier tier : supported_tiers()) {
+        simd::set_tier(tier);
+        std::vector<std::uint8_t> got;
+        encode_f64(got, column.data(), column.size(), codec);
+        EXPECT_EQ(got, want) << name << " via " << codec_name(codec) << " on "
+                             << simd::tier_name(tier);
+      }
+    }
+  }
+}
+
+TEST(CodecSpecialValues, RandomBitPatternsRoundTripExactly) {
+  // Property test: ANY 64-bit pattern — including trap representations of
+  // other types' views — survives every codec bit-exactly.
+  common::Rng rng(0xc0dec);
+  std::vector<double> column(2048);
+  for (auto& v : column) v = from_bits(rng.next());
+  for (Codec codec : kAllCodecs) {
+    std::vector<std::uint8_t> bytes;
+    encode_f64(bytes, column.data(), column.size(), codec);
+    std::vector<double> out(column.size());
+    decode_f64(bytes.data(), bytes.data() + bytes.size(), out.data(),
+               out.size());
+    for (std::size_t i = 0; i < column.size(); ++i) {
+      ASSERT_EQ(bits_of(out[i]), bits_of(column[i]))
+          << codec_name(codec) << " value " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden lock for the CURRENT (ATAC container) writers: the checked-in
+// bytes were produced by today's writers with the codec pinned; these tests
+// fail the moment a writer's output drifts, making the next format change
+// a conscious version bump (regenerate with AT_REGEN_GOLDEN=1, inspect the
+// diff, bump the kind version) instead of an accident. The paired load
+// tests keep proving the files still deserialize to the fixtures.
+// ---------------------------------------------------------------------------
+
+std::string golden_path(const std::string& name) {
+  return std::string(AT_TEST_DATA_DIR) + "/golden/" + name;
+}
+
+/// Serializes via `write`, regenerates the file when AT_REGEN_GOLDEN is
+/// set, and asserts the bytes equal the checked-in golden.
+template <typename WriteFn>
+std::string check_current_golden(const std::string& name, WriteFn&& write) {
+  std::ostringstream os(std::ios::binary);
+  write(os);
+  const std::string bytes = os.str();
+  const std::string path = golden_path(name);
+  if (std::getenv("AT_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    EXPECT_TRUE(out.good()) << "could not regenerate " << path;
+  }
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << "missing current-writer golden " << path
+                         << " (regenerate with AT_REGEN_GOLDEN=1)";
+  std::ostringstream disk;
+  disk << is.rdbuf();
+  EXPECT_EQ(bytes.size(), disk.str().size()) << name;
+  EXPECT_TRUE(bytes == disk.str())
+      << name << ": writer output drifted from the checked-in golden — if "
+      << "intentional, bump the kind version and regenerate";
+  return bytes;
+}
+
+TEST(CurrentGolden, MatrixBytesStableAndLoads) {
+  check_current_golden("atac_matrix_v1.bin", [](std::ostream& os) {
+    linalg::save(os, testing::golden_matrix(), Codec::kShuffle);
+  });
+  auto is = open_golden("atac_matrix_v1.bin");
+  expect_matrix_bits_equal(linalg::load_matrix(is), testing::golden_matrix());
+}
+
+TEST(CurrentGolden, SvdModelBytesStableAndLoads) {
+  check_current_golden("atac_svd_model_v1.bin", [](std::ostream& os) {
+    linalg::save(os, testing::golden_svd_model(), Codec::kShuffle);
+  });
+  auto is = open_golden("atac_svd_model_v1.bin");
+  const auto got = linalg::load_svd_model(is);
+  const auto want = testing::golden_svd_model();
+  EXPECT_EQ(got.train_rmse, want.train_rmse);
+  EXPECT_EQ(got.global_mean, want.global_mean);
+  EXPECT_EQ(got.row_bias, want.row_bias);
+  EXPECT_EQ(got.col_bias, want.col_bias);
+  expect_matrix_bits_equal(got.row_factors, want.row_factors);
+  expect_matrix_bits_equal(got.col_factors, want.col_factors);
+}
+
+TEST(CurrentGolden, SparseRowsBytesStableAndLoads) {
+  check_current_golden("atac_sparse_rows_v1.bin", [](std::ostream& os) {
+    synopsis::save(os, testing::golden_rows());
+  });
+  auto is = open_golden("atac_sparse_rows_v1.bin");
+  expect_rows_equal(synopsis::load_sparse_rows(is), testing::golden_rows());
+}
+
+TEST(CurrentGolden, IndexFileBytesStableAndLoads) {
+  check_current_golden("atac_index_file_v1.bin", [](std::ostream& os) {
+    synopsis::save(os, testing::golden_index_file());
+  });
+  auto is = open_golden("atac_index_file_v1.bin");
+  const auto got = synopsis::load_index_file(is);
+  const auto want = testing::golden_index_file();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t g = 0; g < want.size(); ++g) {
+    EXPECT_EQ(got.groups()[g].node_id, want.groups()[g].node_id);
+    EXPECT_EQ(got.groups()[g].version, want.groups()[g].version);
+    EXPECT_EQ(got.groups()[g].members, want.groups()[g].members);
+  }
+}
+
+TEST(CurrentGolden, SynopsisBytesStableAndLoads) {
+  check_current_golden("atac_synopsis_v1.bin", [](std::ostream& os) {
+    synopsis::save(os, testing::golden_synopsis());
+  });
+  auto is = open_golden("atac_synopsis_v1.bin");
+  const auto got = synopsis::load_synopsis(is);
+  const auto want = testing::golden_synopsis();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t g = 0; g < want.size(); ++g) {
+    EXPECT_EQ(got.points[g].features, want.points[g].features);
+    EXPECT_EQ(got.points[g].support, want.points[g].support);
+  }
+}
+
+TEST(CurrentGolden, StructureBytesStableAndLoads) {
+  // golden_structure runs the deterministic-mode build, which is
+  // bit-reproducible by contract — so the serialized bytes are too.
+  check_current_golden("atac_structure_v1.bin", [](std::ostream& os) {
+    synopsis::save(os, testing::golden_structure(), Codec::kShuffle);
+  });
+  auto is = open_golden("atac_structure_v1.bin");
+  auto got = synopsis::load_structure(is);
+  const auto want = testing::golden_structure();
+  EXPECT_EQ(got.level, want.level);
+  expect_matrix_bits_equal(got.reduced, want.reduced);
+  expect_matrix_bits_equal(got.svd.row_factors, want.svd.row_factors);
+  got.tree.check_invariants();
+}
+
+TEST(CurrentGolden, SearchComponentBytesStableAndLoads) {
+  const auto build = [] {
+    return search::SearchComponent(testing::golden_rows(), 1000,
+                                   testing::golden_build_config(),
+                                   search::ScorerParams{}, nullptr);
+  };
+  check_current_golden("atac_search_component_v1.bin",
+                       [&](std::ostream& os) {
+                         build().save(os, Codec::kShuffle);
+                       });
+  auto is = open_golden("atac_search_component_v1.bin");
+  const auto loaded = search::SearchComponent::load(is);
+  const auto fresh = build();
+  const search::SearchRequest request{{1, 5, 12}};
+  const auto got = loaded.exact_topk(request, 5);
+  const auto want = fresh.exact_topk(request, 5);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].doc, want[i].doc);
+    EXPECT_EQ(got[i].score, want[i].score);
+  }
+}
+
+TEST(CurrentGolden, RecommenderComponentBytesStableAndLoads) {
+  const auto build = [] {
+    return reco::RecommenderComponent(testing::golden_rows(),
+                                      testing::golden_build_config(),
+                                      nullptr);
+  };
+  check_current_golden("atac_recommender_component_v1.bin",
+                       [&](std::ostream& os) {
+                         build().save(os, Codec::kShuffle);
+                       });
+  auto is = open_golden("atac_recommender_component_v1.bin");
+  const auto loaded = reco::RecommenderComponent::load(is);
+  const auto fresh = build();
   const auto request =
       reco::CfRequest::make({{2, 4.0}, {9, 2.0}, {16, 5.0}}, 5);
   const auto got = loaded.analyze(request).exact();
