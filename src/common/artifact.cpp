@@ -7,6 +7,7 @@
 #include <istream>
 #include <ostream>
 
+#include "common/failpoint.h"
 #include "common/simd.h"
 
 namespace at::common {
@@ -653,6 +654,15 @@ ArtifactReader::ArtifactReader(std::istream& is, const char kind[4])
 }
 
 ChunkReader ArtifactReader::chunk(const char tag[4]) {
+  // Fault-injection site: an armed "artifact.chunk" error surfaces as this
+  // layer's structured error, exactly like real corruption would.
+  if (failpoint::any_armed()) {
+    try {
+      failpoint::check_throw("artifact.chunk");
+    } catch (const failpoint::FailpointError& e) {
+      throw ArtifactError(e.what());
+    }
+  }
   char got[4];
   read_exact(is_, got, 4, "chunk tag");
   if (std::memcmp(got, tag, 4) != 0)

@@ -1,0 +1,183 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace at::common::failpoint {
+
+namespace detail {
+std::atomic<int> g_armed_count{0};
+}
+
+namespace {
+
+struct Entry {
+  Action action = Action::kOff;
+  double delay_ms = 0.0;
+  // Remaining hits before auto-disarm; SIZE_MAX = unlimited.
+  std::uint64_t budget = ~std::uint64_t{0};
+  std::uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, Entry> sites;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during shutdown
+  return *r;
+}
+
+Entry parse_spec(const std::string& spec) {
+  Entry e;
+  // Split on ':' into at most 3 fields: kind[:arg][:xN].
+  std::string fields[3];
+  std::size_t nf = 0, start = 0;
+  for (std::size_t i = 0; i <= spec.size(); ++i) {
+    if (i == spec.size() || spec[i] == ':') {
+      if (nf >= 3) throw std::invalid_argument("failpoint: too many fields");
+      fields[nf++] = spec.substr(start, i - start);
+      start = i + 1;
+    }
+  }
+  std::size_t next = 1;
+  if (fields[0] == "delay") {
+    if (nf < 2)
+      throw std::invalid_argument("failpoint: delay needs :<ms>");
+    char* endp = nullptr;
+    e.delay_ms = std::strtod(fields[1].c_str(), &endp);
+    if (endp == fields[1].c_str() || *endp != '\0' || e.delay_ms < 0.0)
+      throw std::invalid_argument("failpoint: bad delay ms");
+    e.action = Action::kDelay;
+    next = 2;
+  } else if (fields[0] == "error") {
+    e.action = Action::kError;
+  } else if (fields[0] == "short_write") {
+    e.action = Action::kShortWrite;
+  } else if (fields[0] == "off") {
+    e.action = Action::kOff;
+  } else {
+    throw std::invalid_argument("failpoint: unknown action '" + fields[0] +
+                                "'");
+  }
+  if (next < nf) {
+    const std::string& f = fields[next];
+    if (f.size() < 2 || f[0] != 'x')
+      throw std::invalid_argument("failpoint: bad budget '" + f + "'");
+    char* endp = nullptr;
+    const unsigned long long n = std::strtoull(f.c_str() + 1, &endp, 10);
+    if (endp == f.c_str() + 1 || *endp != '\0' || n == 0)
+      throw std::invalid_argument("failpoint: bad budget '" + f + "'");
+    e.budget = n;
+  }
+  return e;
+}
+
+// Arms AT_FAILPOINTS before main() runs. A malformed env spec aborts with
+// a clear message: silently ignoring it would "pass" a fault-injection run
+// that injected nothing.
+const bool g_env_armed = [] {
+  if (const char* env = std::getenv("AT_FAILPOINTS")) {
+    set_many(env);
+  }
+  return true;
+}();
+
+}  // namespace
+
+void set(const std::string& site, const std::string& spec) {
+  if (site.empty()) throw std::invalid_argument("failpoint: empty site");
+  Entry e = parse_spec(spec);
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.sites.find(site);
+  const bool was_armed = it != r.sites.end();
+  if (e.action == Action::kOff) {
+    if (was_armed) {
+      r.sites.erase(it);
+      detail::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  if (was_armed) {
+    e.hits = it->second.hits;
+    it->second = e;
+  } else {
+    r.sites.emplace(site, e);
+    detail::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::size_t set_many(const std::string& multi_spec) {
+  // Validate every entry before arming any, so a bad multi-spec arms
+  // nothing instead of half of the list.
+  std::vector<std::pair<std::string, std::string>> entries;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= multi_spec.size(); ++i) {
+    if (i != multi_spec.size() && multi_spec[i] != ';') continue;
+    const std::string part = multi_spec.substr(start, i - start);
+    start = i + 1;
+    if (part.empty()) continue;
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw std::invalid_argument("failpoint: expected site=action in '" +
+                                  part + "'");
+    entries.emplace_back(part.substr(0, eq), part.substr(eq + 1));
+  }
+  for (const auto& [site, spec] : entries) (void)parse_spec(spec);
+  for (const auto& [site, spec] : entries) set(site, spec);
+  return entries.size();
+}
+
+void clear(const std::string& site) { set(site, "off"); }
+
+void clear_all() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  detail::g_armed_count.fetch_sub(static_cast<int>(r.sites.size()),
+                                  std::memory_order_relaxed);
+  r.sites.clear();
+}
+
+std::uint64_t hits(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+Decision check(const char* site) {
+  Decision d;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.sites.find(site);
+    if (it == r.sites.end()) return d;
+    Entry& e = it->second;
+    if (e.budget == 0) return d;  // exhausted; stays visible to hits()
+    --e.budget;
+    ++e.hits;
+    d.action = e.action;
+    d.delay_ms = e.delay_ms;
+  }
+  if (d.action == Action::kDelay && d.delay_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(d.delay_ms));
+  }
+  return d;
+}
+
+bool check_throw(const char* site) {
+  const Decision d = check(site);
+  if (d.action == Action::kError)
+    throw FailpointError(std::string("failpoint fired: ") + site);
+  return d.action == Action::kShortWrite;
+}
+
+}  // namespace at::common::failpoint

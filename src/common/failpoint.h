@@ -1,0 +1,91 @@
+// Named failpoints: deterministic fault injection for the robustness
+// suites (ISSUE 6 "failpoint fault-injection layer").
+//
+// A failpoint is a named site compiled into a production code path (server
+// frame I/O, artifact chunk reads, executor dispatch, component scans).
+// Unarmed sites cost one relaxed atomic load — a global armed counter — so
+// the hooks stay in release builds. Arming happens either through the
+// AT_FAILPOINTS environment variable at process start or through the
+// runtime API (tests arm/clear failpoints mid-run to prove recovery).
+//
+// Spec grammar (environment variable or set_many()):
+//
+//   AT_FAILPOINTS="site=action[;site=action...]"
+//   action := delay:<ms>        sleep that many milliseconds, then proceed
+//           | error             fail the site (FailpointError / the site's
+//                               own structured error)
+//           | short_write       I/O sites only: truncate the write
+//   any action may append :x<N> — disarm automatically after N hits,
+//   e.g. "artifact.chunk=error:x3;server.scan=delay:20"
+//
+// Sites wired in (see README "Fault injection"):
+//   server.accept        server.read         server.write
+//   server.dispatch      server.scan         server.scan.c<C>
+//   server.synopsis      artifact.chunk      executor.dispatch
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace at::common::failpoint {
+
+/// Thrown by check_throw() when an armed `error` action fires. Layers with
+/// their own structured error (artifact loads -> ArtifactError) translate
+/// the action instead of letting this type escape.
+class FailpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class Action : std::uint8_t { kOff, kDelay, kError, kShortWrite };
+
+struct Decision {
+  Action action = Action::kOff;
+  double delay_ms = 0.0;
+};
+
+namespace detail {
+extern std::atomic<int> g_armed_count;
+}
+
+/// True when at least one failpoint is armed. The fast path every
+/// AT_FAILPOINT() guard takes; relaxed is enough (arming happens-before
+/// the traffic that should observe it in every test and in env init).
+inline bool any_armed() {
+  return detail::g_armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+/// Arms one site. Throws std::invalid_argument on a malformed spec.
+void set(const std::string& site, const std::string& spec);
+
+/// Arms every `site=action` pair of a ;-separated multi-spec (the
+/// AT_FAILPOINTS format). Returns the number of sites armed; throws
+/// std::invalid_argument on any malformed entry (nothing is armed then).
+std::size_t set_many(const std::string& multi_spec);
+
+void clear(const std::string& site);
+void clear_all();
+
+/// Total times `site` fired since it was last armed (0 when never armed).
+std::uint64_t hits(const std::string& site);
+
+/// Evaluates `site`: returns the armed action (performing the sleep of a
+/// kDelay inline before returning it), or kOff when unarmed or the x<N>
+/// budget is exhausted. Thread-safe.
+Decision check(const char* site);
+
+/// Convenience wrapper: sleeps on delay, throws FailpointError on error,
+/// returns true when the caller should short-write.
+bool check_throw(const char* site);
+
+}  // namespace at::common::failpoint
+
+/// Zero-cost-when-unarmed site guard: evaluates the site only when some
+/// failpoint is armed anywhere. Yields true when the site should
+/// short-write; throws FailpointError on an armed error action.
+#define AT_FAILPOINT(site)                       \
+  (::at::common::failpoint::any_armed()          \
+       ? ::at::common::failpoint::check_throw(site) \
+       : false)

@@ -1,0 +1,216 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+namespace at::server {
+
+namespace {
+
+void set_err(std::string* err, const std::string& what) {
+  if (err != nullptr) *err = what;
+}
+
+}  // namespace
+
+Client::Client(ClientConfig config)
+    : config_(std::move(config)), jitter_(config_.jitter_seed) {}
+
+Client::~Client() { close(); }
+
+bool Client::connect(std::string* err) {
+  if (fd_ >= 0) return true;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_err(err, "socket() failed");
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    set_err(err, "bad host " + config_.host);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    set_err(err, "connect to " + config_.host + ":" +
+                     std::to_string(config_.port) + " failed: " +
+                     std::strerror(errno));
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  fd_ = fd;
+  frames_ = protocol::FrameBuffer{};
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::recv_some(std::string* err) {
+  pollfd pfd{fd_, POLLIN, 0};
+  const int pr = ::poll(&pfd, 1, static_cast<int>(config_.io_timeout_ms));
+  if (pr == 0) {
+    set_err(err, "timeout waiting for response");
+    return false;
+  }
+  if (pr < 0) {
+    set_err(err, std::string("poll failed: ") + std::strerror(errno));
+    return false;
+  }
+  std::uint8_t buf[16 * 1024];
+  const ssize_t r = ::recv(fd_, buf, sizeof buf, 0);
+  if (r <= 0) {
+    set_err(err, r == 0 ? "connection closed by server"
+                        : std::string("recv failed: ") + std::strerror(errno));
+    return false;
+  }
+  frames_.append(buf, static_cast<std::size_t>(r));
+  return true;
+}
+
+bool Client::attempt(const protocol::Request& req,
+                     const std::vector<std::uint8_t>& frame,
+                     protocol::Response* resp, std::string* err) {
+  if (!connect(err)) return false;
+  const std::uint8_t* p = frame.data();
+  std::size_t n = frame.size();
+  while (n > 0) {
+    const ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      set_err(err, std::string("send failed: ") + std::strerror(errno));
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  std::vector<std::uint8_t> payload;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double, std::milli>(
+                            config_.io_timeout_ms);
+  for (;;) {
+    const auto pull = frames_.pull(&payload);
+    if (pull == protocol::FrameBuffer::Pull::kBad) {
+      set_err(err, "malformed frame from server");
+      return false;
+    }
+    if (pull == protocol::FrameBuffer::Pull::kFrame) {
+      resp->op = req.op;  // the wire does not repeat the op
+      std::string derr;
+      if (!protocol::decode_response(payload.data(), payload.size(), resp,
+                                     &derr)) {
+        set_err(err, "undecodable response: " + derr);
+        return false;
+      }
+      if (resp->request_id != req.request_id) continue;  // stale frame
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      set_err(err, "timeout waiting for response");
+      return false;
+    }
+    if (!recv_some(err)) return false;
+  }
+}
+
+void Client::backoff(std::size_t attempt_idx, std::uint32_t retry_after_ms) {
+  // Equal jitter over the exponential term — or over the server's
+  // retry-after hint, which knows the queue it is asking us to outwait.
+  double base = retry_after_ms > 0
+                    ? static_cast<double>(retry_after_ms)
+                    : config_.backoff_base_ms *
+                          std::pow(2.0, static_cast<double>(attempt_idx));
+  base = std::min(base, config_.backoff_cap_ms);
+  const double sleep_ms = base * jitter_.uniform(0.5, 1.0);
+  stats_.backoff_total_ms += sleep_ms;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(sleep_ms));
+}
+
+bool Client::call(const protocol::Request& req_in, protocol::Response* resp,
+                  std::string* err) {
+  protocol::Request req = req_in;
+  ++stats_.calls;
+  std::string last_err = "no attempt made";
+  for (std::size_t a = 0; a <= config_.max_retries; ++a) {
+    if (a > 0) ++stats_.retries;
+    req.request_id = next_request_id_++;  // fresh id per attempt
+    const auto frame = protocol::encode_request(req);
+    std::string aerr;
+    if (attempt(req, frame, resp, &aerr)) {
+      if (resp->status != protocol::Status::kShed) return true;
+      ++stats_.sheds_seen;
+      last_err = "shed by server";
+      backoff(a, resp->retry_after_ms);
+      continue;
+    }
+    ++stats_.transport_errors;
+    last_err = aerr;
+    close();  // the stream may be mid-frame; reconnect clean
+    ++stats_.reconnects;
+    backoff(a, 0);
+  }
+  set_err(err, "retries exhausted: " + last_err);
+  return false;
+}
+
+bool Client::search(const std::vector<std::uint32_t>& terms,
+                    std::uint32_t deadline_ms, std::uint32_t k,
+                    protocol::Response* resp, std::string* err) {
+  protocol::Request req;
+  req.op = protocol::Op::kSearch;
+  req.deadline_ms = deadline_ms;
+  req.k = k;
+  req.terms = terms;
+  return call(req, resp, err);
+}
+
+bool Client::recommend(
+    std::uint32_t target_item,
+    const std::vector<std::pair<std::uint32_t, double>>& ratings,
+    std::uint32_t deadline_ms, protocol::Response* resp, std::string* err) {
+  protocol::Request req;
+  req.op = protocol::Op::kRecommend;
+  req.deadline_ms = deadline_ms;
+  req.target_item = target_item;
+  req.ratings = ratings;
+  return call(req, resp, err);
+}
+
+bool Client::ping(std::string* err) {
+  protocol::Request req;
+  req.op = protocol::Op::kPing;
+  protocol::Response resp;
+  return call(req, &resp, err) && resp.status == protocol::Status::kOk;
+}
+
+bool Client::stats(std::string* json, std::string* err) {
+  protocol::Request req;
+  req.op = protocol::Op::kStats;
+  protocol::Response resp;
+  if (!call(req, &resp, err) || resp.status != protocol::Status::kOk)
+    return false;
+  if (json != nullptr) *json = resp.text;
+  return true;
+}
+
+}  // namespace at::server

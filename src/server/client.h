@@ -1,0 +1,101 @@
+// Client library for the serving front end: one blocking connection,
+// synchronous request/response, and the retry discipline the server's
+// admission control expects from well-behaved callers — per-call timeout,
+// jittered exponential backoff on transport errors, and honoring a shed
+// response's retry_after_ms hint (clamped into the backoff envelope, so a
+// misbehaving server cannot park the client forever).
+//
+// Deterministic by construction: the jitter stream is seeded from the
+// config, so replay runs and tests reproduce bit-identical schedules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "server/protocol.h"
+
+namespace at::server {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Socket-level timeout per send/recv, and the cap on waiting for one
+  /// response.
+  double io_timeout_ms = 2000.0;
+  /// Retry budget per call() across transport errors and sheds; 0 = one
+  /// attempt, no retries.
+  std::size_t max_retries = 4;
+  /// Backoff for attempt n waits uniform(0.5, 1.0) * min(base * 2^n, cap)
+  /// ("equal jitter"); a shed's retry_after_ms replaces the exponential
+  /// term, still jittered and still capped.
+  double backoff_base_ms = 5.0;
+  double backoff_cap_ms = 500.0;
+  std::uint64_t jitter_seed = 0x5eedc11e;
+};
+
+struct ClientStats {
+  std::uint64_t calls = 0;
+  std::uint64_t retries = 0;           // re-attempts of any cause
+  std::uint64_t transport_errors = 0;  // reset / timeout / short frame
+  std::uint64_t sheds_seen = 0;        // kShed responses (each retried)
+  std::uint64_t reconnects = 0;
+  double backoff_total_ms = 0.0;       // time spent sleeping in backoff
+};
+
+class Client {
+ public:
+  explicit Client(ClientConfig config);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects eagerly; call() also connects lazily, so this exists mainly
+  /// to fail fast. Returns false (with err) when the server is unreachable.
+  bool connect(std::string* err = nullptr);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One synchronous RPC. Assigns the request id, sends, and waits for the
+  /// response. Transport errors reconnect and retry with jittered
+  /// exponential backoff; kShed responses back off by the server's
+  /// retry_after_ms hint and retry. Returns true when a non-shed response
+  /// was received (resp->status may still be kError / kBadRequest — those
+  /// are answers, not transport failures). Returns false with `err` when
+  /// the retry budget is exhausted.
+  bool call(const protocol::Request& req, protocol::Response* resp,
+            std::string* err);
+
+  /// Conveniences over call().
+  bool search(const std::vector<std::uint32_t>& terms,
+              std::uint32_t deadline_ms, std::uint32_t k,
+              protocol::Response* resp, std::string* err);
+  bool recommend(std::uint32_t target_item,
+                 const std::vector<std::pair<std::uint32_t, double>>& ratings,
+                 std::uint32_t deadline_ms, protocol::Response* resp,
+                 std::string* err);
+  bool ping(std::string* err);
+  /// Fetches the server's stats op; returns the JSON body.
+  bool stats(std::string* json, std::string* err);
+
+  const ClientStats& stats_counters() const { return stats_; }
+
+ private:
+  /// One attempt: send the frame, read frames until the matching response.
+  bool attempt(const protocol::Request& req,
+               const std::vector<std::uint8_t>& frame,
+               protocol::Response* resp, std::string* err);
+  bool recv_some(std::string* err);
+  void backoff(std::size_t attempt_idx, std::uint32_t retry_after_ms);
+
+  ClientConfig config_;
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+  protocol::FrameBuffer frames_;
+  common::Rng jitter_;
+  ClientStats stats_;
+};
+
+}  // namespace at::server

@@ -1,0 +1,274 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+namespace at::server::protocol {
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kShed:
+      return "shed";
+    case Status::kError:
+      return "error";
+    case Status::kBadRequest:
+      return "bad_request";
+  }
+  return "?";
+}
+
+const char* to_string(Tier t) {
+  switch (t) {
+    case Tier::kFull:
+      return "full";
+    case Tier::kSynopsis:
+      return "synopsis";
+    case Tier::kCached:
+      return "cached";
+    case Tier::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Append-only little-endian writer over a byte vector.
+struct Put {
+  std::vector<std::uint8_t>& out;
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    out.insert(out.end(), b, b + n);
+  }
+  void u8(std::uint8_t v) { out.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, sizeof v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+};
+
+/// Bounds-checked non-throwing reader: every get reports failure instead
+/// of reading past the payload, so fuzzed bytes cannot crash the decoder.
+struct Cur {
+  const std::uint8_t* p;
+  const std::uint8_t* end;
+  bool fail = false;
+
+  template <typename T>
+  T fixed() {
+    if (fail || static_cast<std::size_t>(end - p) < sizeof(T)) {
+      fail = true;
+      return T{};
+    }
+    T v;
+    std::memcpy(&v, p, sizeof v);
+    p += sizeof v;
+    return v;
+  }
+  std::uint8_t u8() { return fixed<std::uint8_t>(); }
+  std::uint16_t u16() { return fixed<std::uint16_t>(); }
+  std::uint32_t u32() { return fixed<std::uint32_t>(); }
+  std::uint64_t u64() { return fixed<std::uint64_t>(); }
+  double f64() { return fixed<double>(); }
+  std::size_t remaining() const { return static_cast<std::size_t>(end - p); }
+};
+
+bool fail(std::string* err, const char* what) {
+  if (err != nullptr) *err = what;
+  return false;
+}
+
+void finish_frame(std::vector<std::uint8_t>& frame) {
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(frame.size() - sizeof(std::uint32_t));
+  std::memcpy(frame.data(), &len, sizeof len);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(const Request& req) {
+  std::vector<std::uint8_t> frame(sizeof(std::uint32_t), 0);
+  Put w{frame};
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(req.op));
+  w.u16(0);
+  w.u64(req.request_id);
+  w.u32(req.deadline_ms);
+  switch (req.op) {
+    case Op::kSearch:
+      w.u32(req.k);
+      w.u32(static_cast<std::uint32_t>(req.terms.size()));
+      for (auto t : req.terms) w.u32(t);
+      break;
+    case Op::kRecommend:
+      w.u32(req.target_item);
+      w.u32(static_cast<std::uint32_t>(req.ratings.size()));
+      for (const auto& [item, rating] : req.ratings) {
+        w.u32(item);
+        w.f64(rating);
+      }
+      break;
+    case Op::kStats:
+    case Op::kPing:
+      break;
+  }
+  finish_frame(frame);
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_response(const Response& resp) {
+  std::vector<std::uint8_t> frame(sizeof(std::uint32_t), 0);
+  Put w{frame};
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(resp.status));
+  w.u8(static_cast<std::uint8_t>(resp.tier));
+  w.u8(0);
+  w.u64(resp.request_id);
+  w.f64(resp.est_loss_pct);
+  w.f64(resp.server_ms);
+  w.u32(resp.retry_after_ms);
+  if (resp.status == Status::kOk && resp.op == Op::kSearch) {
+    w.u32(static_cast<std::uint32_t>(resp.docs.size()));
+    for (const auto& d : resp.docs) {
+      w.f64(d.score);
+      w.u64(d.doc);
+    }
+  } else if (resp.status == Status::kOk && resp.op == Op::kRecommend) {
+    w.f64(resp.prediction);
+  } else if ((resp.status == Status::kOk && resp.op == Op::kStats) ||
+             resp.status == Status::kError ||
+             resp.status == Status::kBadRequest) {
+    w.u32(static_cast<std::uint32_t>(resp.text.size()));
+    w.raw(resp.text.data(), resp.text.size());
+  }
+  // shed / ok-ping: header only.
+  finish_frame(frame);
+  return frame;
+}
+
+bool decode_request(const std::uint8_t* p, std::size_t n, Request* out,
+                    std::string* err) {
+  Cur c{p, p + n};
+  const std::uint8_t version = c.u8();
+  const std::uint8_t op = c.u8();
+  const std::uint16_t flags = c.u16();
+  out->request_id = c.u64();
+  out->deadline_ms = c.u32();
+  if (c.fail) return fail(err, "truncated request header");
+  if (version != kVersion) return fail(err, "unsupported protocol version");
+  if (flags != 0) return fail(err, "nonzero reserved flags");
+  switch (op) {
+    case static_cast<std::uint8_t>(Op::kSearch): {
+      out->op = Op::kSearch;
+      out->k = c.u32();
+      const std::uint32_t nterms = c.u32();
+      if (c.fail) return fail(err, "truncated search body");
+      if (nterms > kMaxTerms) return fail(err, "too many query terms");
+      if (c.remaining() < nterms * sizeof(std::uint32_t))
+        return fail(err, "term list overruns frame");
+      out->terms.resize(nterms);
+      for (auto& t : out->terms) t = c.u32();
+      break;
+    }
+    case static_cast<std::uint8_t>(Op::kRecommend): {
+      out->op = Op::kRecommend;
+      out->target_item = c.u32();
+      const std::uint32_t nr = c.u32();
+      if (c.fail) return fail(err, "truncated recommend body");
+      if (nr > kMaxRatings) return fail(err, "too many ratings");
+      if (c.remaining() < nr * (sizeof(std::uint32_t) + sizeof(double)))
+        return fail(err, "rating list overruns frame");
+      out->ratings.resize(nr);
+      for (auto& [item, rating] : out->ratings) {
+        item = c.u32();
+        rating = c.f64();
+      }
+      break;
+    }
+    case static_cast<std::uint8_t>(Op::kStats):
+      out->op = Op::kStats;
+      break;
+    case static_cast<std::uint8_t>(Op::kPing):
+      out->op = Op::kPing;
+      break;
+    default:
+      return fail(err, "unknown op");
+  }
+  if (c.fail) return fail(err, "truncated request body");
+  if (c.remaining() != 0) return fail(err, "trailing bytes in request");
+  return true;
+}
+
+bool decode_response(const std::uint8_t* p, std::size_t n, Response* out,
+                     std::string* err) {
+  Cur c{p, p + n};
+  const std::uint8_t version = c.u8();
+  const std::uint8_t status = c.u8();
+  const std::uint8_t tier = c.u8();
+  (void)c.u8();  // reserved
+  out->request_id = c.u64();
+  out->est_loss_pct = c.f64();
+  out->server_ms = c.f64();
+  out->retry_after_ms = c.u32();
+  if (c.fail) return fail(err, "truncated response header");
+  if (version != kVersion) return fail(err, "unsupported protocol version");
+  if (status > static_cast<std::uint8_t>(Status::kBadRequest))
+    return fail(err, "unknown status");
+  if (tier > static_cast<std::uint8_t>(Tier::kNone))
+    return fail(err, "unknown tier");
+  out->status = static_cast<Status>(status);
+  out->tier = static_cast<Tier>(tier);
+  // Body layout depends on what the caller asked for; the client knows its
+  // own op. Try the layouts that are self-describing.
+  if (out->status == Status::kError || out->status == Status::kBadRequest ||
+      (out->status == Status::kOk && c.remaining() > 0 &&
+       out->op == Op::kStats)) {
+    const std::uint32_t len = c.u32();
+    if (c.fail || len > c.remaining())
+      return fail(err, "text overruns frame");
+    out->text.assign(reinterpret_cast<const char*>(c.p), len);
+    c.p += len;
+  } else if (out->status == Status::kOk && out->op == Op::kSearch) {
+    const std::uint32_t ndocs = c.u32();
+    if (c.fail) return fail(err, "truncated doc list");
+    if (ndocs > kMaxDocs) return fail(err, "too many docs");
+    if (c.remaining() < ndocs * (sizeof(double) + sizeof(std::uint64_t)))
+      return fail(err, "doc list overruns frame");
+    out->docs.resize(ndocs);
+    for (auto& d : out->docs) {
+      d.score = c.f64();
+      d.doc = c.u64();
+    }
+  } else if (out->status == Status::kOk && out->op == Op::kRecommend) {
+    out->prediction = c.f64();
+  }
+  if (c.fail) return fail(err, "truncated response body");
+  if (c.remaining() != 0) return fail(err, "trailing bytes in response");
+  return true;
+}
+
+FrameBuffer::Pull FrameBuffer::pull(std::vector<std::uint8_t>* payload) {
+  if (buf_.size() - pos_ < sizeof(std::uint32_t)) {
+    if (pos_ > 0) {
+      buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+      pos_ = 0;
+    }
+    return Pull::kNeedMore;
+  }
+  std::uint32_t len;
+  std::memcpy(&len, buf_.data() + pos_, sizeof len);
+  if (len > kMaxFrameBytes) return Pull::kBad;  // forged length: give up
+  if (buf_.size() - pos_ - sizeof len < len) return Pull::kNeedMore;
+  const std::uint8_t* body = buf_.data() + pos_ + sizeof len;
+  payload->assign(body, body + len);
+  pos_ += sizeof len + len;
+  // Compact once the consumed prefix dominates, keeping append() amortized.
+  if (pos_ > (std::size_t{1} << 16) && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  return Pull::kFrame;
+}
+
+}  // namespace at::server::protocol

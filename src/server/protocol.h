@@ -1,0 +1,145 @@
+// Binary length-prefixed request/response protocol of the serving front
+// end (ISSUE 6 tentpole; shaped after compact control protocols like
+// konCePCja's IPC: fixed framing, versioned header, request ids, a small
+// op set — everything a headless scripted driver needs).
+//
+// Framing (all integers little-endian, as everywhere in this repo):
+//
+//   frame    u32 payload_len | payload[payload_len]
+//
+// Request payload:
+//
+//   u8 version (=1) | u8 op | u16 flags (=0) | u64 request_id
+//   u32 deadline_ms | op body
+//
+//   op body  search:    u32 k | u32 nterms | u32 term[nterms]
+//            recommend: u32 target_item | u32 n | (u32 item, f64 rating)[n]
+//            stats/ping: empty
+//
+// Response payload:
+//
+//   u8 version (=1) | u8 status | u8 tier | u8 reserved (=0)
+//   u64 request_id | f64 est_loss_pct | f64 server_ms | u32 retry_after_ms
+//   | body
+//
+//   body     search ok:    u32 ndocs | (f64 score, u64 doc)[ndocs]
+//            recommend ok: f64 prediction
+//            stats ok:     u32 len | bytes (JSON)
+//            error:        u32 len | bytes (message)
+//            shed:         empty
+//
+// Every decoder is bounds-checked and returns false on malformed input —
+// random bytes, truncated headers, forged lengths and oversized frames
+// must produce a clean protocol error, never a crash (fuzzed under
+// ASan/UBSan in tests/server_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "services/search/topk.h"
+
+namespace at::server::protocol {
+
+inline constexpr std::uint8_t kVersion = 1;
+/// Frames above this are rejected at the length prefix, before any
+/// allocation — the cap on what a malformed or hostile peer can make the
+/// server buffer.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+inline constexpr std::uint32_t kMaxTerms = 4096;
+inline constexpr std::uint32_t kMaxRatings = 1u << 16;
+inline constexpr std::uint32_t kMaxDocs = 1u << 16;
+
+enum class Op : std::uint8_t {
+  kSearch = 1,
+  kRecommend = 2,
+  kStats = 3,
+  kPing = 4,
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,          // answered (tier says at what fidelity)
+  kShed = 1,        // admission control refused; honor retry_after_ms
+  kError = 2,       // server-side failure; message in `text`
+  kBadRequest = 3,  // malformed or unsupported request; message in `text`
+};
+
+/// Degradation-ladder rung an answer was served from, in decreasing cost
+/// and fidelity. Recorded in every response together with est_loss_pct so
+/// a degraded answer is never unmarked.
+enum class Tier : std::uint8_t {
+  kFull = 0,      // full block-decode scan (est_loss_pct > 0 when some
+                  // components were unavailable and the merge was partial)
+  kSynopsis = 1,  // synopsis-only (stage-1) answer
+  kCached = 2,    // served from the server's answer cache
+  kNone = 3,      // no answer produced (shed / error / ping / stats)
+};
+
+const char* to_string(Status s);
+const char* to_string(Tier t);
+
+struct Request {
+  std::uint64_t request_id = 0;
+  Op op = Op::kPing;
+  std::uint32_t deadline_ms = 0;  // 0 = server default
+  // search
+  std::uint32_t k = 10;
+  std::vector<std::uint32_t> terms;
+  // recommend
+  std::uint32_t target_item = 0;
+  std::vector<std::pair<std::uint32_t, double>> ratings;
+};
+
+struct Response {
+  std::uint64_t request_id = 0;
+  Status status = Status::kOk;
+  Tier tier = Tier::kNone;
+  double est_loss_pct = 0.0;
+  double server_ms = 0.0;
+  std::uint32_t retry_after_ms = 0;
+  // search
+  std::vector<search::ScoredDoc> docs;
+  // recommend
+  double prediction = 0.0;
+  // stats JSON / error message
+  std::string text;
+  Op op = Op::kPing;  // which body layout docs/prediction/text follows
+};
+
+/// Encodes a complete frame (length prefix included).
+std::vector<std::uint8_t> encode_request(const Request& req);
+std::vector<std::uint8_t> encode_response(const Response& resp);
+
+/// Decodes one frame payload (the bytes after the length prefix). On any
+/// malformed byte returns false and sets `err`; `out` may be partially
+/// filled then and must be discarded.
+bool decode_request(const std::uint8_t* p, std::size_t n, Request* out,
+                    std::string* err);
+/// The response body layout is chosen by the request's op, which the wire
+/// does not repeat — set `out->op` to the op of the request this response
+/// answers before decoding (the client library does this for you).
+bool decode_response(const std::uint8_t* p, std::size_t n, Response* out,
+                     std::string* err);
+
+/// Reassembles frames from an arbitrary-chunked byte stream (socket
+/// reads). append() what arrives, then pull() until it stops returning
+/// kFrame. kBad means the stream is unrecoverable (forged length): close
+/// the connection.
+class FrameBuffer {
+ public:
+  enum class Pull { kFrame, kNeedMore, kBad };
+
+  void append(const std::uint8_t* p, std::size_t n) {
+    buf_.insert(buf_.end(), p, p + n);
+  }
+  Pull pull(std::vector<std::uint8_t>* payload);
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix, compacted lazily
+};
+
+}  // namespace at::server::protocol

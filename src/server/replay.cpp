@@ -1,0 +1,137 @@
+#include "server/replay.h"
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace at::server {
+
+void ReplayReport::merge(const ReplayReport& other) {
+  requests += other.requests;
+  ok_full += other.ok_full;
+  ok_synopsis += other.ok_synopsis;
+  ok_cached += other.ok_cached;
+  shed_responses += other.shed_responses;
+  server_errors += other.server_errors;
+  transport_errors += other.transport_errors;
+  retries += other.retries;
+  failures += other.failures;
+  lat_full_ms.merge(other.lat_full_ms);
+  lat_synopsis_ms.merge(other.lat_synopsis_ms);
+  lat_cached_ms.merge(other.lat_cached_ms);
+  loss_full.merge(other.loss_full);
+  loss_synopsis.merge(other.loss_synopsis);
+  loss_cached.merge(other.loss_cached);
+}
+
+std::string ReplayReport::to_json() const {
+  std::ostringstream os;
+  const auto tier = [&os](const char* name,
+                          const common::PercentileTracker& lat,
+                          const common::StreamingStats& loss,
+                          std::uint64_t count) {
+    os << "\"" << name << "\": {\"count\": " << count
+       << ", \"p50_ms\": " << lat.median() << ", \"p99_ms\": " << lat.p99()
+       << ", \"mean_loss_pct\": " << loss.mean() << "}";
+  };
+  os << "{";
+  tier("full", lat_full_ms, loss_full, ok_full);
+  os << ", ";
+  tier("synopsis", lat_synopsis_ms, loss_synopsis, ok_synopsis);
+  os << ", ";
+  tier("cached", lat_cached_ms, loss_cached, ok_cached);
+  os << ", \"requests\": " << requests
+     << ", \"shed_responses\": " << shed_responses
+     << ", \"shed_rate\": " << shed_rate()
+     << ", \"server_errors\": " << server_errors
+     << ", \"transport_errors\": " << transport_errors
+     << ", \"retries\": " << retries << ", \"failures\": " << failures
+     << "}";
+  return os.str();
+}
+
+ReplayReport run_replay(const ReplayConfig& config) {
+  const workload::CorpusGen gen(config.corpus);
+  ReplayReport total;
+
+  auto client_thread = [&](std::size_t id, ReplayReport* out) {
+    ClientConfig ccfg = config.client;
+    ccfg.host = config.host;
+    ccfg.port = config.port;
+    ccfg.jitter_seed = config.seed ^ (0x9e3779b97f4a7c15ULL * (id + 1));
+    Client client(ccfg);
+    common::Rng rng(config.seed + id * 1000003);
+
+    for (std::size_t i = 0; i < config.requests_per_client; ++i) {
+      protocol::Response resp;
+      std::string err;
+      bool delivered;
+      common::Stopwatch sw;
+      if (rng.uniform() < config.recommend_fraction) {
+        std::vector<std::pair<std::uint32_t, double>> ratings;
+        const std::size_t n = 3 + rng.uniform_index(5);
+        for (std::size_t r = 0; r < n; ++r)
+          ratings.emplace_back(
+              static_cast<std::uint32_t>(rng.uniform_index(256)),
+              1.0 + rng.uniform(0.0, 4.0));
+        delivered = client.recommend(
+            static_cast<std::uint32_t>(rng.uniform_index(256)), ratings,
+            config.deadline_ms, &resp, &err);
+      } else {
+        const auto query = gen.sample_query(rng);
+        delivered = client.search(query.terms, config.deadline_ms, config.k,
+                                  &resp, &err);
+      }
+      const double ms = sw.elapsed_ms();
+      ++out->requests;
+      if (!delivered) {
+        ++out->failures;
+        continue;
+      }
+      switch (resp.status) {
+        case protocol::Status::kOk:
+          switch (resp.tier) {
+            case protocol::Tier::kFull:
+              ++out->ok_full;
+              out->lat_full_ms.add(ms);
+              out->loss_full.add(resp.est_loss_pct);
+              break;
+            case protocol::Tier::kSynopsis:
+              ++out->ok_synopsis;
+              out->lat_synopsis_ms.add(ms);
+              out->loss_synopsis.add(resp.est_loss_pct);
+              break;
+            case protocol::Tier::kCached:
+              ++out->ok_cached;
+              out->lat_cached_ms.add(ms);
+              out->loss_cached.add(resp.est_loss_pct);
+              break;
+            case protocol::Tier::kNone:
+              break;
+          }
+          break;
+        case protocol::Status::kShed:
+          break;  // call() retries sheds; counted below from client stats
+        case protocol::Status::kError:
+        case protocol::Status::kBadRequest:
+          ++out->server_errors;
+          break;
+      }
+    }
+    out->shed_responses += client.stats_counters().sheds_seen;
+    out->transport_errors += client.stats_counters().transport_errors;
+    out->retries += client.stats_counters().retries;
+  };
+
+  std::vector<std::thread> threads;
+  std::vector<ReplayReport> partials(config.num_clients);
+  for (std::size_t id = 0; id < config.num_clients; ++id)
+    threads.emplace_back(client_thread, id, &partials[id]);
+  for (auto& t : threads) t.join();
+  for (const auto& p : partials) total.merge(p);
+  return total;
+}
+
+}  // namespace at::server

@@ -1,0 +1,66 @@
+// Scripted replay driver: drives a running server with a deterministic
+// topic-focused query stream from N concurrent clients and aggregates the
+// client-observed outcome — per-tier latency percentiles, shed rate,
+// transport errors. Headless by design: the CI smoke job and the serving
+// benchmark both run it against a freshly started server (optionally with
+// failpoints armed) and assert on / emit the report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+#include "server/client.h"
+#include "workload/corpus.h"
+
+namespace at::server {
+
+struct ReplayConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t num_clients = 4;
+  std::size_t requests_per_client = 100;
+  std::uint32_t deadline_ms = 100;
+  std::uint32_t k = 10;
+  /// Fraction of requests sent as recommend ops (rest are searches).
+  double recommend_fraction = 0.0;
+  std::uint64_t seed = 7;
+  /// Query distribution; must match the corpus the server was built from
+  /// for the workload to be meaningful (term ids outside the vocabulary
+  /// are valid protocol-wise but score nothing).
+  workload::CorpusConfig corpus;
+  /// Per-client template; host/port are overwritten from above and the
+  /// jitter seed is forked per client.
+  ClientConfig client;
+};
+
+struct ReplayReport {
+  std::uint64_t requests = 0;          // calls attempted
+  std::uint64_t ok_full = 0;
+  std::uint64_t ok_synopsis = 0;
+  std::uint64_t ok_cached = 0;
+  std::uint64_t shed_responses = 0;    // kShed frames seen (pre-retry)
+  std::uint64_t server_errors = 0;     // kError / kBadRequest answers
+  std::uint64_t transport_errors = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t failures = 0;          // calls that exhausted retries
+  common::PercentileTracker lat_full_ms, lat_synopsis_ms, lat_cached_ms;
+  common::StreamingStats loss_full, loss_synopsis, loss_cached;
+
+  void merge(const ReplayReport& other);
+  double shed_rate() const {
+    return requests ? static_cast<double>(shed_responses) /
+                          static_cast<double>(requests)
+                    : 0.0;
+  }
+  /// Per-tier {count, p50_ms, p99_ms, mean_loss_pct} + shed/error counts —
+  /// the BENCH_serving.json payload.
+  std::string to_json() const;
+};
+
+/// Runs the replay (blocking): num_clients threads, each its own
+/// connection and deterministic query stream. The server must already be
+/// listening.
+ReplayReport run_replay(const ReplayConfig& config);
+
+}  // namespace at::server

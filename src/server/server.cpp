@@ -1,0 +1,715 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace at::server {
+
+using protocol::Op;
+using protocol::Request;
+using protocol::Response;
+using protocol::Status;
+using protocol::Tier;
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double ms_since(SteadyClock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() - t0)
+      .count();
+}
+
+/// Full write with EINTR/partial handling; MSG_NOSIGNAL so a reset peer
+/// yields EPIPE instead of killing the process with SIGPIPE. Returns
+/// false on any error (caller closes the connection).
+bool write_all(int fd, const std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Queues and jobs
+// ---------------------------------------------------------------------------
+
+struct Server::Job {
+  Request req;
+  SteadyClock::time_point enqueued;
+  std::promise<Response> done;
+};
+
+struct Server::GroupQueue {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Job> jobs;
+  bool open = true;  // false once the worker must drain and exit
+};
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+Server::Server(search::SearchService& search, reco::CfService* reco,
+               common::ShardedExecutor& exec, ServerConfig config)
+    : search_(search),
+      reco_(reco),
+      exec_(exec),
+      config_(std::move(config)),
+      synopsis_loss_pct_(config_.default_synopsis_loss_pct) {
+  cache_ = std::make_unique<search::QueryCache>(config_.cache_capacity,
+                                                config_.cache_max_bytes);
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.load()) return;
+  calibrate();
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("server: socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("server: bad host " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd_, 128) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("server: bind/listen failed on " + config_.host +
+                             ":" + std::to_string(config_.port));
+  }
+  socklen_t alen = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  port_ = ntohs(addr.sin_port);
+
+  stopping_.store(false);
+  const std::size_t groups = std::max<std::size_t>(1, exec_.num_groups());
+  queues_.clear();
+  for (std::size_t g = 0; g < groups; ++g)
+    queues_.push_back(std::make_unique<GroupQueue>());
+  for (std::size_t g = 0; g < groups; ++g)
+    workers_.emplace_back([this, g] { worker_loop(g); });
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+  AT_LOG_DEBUG << "server: listening on " << config_.host << ":" << port_;
+}
+
+void Server::stop() {
+  if (stopping_.exchange(true)) {
+    // Second caller: wait for the first to have finished is not needed —
+    // stop() only runs from the owner thread / destructor.
+    return;
+  }
+  if (!running_.load(std::memory_order_acquire) && listen_fd_ < 0) return;
+
+  // 1. Stop accepting: closing the listen fd unblocks accept().
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+
+  // 2. Drain the serving queues: workers finish every admitted request
+  //    (their promises must be fulfilled — connection threads are waiting
+  //    on them), then exit.
+  for (auto& q : queues_) {
+    std::lock_guard<std::mutex> lock(q->mutex);
+    q->open = false;
+    q->cv.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+
+  // 3. Now that no responses are pending, unblock and join the
+  //    connection threads.
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (auto& c : connections_) {
+      if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
+    }
+  }
+  for (;;) {
+    std::unique_ptr<Connection> victim;
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      if (connections_.empty()) break;
+      victim = std::move(connections_.back());
+      connections_.pop_back();
+    }
+    if (victim->thread.joinable()) victim->thread.join();
+    if (victim->fd >= 0) ::close(victim->fd);
+  }
+  queues_.clear();
+  running_.store(false, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Calibration and the cost model
+// ---------------------------------------------------------------------------
+
+void Server::calibrate() {
+  if (config_.calibration_queries.empty()) return;
+  common::StreamingStats full_ms, syn_ms, loss;
+  for (const auto& q : config_.calibration_queries) {
+    common::Stopwatch sw;
+    const auto exact = search_.exact_topk(q);
+    full_ms.add(sw.elapsed_ms());
+    sw.reset();
+    const auto syn = search_.synopsis_topk(q);
+    syn_ms.add(sw.elapsed_ms());
+    loss.add((1.0 - search::topk_overlap(syn, exact)) * 100.0);
+  }
+  est_full_ms_.store(full_ms.mean());
+  est_synopsis_ms_.store(syn_ms.mean());
+  synopsis_loss_pct_ = loss.mean();
+  AT_LOG_DEBUG << "server: calibrated full=" << full_ms.mean()
+               << "ms synopsis=" << syn_ms.mean()
+               << "ms synopsis_loss=" << synopsis_loss_pct_ << "%";
+}
+
+void Server::observe_cost(std::atomic<double>& est_ms, double observed_ms) {
+  // EWMA, alpha 0.2; lossy racy update is fine (it is an estimate).
+  const double prev = est_ms.load(std::memory_order_relaxed);
+  const double next =
+      prev <= 0.0 ? observed_ms : 0.8 * prev + 0.2 * observed_ms;
+  est_ms.store(next, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Accept / connection / frame plumbing
+// ---------------------------------------------------------------------------
+
+void Server::acceptor_loop() {
+  for (;;) {
+    AT_FAILPOINT("server.accept");
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen fd closed: shutting down
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    const std::uint64_t conn_id =
+        connections_seen_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    connections_.push_back(std::move(conn));
+    raw->thread =
+        std::thread([this, fd, conn_id] { connection_loop(fd, conn_id); });
+  }
+}
+
+void Server::connection_loop(int fd, std::uint64_t conn_id) {
+  protocol::FrameBuffer frames;
+  std::uint8_t buf[16 * 1024];
+  std::vector<std::uint8_t> payload;
+  bool alive = true;
+  while (alive) {
+    // Fault-injection site: an armed "server.read" error behaves like a
+    // peer reset observed mid-read — drop the connection, nothing else.
+    if (common::failpoint::any_armed()) {
+      if (common::failpoint::check("server.read").action ==
+          common::failpoint::Action::kError)
+        break;
+    }
+    const ssize_t r = ::recv(fd, buf, sizeof buf, 0);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;  // EOF or reset: client went away
+    frames.append(buf, static_cast<std::size_t>(r));
+
+    for (;;) {
+      const auto pull = frames.pull(&payload);
+      if (pull == protocol::FrameBuffer::Pull::kNeedMore) break;
+      if (pull == protocol::FrameBuffer::Pull::kBad) {
+        // Forged length prefix: the stream cannot be resynchronized.
+        bad_frames_.fetch_add(1, std::memory_order_relaxed);
+        alive = false;
+        break;
+      }
+      Request req;
+      std::string err;
+      Response resp;
+      if (!protocol::decode_request(payload.data(), payload.size(), &req,
+                                    &err)) {
+        // Malformed frame: answer with a structured bad-request (best
+        // effort — the request id may itself be garbage) and close; the
+        // next bytes could be mid-frame junk.
+        bad_frames_.fetch_add(1, std::memory_order_relaxed);
+        resp.request_id = req.request_id;
+        resp.op = req.op;
+        resp.status = Status::kBadRequest;
+        resp.text = err;
+        const auto frame = protocol::encode_response(resp);
+        write_all(fd, frame.data(), frame.size());
+        alive = false;
+        break;
+      }
+
+      if (req.op == Op::kPing) {
+        resp.request_id = req.request_id;
+        resp.op = req.op;
+        resp.status = Status::kOk;
+      } else if (req.op == Op::kStats) {
+        resp.request_id = req.request_id;
+        resp.op = req.op;
+        resp.status = Status::kOk;
+        resp.text = stats_json();
+      } else {
+        std::future<Response> done;
+        if (admit(std::move(req), &resp, &done)) {
+          try {
+            resp = done.get();
+          } catch (const std::exception& e) {
+            // Broken promise (shutdown race) or a worker-side throw that
+            // escaped serve(): structured error, connection stays up.
+            resp = Response{};
+            resp.status = Status::kError;
+            resp.text = e.what();
+          }
+        }
+      }
+
+      bool short_write = false;
+      try {
+        short_write = AT_FAILPOINT("server.write");
+      } catch (const common::failpoint::FailpointError&) {
+        alive = false;  // injected write error: drop the connection
+        break;
+      }
+      const auto frame = protocol::encode_response(resp);
+      const std::size_t n = short_write ? frame.size() / 2 : frame.size();
+      if (!write_all(fd, frame.data(), n) || short_write) {
+        // A short write leaves the peer mid-frame: the only safe
+        // continuation is closing (the client library treats it as a
+        // transport error and retries).
+        alive = false;
+        break;
+      }
+    }
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  // The fd itself is closed by stop() (which owns the Connection entry) or
+  // here when the server keeps running and the entry can be reaped lazily.
+  if (!stopping_.load()) {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (auto& c : connections_) {
+      if (c->fd == fd && c->thread.get_id() == std::this_thread::get_id()) {
+        ::close(fd);
+        c->fd = -1;
+        c->thread.detach();  // reaping our own entry; nothing joins it
+        break;
+      }
+    }
+    connections_.erase(
+        std::remove_if(connections_.begin(), connections_.end(),
+                       [](const std::unique_ptr<Connection>& c) {
+                         return c->fd < 0 && !c->thread.joinable();
+                       }),
+        connections_.end());
+  }
+  (void)conn_id;
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+bool Server::admit(Request req, Response* shed_resp,
+                   std::future<Response>* done) {
+  const double deadline_ms = req.deadline_ms > 0
+                                 ? static_cast<double>(req.deadline_ms)
+                                 : config_.default_deadline_ms;
+  shed_resp->request_id = req.request_id;
+  shed_resp->op = req.op;
+
+  const std::size_t g =
+      static_cast<std::size_t>(rr_next_group_.fetch_add(
+          1, std::memory_order_relaxed)) %
+      queues_.size();
+  GroupQueue& q = *queues_[g];
+  std::unique_lock<std::mutex> lock(q.mutex);
+  if (!q.open) {
+    shed_resp->status = Status::kError;
+    shed_resp->text = "server shutting down";
+    return false;
+  }
+  const std::size_t depth = q.jobs.size();
+  const double est_wait_ms =
+      static_cast<double>(depth) * std::max(est_full_ms_.load(), 0.1);
+  // Shed when the queue is at its bound, or when the deadline is already
+  // unmeetable at enqueue time (the queue ahead alone eats the budget —
+  // serving this request would waste work the deadline makes worthless).
+  if (depth >= config_.max_queue_per_group || est_wait_ms >= deadline_ms) {
+    std::uint32_t retry_ms = static_cast<std::uint32_t>(
+        std::clamp(est_wait_ms - deadline_ms + est_full_ms_.load(), 1.0,
+                   5000.0));
+    shed_resp->status = Status::kShed;
+    shed_resp->retry_after_ms = retry_ms;
+    lock.unlock();
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++shed_;
+    return false;
+  }
+  Job job;
+  job.req = std::move(req);
+  job.enqueued = SteadyClock::now();
+  *done = job.done.get_future();
+  q.jobs.push_back(std::move(job));
+  q.cv.notify_one();
+  lock.unlock();
+  std::lock_guard<std::mutex> slock(stats_mutex_);
+  ++accepted_;
+  return true;
+}
+
+void Server::worker_loop(std::size_t g) {
+  GroupQueue& q = *queues_[g];
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(q.mutex);
+      q.cv.wait(lock, [&] { return !q.jobs.empty() || !q.open; });
+      if (q.jobs.empty()) return;  // closed and drained
+      job = std::move(q.jobs.front());
+      q.jobs.pop_front();
+    }
+    Response resp;
+    try {
+      resp = serve(job);
+    } catch (const std::exception& e) {
+      // Nothing outside the ladder should throw, but a response is owed
+      // whatever happens.
+      resp = Response{};
+      resp.request_id = job.req.request_id;
+      resp.op = job.req.op;
+      resp.status = Status::kError;
+      resp.text = e.what();
+    }
+    record(resp);
+    job.done.set_value(std::move(resp));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The degradation ladder
+// ---------------------------------------------------------------------------
+
+Response Server::serve(const Job& job) {
+  const double deadline_ms =
+      job.req.deadline_ms > 0 ? static_cast<double>(job.req.deadline_ms)
+                              : config_.default_deadline_ms;
+  Response resp;
+  // Fault-injection site: dispatch-path delay (scheduler hiccup) or error.
+  try {
+    AT_FAILPOINT("server.dispatch");
+    const double remaining = deadline_ms - ms_since(job.enqueued);
+    std::shared_lock<std::shared_mutex> guard(state_mutex_);
+    if (job.req.op == Op::kSearch) {
+      resp = serve_search(job.req, remaining);
+    } else {
+      resp = serve_recommend(job.req, remaining);
+    }
+  } catch (const std::exception& e) {
+    resp = Response{};
+    resp.status = Status::kError;
+    resp.text = e.what();
+  }
+  resp.request_id = job.req.request_id;
+  resp.op = job.req.op;
+  resp.server_ms = ms_since(job.enqueued);  // queue wait + service time
+  return resp;
+}
+
+Response Server::serve_search(const Request& req, double remaining_ms) {
+  Response resp;
+  resp.op = Op::kSearch;
+  const std::uint64_t epoch = data_epoch_.load(std::memory_order_acquire);
+  const double safety = config_.ladder_safety;
+  // The service's k is fixed at construction; a client asking for fewer
+  // docs gets the answer's prefix (the merge order is score desc, doc asc).
+  const auto clip = [&req](std::vector<search::ScoredDoc>& docs) {
+    if (req.k > 0 && docs.size() > req.k) docs.resize(req.k);
+  };
+
+  // Cache probe: one lookup serves both the fresh fast path and (further
+  // down) the stale degraded rung.
+  std::vector<search::ScoredDoc> cached;
+  search::ResultMeta cached_meta;
+  const bool cache_hit = cache_->lookup(req.terms, &cached, &cached_meta);
+  if (cache_hit && cached_meta.epoch == epoch) {
+    resp.status = Status::kOk;
+    resp.tier = Tier::kCached;
+    resp.est_loss_pct = cached_meta.loss_pct;
+    resp.docs = cached;
+    clip(resp.docs);
+    return resp;
+  }
+
+  // Rung 1: full block-decode scan, fault-tolerant per component.
+  if (remaining_ms >= est_full_ms_.load() * safety) {
+    try {
+      common::Stopwatch sw;
+      std::size_t ok = 0;
+      auto docs =
+          search_.exact_topk_partial(search::SearchRequest{req.terms}, &ok);
+      observe_cost(est_full_ms_, sw.elapsed_ms());
+      const std::size_t total = search_.num_components();
+      if (ok > 0) {
+        resp.status = Status::kOk;
+        resp.tier = Tier::kFull;
+        resp.est_loss_pct =
+            total > 0 ? 100.0 * static_cast<double>(total - ok) /
+                            static_cast<double>(total)
+                      : 0.0;
+        if (ok == total) {
+          cache_->insert(req.terms, docs, search::ResultMeta{0.0, epoch});
+        }
+        resp.docs = std::move(docs);
+        clip(resp.docs);
+        return resp;
+      }
+      // ok == 0: every component failed; fall through the ladder.
+    } catch (...) {
+      // Fan-out itself failed (executor fault): degrade, don't die.
+    }
+  }
+
+  // Rung 2: synopsis-only answer.
+  if (remaining_ms >= 0.0 &&
+      remaining_ms >= est_synopsis_ms_.load() * safety) {
+    try {
+      AT_FAILPOINT("server.synopsis");
+      common::Stopwatch sw;
+      auto docs =
+          search_.synopsis_topk(search::SearchRequest{req.terms});
+      observe_cost(est_synopsis_ms_, sw.elapsed_ms());
+      resp.status = Status::kOk;
+      resp.tier = Tier::kSynopsis;
+      resp.est_loss_pct = synopsis_loss_pct_;
+      resp.docs = std::move(docs);
+      clip(resp.docs);
+      return resp;
+    } catch (...) {
+      // fall through
+    }
+  }
+
+  // Rung 3: stale cached answer (epoch mismatch) — degraded but real.
+  if (cache_hit) {
+    resp.status = Status::kOk;
+    resp.tier = Tier::kCached;
+    resp.est_loss_pct = cached_meta.loss_pct + config_.stale_penalty_pct;
+    resp.docs = std::move(cached);
+    clip(resp.docs);
+    return resp;
+  }
+
+  // Rung 4: shed.
+  resp.status = Status::kShed;
+  resp.tier = Tier::kNone;
+  resp.retry_after_ms = static_cast<std::uint32_t>(
+      std::clamp(est_full_ms_.load() * 2.0, 1.0, 5000.0));
+  return resp;
+}
+
+Response Server::serve_recommend(const Request& req, double remaining_ms) {
+  Response resp;
+  resp.op = Op::kRecommend;
+  if (reco_ == nullptr) {
+    resp.status = Status::kBadRequest;
+    resp.text = "recommend service not configured";
+    return resp;
+  }
+  synopsis::SparseVector ratings;
+  for (const auto& [item, rating] : req.ratings)
+    ratings.push_back({item, rating});
+  std::sort(ratings.begin(), ratings.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const auto cf_req = reco::CfRequest::make(std::move(ratings),
+                                            req.target_item);
+  const double safety = config_.ladder_safety;
+
+  if (remaining_ms >= est_recommend_full_ms_.load() * safety) {
+    try {
+      common::Stopwatch sw;
+      const double pred = reco_->predict_exact(cf_req);
+      observe_cost(est_recommend_full_ms_, sw.elapsed_ms());
+      resp.status = Status::kOk;
+      resp.tier = Tier::kFull;
+      resp.prediction = pred;
+      return resp;
+    } catch (...) {
+    }
+  }
+  if (remaining_ms >= 0.0 &&
+      remaining_ms >= est_recommend_syn_ms_.load() * safety) {
+    try {
+      common::Stopwatch sw;
+      // Synopsis-only: AccuracyTrader with zero improvement sets — every
+      // component answers from its aggregated points alone.
+      const std::vector<core::ComponentOutcome> outcomes(
+          reco_->num_components(), core::ComponentOutcome{true, 0});
+      const double pred =
+          reco_->predict(cf_req, core::Technique::kAccuracyTrader, outcomes);
+      observe_cost(est_recommend_syn_ms_, sw.elapsed_ms());
+      resp.status = Status::kOk;
+      resp.tier = Tier::kSynopsis;
+      resp.est_loss_pct = config_.default_synopsis_loss_pct;
+      resp.prediction = pred;
+      return resp;
+    } catch (...) {
+    }
+  }
+  resp.status = Status::kShed;
+  resp.retry_after_ms = static_cast<std::uint32_t>(
+      std::clamp(est_recommend_full_ms_.load() * 2.0, 1.0, 5000.0));
+  return resp;
+}
+
+// ---------------------------------------------------------------------------
+// Stats, epochs, reload
+// ---------------------------------------------------------------------------
+
+void Server::record(const Response& resp) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  switch (resp.status) {
+    case Status::kOk:
+      break;
+    case Status::kShed:
+      // Ladder sheds land here; admission sheds were already counted.
+      ++shed_;
+      return;
+    case Status::kError:
+    case Status::kBadRequest:
+      ++errors_;
+      return;
+  }
+  switch (resp.tier) {
+    case Tier::kFull:
+      lat_full_.add(resp.server_ms);
+      loss_full_.add(resp.est_loss_pct);
+      break;
+    case Tier::kSynopsis:
+      lat_synopsis_.add(resp.server_ms);
+      loss_synopsis_.add(resp.est_loss_pct);
+      break;
+    case Tier::kCached:
+      lat_cached_.add(resp.server_ms);
+      loss_cached_.add(resp.est_loss_pct);
+      break;
+    case Tier::kNone:
+      break;  // ping/stats
+  }
+}
+
+ServingSnapshot Server::snapshot() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ServingSnapshot s;
+  auto fill = [](const common::PercentileTracker& lat,
+                 const common::StreamingStats& loss) {
+    TierSnapshot t;
+    t.count = lat.count();
+    t.p50_ms = lat.median();
+    t.p99_ms = lat.p99();
+    t.mean_loss_pct = loss.mean();
+    return t;
+  };
+  s.full = fill(lat_full_, loss_full_);
+  s.synopsis = fill(lat_synopsis_, loss_synopsis_);
+  s.cached = fill(lat_cached_, loss_cached_);
+  s.shed = shed_;
+  s.errors = errors_;
+  s.accepted = accepted_;
+  s.bad_frames = bad_frames_.load(std::memory_order_relaxed);
+  s.connections = connections_seen_.load(std::memory_order_relaxed);
+  s.est_full_ms = est_full_ms_.load(std::memory_order_relaxed);
+  s.est_synopsis_ms = est_synopsis_ms_.load(std::memory_order_relaxed);
+  s.synopsis_loss_pct = synopsis_loss_pct_;
+  s.data_epoch = data_epoch_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string Server::stats_json() const {
+  const ServingSnapshot s = snapshot();
+  std::ostringstream os;
+  auto tier = [&os](const char* name, const TierSnapshot& t, bool comma) {
+    os << "\"" << name << "\": {\"count\": " << t.count
+       << ", \"p50_ms\": " << t.p50_ms << ", \"p99_ms\": " << t.p99_ms
+       << ", \"mean_loss_pct\": " << t.mean_loss_pct << "}"
+       << (comma ? ", " : "");
+  };
+  os << "{";
+  tier("full", s.full, true);
+  tier("synopsis", s.synopsis, true);
+  tier("cached", s.cached, true);
+  os << "\"shed\": " << s.shed << ", \"errors\": " << s.errors
+     << ", \"bad_frames\": " << s.bad_frames
+     << ", \"accepted\": " << s.accepted
+     << ", \"connections\": " << s.connections
+     << ", \"est_full_ms\": " << s.est_full_ms
+     << ", \"est_synopsis_ms\": " << s.est_synopsis_ms
+     << ", \"synopsis_loss_pct\": " << s.synopsis_loss_pct
+     << ", \"data_epoch\": " << s.data_epoch
+     << ", \"num_components\": " << search_.num_components()
+     << ", \"k\": " << search_.k() << "}";
+  return os.str();
+}
+
+void Server::bump_data_epoch() {
+  data_epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Server::reload_search_component(std::size_t c, std::istream& is) {
+  // Exclusive: no query may be scanning the component being swapped. The
+  // load itself (the slow part) throws before this point mutates anything
+  // — SearchService::reload_component gives the strong guarantee.
+  std::unique_lock<std::shared_mutex> guard(state_mutex_);
+  search_.reload_component(c, is);
+  bump_data_epoch();
+}
+
+}  // namespace at::server

@@ -1,0 +1,212 @@
+// Deadline-aware TCP serving front end (ISSUE 6 tentpole): the live
+// request path the paper's accuracy-for-latency trade finally runs
+// against.
+//
+// Threading: one acceptor thread; one frame-I/O thread per connection;
+// one serving worker per executor group ("thread-per-group"), each
+// draining its own bounded request queue and dispatching query fan-out
+// onto the ShardedExecutor. Admission control runs at enqueue time: a
+// request whose deadline is already unmeetable given the queue ahead of
+// it — or that would overflow the group's queue bound — is shed
+// immediately with a retry-after hint instead of rotting in the queue.
+//
+// Degradation ladder, walked as the remaining deadline budget shrinks
+// (each rung's cost is a live EWMA of observed executions, seeded by a
+// calibration pass at start()):
+//
+//   full      full block-decode scan over every component. Components
+//             that fail (dead group, injected fault) are skipped and the
+//             loss of their doc share is recorded — a partial answer is
+//             marked, never silent.
+//   synopsis  stage-1-only answer from the aggregated synopsis pages
+//             (estimated loss: calibrated mean overlap deficit).
+//   cached    the server's bounded answer cache. Fresh entries also serve
+//             as the normal fast path; entries from an older data epoch
+//             are only used here, as a stale degraded answer, with a
+//             staleness penalty added to their recorded loss.
+//   shed      structured refusal with retry-after.
+//
+// Every response records the rung (tier) and estimated accuracy loss;
+// per-tier latency and loss aggregate into the stats op / stats_json().
+// Failure handling is total: any exception in a rung falls to the next
+// rung, any exception outside the ladder becomes a structured error
+// response, malformed frames close only their connection — the process
+// never crashes (proven by the failpoint suites).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/sharded_executor.h"
+#include "common/stats.h"
+#include "server/protocol.h"
+#include "services/recommender/service.h"
+#include "services/search/query_cache.h"
+#include "services/search/service.h"
+
+namespace at::server {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; read the bound port from port()
+  /// Admission bound: pending requests per serving group.
+  std::size_t max_queue_per_group = 64;
+  /// Applied when a request carries deadline_ms == 0.
+  double default_deadline_ms = 100.0;
+  /// Answer cache bounds (entries + bytes; see QueryCache).
+  std::size_t cache_capacity = 4096;
+  std::size_t cache_max_bytes = std::size_t{4} << 20;
+  /// A rung is attempted only when remaining_budget >= est_cost * safety.
+  double ladder_safety = 1.3;
+  /// Loss penalty recorded on top of a stale (previous-epoch) cached
+  /// answer.
+  double stale_penalty_pct = 10.0;
+  /// Fallback synopsis-tier loss estimate when no calibration queries
+  /// were provided.
+  double default_synopsis_loss_pct = 20.0;
+  /// Queries run at start() to seed the per-rung cost EWMAs and measure
+  /// the synopsis tier's actual accuracy loss on this corpus.
+  std::vector<search::SearchRequest> calibration_queries;
+};
+
+/// One rung's aggregate: request count, latency percentiles and mean
+/// recorded loss. Snapshot type returned to tests and rendered into the
+/// stats op's JSON.
+struct TierSnapshot {
+  std::uint64_t count = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_loss_pct = 0.0;
+};
+
+struct ServingSnapshot {
+  TierSnapshot full, synopsis, cached;
+  std::uint64_t shed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t bad_frames = 0;
+  std::uint64_t connections = 0;
+  std::uint64_t accepted = 0;  // admitted requests (all ops)
+  double est_full_ms = 0.0;
+  double est_synopsis_ms = 0.0;
+  double synopsis_loss_pct = 0.0;
+  std::uint64_t data_epoch = 0;
+};
+
+class Server {
+ public:
+  /// `reco` may be null (recommend requests then get a structured
+  /// bad-request response). The caller owns services and executor; they
+  /// must outlive the server.
+  Server(search::SearchService& search, reco::CfService* reco,
+         common::ShardedExecutor& exec, ServerConfig config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, calibrates, spawns acceptor + per-group workers. Throws
+  /// std::runtime_error when the socket cannot be bound.
+  void start();
+
+  /// Stops accepting, drains every queued request, joins all threads.
+  /// Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  std::uint16_t port() const { return port_; }
+
+  ServingSnapshot snapshot() const;
+  std::string stats_json() const;
+
+  /// Marks every currently cached answer as belonging to an older data
+  /// epoch: still servable, but only as the stale-cached degradation rung
+  /// with a loss penalty. Called by the update path; exposed so tests can
+  /// drive the rung directly.
+  void bump_data_epoch();
+
+  /// Strong-guarantee snapshot reload of one search component (see
+  /// SearchService::reload_component); serialized against in-flight
+  /// queries and bumps the data epoch on success.
+  void reload_search_component(std::size_t c, std::istream& is);
+
+ private:
+  struct Job;
+  struct GroupQueue;
+
+  void acceptor_loop();
+  void connection_loop(int fd, std::uint64_t conn_id);
+  void worker_loop(std::size_t g);
+
+  /// Admission decision + enqueue; returns false when the request was
+  /// shed or refused (then *shed_resp is the response to send), true when
+  /// enqueued (then *done observes the eventual response).
+  bool admit(protocol::Request req, protocol::Response* shed_resp,
+             std::future<protocol::Response>* done);
+
+  protocol::Response serve(const Job& job);
+  protocol::Response serve_search(const protocol::Request& req,
+                                  double remaining_ms);
+  protocol::Response serve_recommend(const protocol::Request& req,
+                                     double remaining_ms);
+  void record(const protocol::Response& resp);
+  void calibrate();
+  void observe_cost(std::atomic<double>& est_ms, double observed_ms);
+
+  search::SearchService& search_;
+  reco::CfService* reco_;
+  common::ShardedExecutor& exec_;
+  ServerConfig config_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::vector<std::unique_ptr<GroupQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> rr_next_group_{0};
+
+  std::mutex conn_mutex_;
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+  };
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  // Answer cache: full-tier answers keyed by canonical terms, annotated
+  // (QueryCache::ResultMeta) with recorded loss + the data epoch they were
+  // computed in. Thread-safe and doubly bounded (entries + bytes).
+  std::unique_ptr<search::QueryCache> cache_;
+  std::atomic<std::uint64_t> data_epoch_{0};
+
+  // Reloads swap a component while workers may be scanning it: workers
+  // hold this shared, reload_search_component holds it exclusively.
+  std::shared_mutex state_mutex_;
+
+  // Ladder cost model.
+  std::atomic<double> est_full_ms_{0.0};
+  std::atomic<double> est_synopsis_ms_{0.0};
+  std::atomic<double> est_recommend_full_ms_{0.0};
+  std::atomic<double> est_recommend_syn_ms_{0.0};
+  double synopsis_loss_pct_ = 0.0;
+
+  // Aggregated serving stats.
+  mutable std::mutex stats_mutex_;
+  common::PercentileTracker lat_full_, lat_synopsis_, lat_cached_;
+  common::StreamingStats loss_full_, loss_synopsis_, loss_cached_;
+  std::uint64_t shed_ = 0, errors_ = 0, accepted_ = 0;
+  std::atomic<std::uint64_t> bad_frames_{0};
+  std::atomic<std::uint64_t> connections_seen_{0};
+};
+
+}  // namespace at::server

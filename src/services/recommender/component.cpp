@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "common/binary_io.h"
 #include "synopsis/serialize.h"
@@ -169,7 +170,7 @@ void RecommenderComponent::save(std::ostream& os,
   w.finish();
 }
 
-RecommenderComponent RecommenderComponent::load(std::istream& is) {
+RecommenderComponent RecommenderComponent::load(std::istream& is) try {
   if (!common::next_is_artifact(is)) {
     // Legacy "ATRC" v1 snapshot.
     common::BinaryReader r(is);
@@ -208,6 +209,13 @@ RecommenderComponent RecommenderComponent::load(std::istream& is) {
   r.finish();
   return RecommenderComponent(LoadedTag{}, std::move(users), config,
                               std::move(structure), std::move(synopsis));
+} catch (const common::ArtifactError&) {
+  throw;
+} catch (const std::exception& e) {
+  // Every load failure — truncated stream, bad legacy header, decoder
+  // error mid-chunk — surfaces as the artifact layer's structured error.
+  throw common::ArtifactError(std::string("RecommenderComponent::load: ") +
+                              e.what());
 }
 
 }  // namespace at::reco

@@ -1,6 +1,9 @@
 #include "services/search/component.h"
 
+#include <string>
+
 #include "common/binary_io.h"
+#include "core/algorithm1.h"
 #include "synopsis/serialize.h"
 
 namespace at::search {
@@ -89,6 +92,25 @@ std::vector<ScoredDoc> SearchComponent::exact_topk(
   return index_.topk(request.terms, doc_id_base_, k);
 }
 
+std::vector<ScoredDoc> SearchComponent::synopsis_topk(
+    const SearchRequest& request, std::size_t k) const {
+  const std::size_t m = synopsis_.size();
+  std::vector<double> corr(m, 0.0);
+  for (std::size_t g = 0; g < m; ++g) {
+    corr[g] = index_.score_counts(request.terms, synopsis_.points[g].features,
+                                  agg_length_[g]);
+  }
+  std::vector<ScoredDoc> out;
+  for (const std::size_t g : core::rank_by_correlation(corr)) {
+    if (corr[g] <= 0.0 || out.size() >= k) break;  // no query overlap left
+    for (auto member : structure_.index.groups()[g].members) {
+      if (out.size() >= k) break;
+      out.push_back(ScoredDoc{corr[g], doc_id_base_ + member});
+    }
+  }
+  return out;
+}
+
 std::vector<std::uint64_t> SearchComponent::group_member_docs(
     std::size_t g) const {
   const auto& members = structure_.index.groups().at(g).members;
@@ -134,7 +156,7 @@ void SearchComponent::save(std::ostream& os, common::Codec codec) const {
   w.finish();
 }
 
-SearchComponent SearchComponent::load(std::istream& is) {
+SearchComponent SearchComponent::load(std::istream& is) try {
   if (!common::next_is_artifact(is)) {
     // Legacy "ATSC" v1 snapshot.
     common::BinaryReader r(is);
@@ -182,6 +204,13 @@ SearchComponent SearchComponent::load(std::istream& is) {
   r.finish();
   return SearchComponent(LoadedTag{}, std::move(docs), doc_id_base, config,
                          scorer, std::move(structure), std::move(synopsis));
+} catch (const common::ArtifactError&) {
+  throw;
+} catch (const std::exception& e) {
+  // Every load failure — truncated stream, bad legacy header, decoder
+  // error mid-chunk — surfaces as the artifact layer's structured error.
+  throw common::ArtifactError(std::string("SearchComponent::load: ") +
+                              e.what());
 }
 
 synopsis::UpdateReport SearchComponent::update(

@@ -71,6 +71,14 @@ class SearchComponent {
   std::vector<ScoredDoc> exact_topk(const SearchRequest& request,
                                     std::size_t k) const;
 
+  /// Stage-1-only local answer: scores only the aggregated synopsis pages
+  /// (O(groups) work, no postings scan), then returns the member docs of
+  /// the best-correlated groups, each carrying its group's correlation as
+  /// the score. The cheap rung of the serving degradation ladder — scores
+  /// are approximate but comparable across components (global idf).
+  std::vector<ScoredDoc> synopsis_topk(const SearchRequest& request,
+                                       std::size_t k) const;
+
   /// Global doc ids of group g's members, in member order. Used for the
   /// stage-1-only fallback: when no group was processed exactly, the
   /// initial result returns members of the best-ranked aggregated pages

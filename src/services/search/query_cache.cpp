@@ -5,10 +5,35 @@
 
 namespace at::search {
 
-QueryCache::QueryCache(std::size_t capacity) : capacity_(capacity) {
+QueryCache::QueryCache(std::size_t capacity, std::size_t max_bytes)
+    : capacity_(capacity), max_bytes_(max_bytes) {
   if (capacity_ == 0)
     throw std::invalid_argument("QueryCache: capacity must be >= 1");
   index_.reserve(capacity_);
+}
+
+std::size_t QueryCache::entry_footprint(std::size_t key_terms,
+                                        std::size_t result_docs) {
+  // Key terms + scored docs + a flat allowance for the list node, the
+  // hash slot and the two vector headers. An estimate, not malloc truth —
+  // what matters is that it scales with the variable-size parts so the
+  // budget genuinely bounds growth.
+  constexpr std::size_t kPerEntryOverhead = 128;
+  return key_terms * sizeof(std::uint32_t) + result_docs * sizeof(ScoredDoc) +
+         kPerEntryOverhead;
+}
+
+void QueryCache::evict_for(std::size_t incoming_bytes,
+                           std::size_t incoming_entries) {
+  while (!lru_.empty() &&
+         (lru_.size() + incoming_entries > capacity_ ||
+          (max_bytes_ != 0 && bytes_ + incoming_bytes > max_bytes_))) {
+    const Entry& victim = lru_.back();
+    bytes_ -= entry_footprint(victim.key.size(), victim.result.size());
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
 }
 
 std::vector<std::uint32_t> QueryCache::canonical_key(
@@ -20,7 +45,7 @@ std::vector<std::uint32_t> QueryCache::canonical_key(
 }
 
 bool QueryCache::lookup(const std::vector<std::uint32_t>& terms,
-                        std::vector<ScoredDoc>* out) {
+                        std::vector<ScoredDoc>* out, ResultMeta* meta) {
   const Key key = canonical_key(terms);
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = index_.find(key);
@@ -31,26 +56,37 @@ bool QueryCache::lookup(const std::vector<std::uint32_t>& terms,
   ++stats_.hits;
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
   if (out != nullptr) *out = it->second->result;
+  if (meta != nullptr) *meta = it->second->meta;
   return true;
 }
 
 void QueryCache::insert(const std::vector<std::uint32_t>& terms,
-                        std::vector<ScoredDoc> result) {
+                        std::vector<ScoredDoc> result, ResultMeta meta) {
   Key key = canonical_key(terms);
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    it->second->result = std::move(result);
-    lru_.splice(lru_.begin(), lru_, it->second);
+  const std::size_t incoming = entry_footprint(key.size(), result.size());
+  if (max_bytes_ != 0 && incoming > max_bytes_) {
+    ++stats_.oversized_rejects;
     return;
   }
-  if (lru_.size() >= capacity_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++stats_.evictions;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= entry_footprint(it->second->key.size(),
+                              it->second->result.size());
+    it->second->result = std::move(result);
+    it->second->meta = meta;
+    bytes_ += incoming;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    // A refreshed result can be larger than the one it replaced; restore
+    // the byte bound (the refreshed entry itself is at the LRU front and
+    // within budget, so it survives).
+    evict_for(0, 0);
+    return;
   }
-  lru_.push_front(Entry{key, std::move(result)});
+  evict_for(incoming, 1);
+  lru_.push_front(Entry{key, std::move(result), meta});
   index_[std::move(key)] = lru_.begin();
+  bytes_ += incoming;
   ++stats_.insertions;
 }
 
@@ -58,6 +94,7 @@ void QueryCache::invalidate_all() {
   std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();
   index_.clear();
+  bytes_ = 0;
   ++stats_.invalidations;
 }
 
@@ -68,7 +105,9 @@ std::size_t QueryCache::size() const {
 
 QueryCacheStats QueryCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  QueryCacheStats s = stats_;
+  s.bytes = bytes_;
+  return s;
 }
 
 }  // namespace at::search

@@ -26,6 +26,11 @@ struct QueryCacheStats {
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
   std::uint64_t invalidations = 0;
+  /// Inserts refused because one entry alone exceeds the byte budget.
+  std::uint64_t oversized_rejects = 0;
+  /// Current estimated footprint of all cached entries (gauge, not a
+  /// counter): keys + results + per-entry bookkeeping.
+  std::uint64_t bytes = 0;
 
   double hit_rate() const {
     const auto total = hits + misses;
@@ -34,26 +39,49 @@ struct QueryCacheStats {
   }
 };
 
+/// Annotation stored with each cached answer. The in-service exact path
+/// leaves it defaulted; the serving front end records the answer's
+/// estimated accuracy loss and the data epoch it was computed in, so a
+/// cache hit can be marked fresh or stale-degraded.
+struct ResultMeta {
+  double loss_pct = 0.0;
+  std::uint64_t epoch = 0;
+};
+
 class QueryCache {
  public:
-  explicit QueryCache(std::size_t capacity);
+  /// Bounds the cache two ways: at most `capacity` entries AND at most
+  /// `max_bytes` of estimated entry footprint (0 = no byte bound). Entry
+  /// count alone does not bound memory under a live query stream — result
+  /// and key sizes vary per query — so the byte budget is what actually
+  /// caps the working set; eviction is LRU under both bounds. An entry
+  /// larger than the whole budget is refused (stats().oversized_rejects).
+  explicit QueryCache(std::size_t capacity, std::size_t max_bytes = 0);
 
   /// Returns the cached result and refreshes its recency, or nullopt-like
-  /// empty optional semantics via bool + out param: true on hit.
+  /// empty optional semantics via bool + out param: true on hit. `meta`
+  /// (optional) receives the entry's annotation.
   bool lookup(const std::vector<std::uint32_t>& terms,
-              std::vector<ScoredDoc>* out);
+              std::vector<ScoredDoc>* out, ResultMeta* meta = nullptr);
 
-  /// Inserts (or refreshes) the result for a query; evicts the least
-  /// recently used entry when full.
+  /// Inserts (or refreshes) the result for a query; evicts least recently
+  /// used entries until both the entry-count and byte bounds hold.
   void insert(const std::vector<std::uint32_t>& terms,
-              std::vector<ScoredDoc> result);
+              std::vector<ScoredDoc> result, ResultMeta meta = {});
 
   /// Drops everything (input data changed; all cached answers are stale).
   void invalidate_all();
 
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
+  std::size_t max_bytes() const { return max_bytes_; }
   QueryCacheStats stats() const;
+
+  /// Estimated footprint of one entry (key + result + bookkeeping), the
+  /// unit the byte budget is accounted in. Exposed so tests can compute
+  /// exact expected byte totals.
+  static std::size_t entry_footprint(std::size_t key_terms,
+                                     std::size_t result_docs);
 
   /// Canonical cache key of a term list: sorted and deduplicated.
   static std::vector<std::uint32_t> canonical_key(
@@ -64,6 +92,7 @@ class QueryCache {
   struct Entry {
     Key key;
     std::vector<ScoredDoc> result;
+    ResultMeta meta;
   };
 
   /// FNV-1a over the canonical key's term ids (length folded in first so
@@ -79,7 +108,13 @@ class QueryCache {
     }
   };
 
+  /// Evicts LRU entries until both bounds hold with `incoming` more bytes
+  /// pending. Caller holds mutex_.
+  void evict_for(std::size_t incoming_bytes, std::size_t incoming_entries);
+
   std::size_t capacity_;
+  std::size_t max_bytes_;
+  std::size_t bytes_ = 0;
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;

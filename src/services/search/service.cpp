@@ -1,9 +1,13 @@
 #include "services/search/service.h"
 
 #include <algorithm>
+#include <atomic>
+#include <istream>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 
+#include "common/failpoint.h"
 #include "core/algorithm1.h"
 
 namespace at::search {
@@ -130,6 +134,72 @@ std::vector<ScoredDoc> SearchService::exact_topk(
   auto result = top.take();
   if (cache_ != nullptr) cache_->insert(request.terms, result);
   return result;
+}
+
+std::vector<ScoredDoc> SearchService::exact_topk_partial(
+    const SearchRequest& request, std::size_t* components_ok) const {
+  std::atomic<std::size_t> ok{0};
+  TopK top(k_);
+  fan_out_topk(
+      [&](std::size_t c) -> std::vector<ScoredDoc> {
+        try {
+          // Fault-injection sites: "server.scan" kills every component's
+          // scan, "server.scan.c<C>" kills one component (its home
+          // executor group) mid-query.
+          if (common::failpoint::any_armed()) {
+            common::failpoint::check_throw("server.scan");
+            common::failpoint::check_throw(
+                ("server.scan.c" + std::to_string(c)).c_str());
+          }
+          auto local = components_[c].exact_topk(request, k_);
+          ok.fetch_add(1, std::memory_order_relaxed);
+          return local;
+        } catch (...) {
+          // The component is unavailable (its group died mid-query, its
+          // scan hit an injected fault); the merge proceeds without it.
+          return {};
+        }
+      },
+      top);
+  if (components_ok != nullptr) *components_ok = ok.load();
+  return top.take();
+}
+
+std::vector<ScoredDoc> SearchService::synopsis_topk(
+    const SearchRequest& request) const {
+  TopK top(k_);
+  fan_out_topk(
+      [&](std::size_t c) { return components_[c].synopsis_topk(request, k_); },
+      top);
+  return top.take();
+}
+
+void SearchService::reload_component(std::size_t c, std::istream& is) {
+  if (c >= components_.size())
+    throw std::invalid_argument("SearchService::reload_component: bad index");
+  // Load into a temporary: every failure mode (truncation, corruption,
+  // injected artifact fault) throws out of here before any service state
+  // is touched.
+  SearchComponent fresh = SearchComponent::load(is);
+  if (exec_ != nullptr) {
+    fresh.set_pool(&exec_->group(exec_->home_group(c)));
+  } else {
+    fresh.set_pool(pool_);
+  }
+  components_[c] = std::move(fresh);
+  // The shard's contents may have changed: rebuild the corpus-global idf
+  // and drop every cached answer.
+  std::vector<std::vector<std::uint32_t>> dfs;
+  dfs.reserve(components_.size());
+  total_docs_ = 0;
+  for (const auto& comp : components_) {
+    dfs.push_back(comp.doc_frequencies());
+    total_docs_ += comp.num_docs();
+  }
+  auto idf = std::make_shared<const std::vector<double>>(
+      merge_idf(dfs, total_docs_));
+  for (auto& comp : components_) comp.set_global_idf(idf);
+  if (cache_ != nullptr) cache_->invalidate_all();
 }
 
 std::vector<ScoredDoc> SearchService::retrieve(

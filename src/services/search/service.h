@@ -74,6 +74,28 @@ class SearchService {
   /// Exact global top-k (served from the query cache when enabled).
   std::vector<ScoredDoc> exact_topk(const SearchRequest& request) const;
 
+  /// Fault-tolerant exact top-k: a component whose scan throws (dead
+  /// worker group, artifact fault, injected failpoint) contributes
+  /// nothing instead of failing the query. `components_ok` (may be null)
+  /// receives how many components actually contributed, so callers can
+  /// mark the answer degraded and estimate its accuracy loss. Bypasses
+  /// the query cache — a partial answer must never be cached as exact.
+  std::vector<ScoredDoc> exact_topk_partial(const SearchRequest& request,
+                                            std::size_t* components_ok) const;
+
+  /// Synopsis-only global top-k: every component answers from its
+  /// aggregated pages alone (stage 1, no postings scan). The cheap rung
+  /// of the serving degradation ladder.
+  std::vector<ScoredDoc> synopsis_topk(const SearchRequest& request) const;
+
+  /// Replaces component `c` with a snapshot loaded from `is`, with the
+  /// strong exception guarantee: the snapshot is fully loaded and indexed
+  /// into a temporary first, so a truncated/corrupt stream throws
+  /// ArtifactError and leaves the service (and the old component) exactly
+  /// as it was. On success the global idf table is rebuilt and the query
+  /// cache invalidated.
+  void reload_component(std::size_t c, std::istream& is);
+
   /// Retrieved top-k under a technique given per-component outcomes.
   /// For AccuracyTrader, if fewer than k exactly-scored pages exist in the
   /// processed sets, the result is padded from the initial (stage-1)

@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "common/binary_io.h"
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "common/simd.h"
 #include "services/recommender/component.h"
@@ -829,6 +830,60 @@ TEST(ComponentSnapshots, AllCodecsScoreBitIdentical) {
       EXPECT_EQ(got[i].doc, want[i].doc) << codec_name(codec);
       EXPECT_EQ(got[i].score, want[i].score) << codec_name(codec);
     }
+  }
+}
+
+// Failed loads must be all-or-nothing: SearchComponent::load builds into
+// a temporary, so any failure — truncation at every length, or an
+// injected artifact.chunk fault mid-load — throws the layer's structured
+// ArtifactError and leaves previously loaded state fully usable with
+// bit-identical scores.
+TEST(ComponentSnapshots, StateUnchangedAfterEveryFailedLoad) {
+  search::SearchComponent comp(testing::golden_rows(), 0,
+                               testing::golden_build_config(),
+                               search::ScorerParams{}, nullptr);
+  const search::SearchRequest request{{1, 5, 12, 30}};
+  const auto want = comp.exact_topk(request, 6);
+  std::stringstream buf;
+  comp.save(buf);
+  const std::string bytes = buf.str();
+
+  auto expect_unchanged = [&] {
+    const auto got = comp.exact_topk(request, 6);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got[i].doc, want[i].doc);
+      ASSERT_EQ(got[i].score, want[i].score);  // bitwise
+    }
+  };
+
+  // Every truncation throws a structured error, never partially applies.
+  for (std::size_t len = 0; len < bytes.size(); len += 7) {
+    std::stringstream cut(bytes.substr(0, len));
+    try {
+      auto loaded = search::SearchComponent::load(cut);
+      FAIL() << "truncation at " << len << " loaded";
+    } catch (const ArtifactError&) {
+    } catch (const std::exception& e) {
+      FAIL() << "non-artifact error at " << len << ": " << e.what();
+    }
+  }
+  expect_unchanged();
+
+  // Injected chunk-read faults surface as ArtifactError too (the
+  // failpoint layer is translated at the artifact boundary), and clear
+  // cleanly.
+  failpoint::clear_all();
+  failpoint::set("artifact.chunk", "error:x1");
+  {
+    std::stringstream in(bytes);
+    EXPECT_THROW(search::SearchComponent::load(in), ArtifactError);
+  }
+  expect_unchanged();
+  failpoint::clear_all();
+  {
+    std::stringstream in(bytes);
+    EXPECT_NO_THROW(search::SearchComponent::load(in));
   }
 }
 

@@ -1,0 +1,160 @@
+// Failpoint layer tests: spec parsing, arming/clearing, hit budgets, and
+// the contract each wired site keeps (artifact reads surface ArtifactError,
+// executor dispatch surfaces the raw FailpointError, unarmed sites are
+// free).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/artifact.h"
+#include "common/failpoint.h"
+#include "common/sharded_executor.h"
+#include "common/stopwatch.h"
+
+namespace fp = at::common::failpoint;
+
+namespace {
+
+/// Every test leaves the registry clean so suites can run in any order.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fp::clear_all(); }
+  void TearDown() override { fp::clear_all(); }
+};
+
+TEST_F(FailpointTest, UnarmedSiteIsOffAndFree) {
+  EXPECT_FALSE(fp::any_armed());
+  EXPECT_EQ(fp::check("nonexistent.site").action, fp::Action::kOff);
+  EXPECT_FALSE(AT_FAILPOINT("nonexistent.site"));
+  EXPECT_EQ(fp::hits("nonexistent.site"), 0u);
+}
+
+TEST_F(FailpointTest, ErrorActionThrowsUntilCleared) {
+  fp::set("unit.a", "error");
+  EXPECT_TRUE(fp::any_armed());
+  EXPECT_THROW(fp::check_throw("unit.a"), fp::FailpointError);
+  EXPECT_THROW((void)AT_FAILPOINT("unit.a"), fp::FailpointError);
+  EXPECT_EQ(fp::hits("unit.a"), 2u);
+  fp::clear("unit.a");
+  EXPECT_FALSE(fp::any_armed());
+  EXPECT_NO_THROW((void)AT_FAILPOINT("unit.a"));
+}
+
+TEST_F(FailpointTest, DelayActionSleepsInline) {
+  fp::set("unit.delay", "delay:30");
+  at::common::Stopwatch sw;
+  const auto d = fp::check("unit.delay");
+  EXPECT_EQ(d.action, fp::Action::kDelay);
+  EXPECT_GE(sw.elapsed_ms(), 25.0);  // sleep_for may round, allow slack
+}
+
+TEST_F(FailpointTest, ShortWriteActionReturnsTrueFromMacro) {
+  fp::set("unit.sw", "short_write");
+  EXPECT_TRUE(AT_FAILPOINT("unit.sw"));
+}
+
+TEST_F(FailpointTest, HitBudgetDisarmsAfterN) {
+  fp::set("unit.budget", "error:x2");
+  EXPECT_THROW(fp::check_throw("unit.budget"), fp::FailpointError);
+  EXPECT_THROW(fp::check_throw("unit.budget"), fp::FailpointError);
+  // Third hit: budget exhausted, the site is off again.
+  EXPECT_NO_THROW(fp::check_throw("unit.budget"));
+  EXPECT_EQ(fp::hits("unit.budget"), 2u);
+}
+
+TEST_F(FailpointTest, SetManyParsesMultiSpec) {
+  EXPECT_EQ(fp::set_many("a.x=error;b.y=delay:5;c.z=short_write:x3"), 3u);
+  EXPECT_THROW(fp::check_throw("a.x"), fp::FailpointError);
+  EXPECT_EQ(fp::check("b.y").action, fp::Action::kDelay);
+  EXPECT_TRUE(fp::check_throw("c.z"));
+}
+
+TEST_F(FailpointTest, MalformedSpecsThrowAndArmNothing) {
+  EXPECT_THROW(fp::set("s", "explode"), std::invalid_argument);
+  EXPECT_THROW(fp::set("s", "delay"), std::invalid_argument);        // no ms
+  EXPECT_THROW(fp::set("s", "delay:abc"), std::invalid_argument);
+  EXPECT_THROW(fp::set("s", "error:x0"), std::invalid_argument);     // x>=1
+  EXPECT_THROW(fp::set("", "error"), std::invalid_argument);         // site
+  // set_many is atomic: one bad entry arms nothing.
+  EXPECT_THROW(fp::set_many("ok.site=error;bad.site=banana"),
+               std::invalid_argument);
+  EXPECT_FALSE(fp::any_armed());
+  EXPECT_EQ(fp::check("ok.site").action, fp::Action::kOff);
+}
+
+TEST_F(FailpointTest, ConcurrentChecksCountEveryHit) {
+  fp::set("unit.mt", "error");
+  std::atomic<std::size_t> caught{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&caught] {
+      for (int i = 0; i < 100; ++i) {
+        try {
+          fp::check_throw("unit.mt");
+        } catch (const fp::FailpointError&) {
+          caught.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(caught.load(), 800u);
+  EXPECT_EQ(fp::hits("unit.mt"), 800u);
+}
+
+// ---------------------------------------------------------------------------
+// Wired sites keep their layer's error contract
+// ---------------------------------------------------------------------------
+
+TEST_F(FailpointTest, ArtifactChunkSiteSurfacesArtifactError) {
+  // A valid artifact that reads fine unarmed...
+  std::ostringstream os;
+  {
+    at::common::ArtifactWriter w(os, "TSTK", 1);
+    at::common::ChunkWriter cw;
+    cw.u32(42);
+    w.chunk("DATA", cw);
+    w.finish();
+  }
+  const std::string bytes = os.str();
+  {
+    std::istringstream is(bytes);
+    at::common::ArtifactReader r(is, "TSTK");
+    EXPECT_NO_THROW(r.chunk("DATA"));
+  }
+  // ...fails with the artifact layer's own structured error when armed —
+  // never a bare FailpointError escaping through load paths.
+  fp::set("artifact.chunk", "error");
+  std::istringstream is(bytes);
+  at::common::ArtifactReader r(is, "TSTK");
+  try {
+    r.chunk("DATA");
+    FAIL() << "expected ArtifactError";
+  } catch (const at::common::ArtifactError&) {
+  } catch (...) {
+    FAIL() << "wrong exception type escaped the artifact layer";
+  }
+  // Recovery: clearing the failpoint restores normal reads.
+  fp::clear_all();
+  std::istringstream is2(bytes);
+  at::common::ArtifactReader r2(is2, "TSTK");
+  EXPECT_NO_THROW(r2.chunk("DATA"));
+}
+
+TEST_F(FailpointTest, ExecutorDispatchSiteFailsFanOut) {
+  at::common::ShardedExecutor exec;
+  fp::set("executor.dispatch", "error:x1");
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      exec.for_each_shard_grouped(4, [&](std::size_t) { ran.fetch_add(1); }),
+      fp::FailpointError);
+  // Budget x1: the very next dispatch succeeds — callers recover.
+  exec.for_each_shard_grouped(4, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 4);
+}
+
+}  // namespace

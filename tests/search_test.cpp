@@ -4,7 +4,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
+#include "common/artifact.h"
+#include "common/failpoint.h"
 #include "services/search/component.h"
 #include "services/search/inverted_index.h"
 #include "services/search/query_cache.h"
@@ -792,6 +795,167 @@ TEST(SearchComponentBm25, EndToEndWithBm25Scorer) {
       EXPECT_GT(max_corr, 0.0);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Byte-budget bound (the entry-count bound alone does not cap memory when
+// result sizes vary per query)
+// ---------------------------------------------------------------------------
+
+TEST(QueryCacheTest, ByteBudgetEvictsLruAndTracksBytes) {
+  // Room for exactly two of these entries; the third insert must evict the
+  // least recently used even though the entry-count bound (100) is far off.
+  const std::size_t per_entry = QueryCache::entry_footprint(3, 2);
+  QueryCache cache(100, 2 * per_entry);
+  cache.insert({1, 2, 3}, {{1.0, 1}, {0.5, 2}});
+  cache.insert({4, 5, 6}, {{1.0, 3}, {0.5, 4}});
+  EXPECT_EQ(cache.stats().bytes, 2 * per_entry);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  cache.insert({7, 8, 9}, {{1.0, 5}, {0.5, 6}});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().bytes, 2 * per_entry);
+  EXPECT_FALSE(cache.lookup({1, 2, 3}, nullptr));   // LRU victim
+  EXPECT_TRUE(cache.lookup({4, 5, 6}, nullptr));
+  EXPECT_TRUE(cache.lookup({7, 8, 9}, nullptr));
+}
+
+TEST(QueryCacheTest, ByteBudgetEvictsSeveralForOneLargeEntry) {
+  const std::size_t small = QueryCache::entry_footprint(1, 1);
+  QueryCache cache(100, 4 * small);
+  for (std::uint32_t i = 0; i < 4; ++i) cache.insert({i}, {{1.0, i}});
+  ASSERT_EQ(cache.size(), 4u);
+  // One entry worth ~3 small ones evicts as many LRU entries as needed.
+  std::vector<ScoredDoc> big;
+  const std::size_t big_docs =
+      (3 * small - QueryCache::entry_footprint(1, 0)) / sizeof(ScoredDoc);
+  for (std::size_t d = 0; d < big_docs; ++d)
+    big.push_back({1.0, 100 + static_cast<std::uint64_t>(d)});
+  cache.insert({99}, big);
+  EXPECT_LE(cache.stats().bytes, 4 * small);
+  EXPECT_TRUE(cache.lookup({99}, nullptr));
+  EXPECT_FALSE(cache.lookup({0}, nullptr));  // oldest went first
+}
+
+TEST(QueryCacheTest, OversizedEntryIsRejectedNotCached) {
+  QueryCache cache(100, 256);
+  std::vector<ScoredDoc> huge(64, ScoredDoc{1.0, 1});  // > 256-byte budget
+  cache.insert({1}, huge);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().oversized_rejects, 1u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  // Normal entries still go through.
+  cache.insert({2}, {{1.0, 2}});
+  EXPECT_TRUE(cache.lookup({2}, nullptr));
+}
+
+TEST(QueryCacheTest, RefreshLargerResultRestoresByteBound) {
+  const std::size_t small = QueryCache::entry_footprint(1, 1);
+  const std::size_t large = QueryCache::entry_footprint(1, 8);
+  QueryCache cache(100, 2 * small + large);
+  cache.insert({1}, {{1.0, 1}});
+  cache.insert({2}, {{1.0, 2}});
+  cache.insert({3}, {{1.0, 3}});
+  // Refresh key 3 with a larger result: bytes stay within the bound and
+  // the refreshed entry survives (it is the most recent).
+  cache.insert({3}, std::vector<ScoredDoc>(8, ScoredDoc{2.0, 30}));
+  EXPECT_LE(cache.stats().bytes, 2 * small + large);
+  std::vector<ScoredDoc> out;
+  ASSERT_TRUE(cache.lookup({3}, &out));
+  EXPECT_EQ(out.size(), 8u);
+}
+
+TEST(QueryCacheTest, ResultMetaStoredAndReturned) {
+  QueryCache cache(4);
+  cache.insert({1, 2}, {{1.0, 7}}, ResultMeta{12.5, 3});
+  std::vector<ScoredDoc> out;
+  ResultMeta meta;
+  ASSERT_TRUE(cache.lookup({2, 1}, &out, &meta));
+  EXPECT_DOUBLE_EQ(meta.loss_pct, 12.5);
+  EXPECT_EQ(meta.epoch, 3u);
+  // Default-inserted entries carry the zero annotation.
+  cache.insert({5}, {{1.0, 8}});
+  ASSERT_TRUE(cache.lookup({5}, &out, &meta));
+  EXPECT_DOUBLE_EQ(meta.loss_pct, 0.0);
+  EXPECT_EQ(meta.epoch, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-tolerant and synopsis-only service paths (the serving ladder's
+// rungs, tested against the service directly)
+// ---------------------------------------------------------------------------
+
+TEST_F(SearchServiceTest, PartialTopkSkipsDeadComponentAndReports) {
+  common::failpoint::clear_all();
+  std::size_t ok = 0;
+  const auto all = service_->exact_topk_partial(queries_[2], &ok);
+  EXPECT_EQ(ok, service_->num_components());
+  const auto exact = service_->exact_topk(queries_[2]);
+  ASSERT_EQ(all.size(), exact.size());
+  for (std::size_t i = 0; i < all.size(); ++i)
+    EXPECT_EQ(all[i].doc, exact[i].doc);
+
+  common::failpoint::set("server.scan.c1", "error");
+  const auto partial = service_->exact_topk_partial(queries_[2], &ok);
+  EXPECT_EQ(ok, service_->num_components() - 1);
+  // No doc of the dead component may appear.
+  const auto base = service_->component(1).doc_id_base();
+  const auto end = base + service_->component(1).num_docs();
+  for (const auto& d : partial) {
+    EXPECT_TRUE(d.doc < base || d.doc >= end);
+  }
+  common::failpoint::clear_all();
+  const auto healed = service_->exact_topk_partial(queries_[2], &ok);
+  EXPECT_EQ(ok, service_->num_components());
+  ASSERT_EQ(healed.size(), exact.size());
+  for (std::size_t i = 0; i < healed.size(); ++i)
+    EXPECT_EQ(healed[i].doc, exact[i].doc);
+}
+
+TEST_F(SearchServiceTest, SynopsisTopkApproximatesExact) {
+  double total_overlap = 0.0;
+  for (std::size_t q = 0; q < 10; ++q) {
+    const auto syn = service_->synopsis_topk(queries_[q]);
+    EXPECT_LE(syn.size(), 10u);
+    const auto exact = service_->exact_topk(queries_[q]);
+    total_overlap += topk_overlap(syn, exact);
+  }
+  // Stage-1-only answers are lossy but far better than random (10 docs out
+  // of 360, so random overlap is ~3%). The tiny fixture keeps the bar low.
+  EXPECT_GE(total_overlap / 10.0, 0.15);
+}
+
+TEST_F(SearchServiceTest, ReloadComponentStrongGuarantee) {
+  const auto before = service_->exact_topk(queries_[3]);
+  std::stringstream buf;
+  service_->component(1).save(buf);
+  const std::string bytes = buf.str();
+
+  // Corrupt stream: throws, and every query result is bit-identical to
+  // the pre-reload state — no partially-applied component.
+  std::istringstream bad(bytes.substr(0, bytes.size() * 2 / 3));
+  EXPECT_THROW(service_->reload_component(1, bad), common::ArtifactError);
+  const auto after_fail = service_->exact_topk(queries_[3]);
+  ASSERT_EQ(after_fail.size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(after_fail[i].doc, before[i].doc);
+    EXPECT_EQ(after_fail[i].score, before[i].score);  // bitwise
+  }
+
+  // Valid stream: the reload succeeds and (being a snapshot of the same
+  // component) leaves results identical.
+  std::istringstream good(bytes);
+  service_->reload_component(1, good);
+  const auto after_ok = service_->exact_topk(queries_[3]);
+  ASSERT_EQ(after_ok.size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(after_ok[i].doc, before[i].doc);
+}
+
+TEST_F(SearchServiceTest, ReloadOutOfRangeThrows) {
+  std::istringstream is("whatever");
+  EXPECT_THROW(service_->reload_component(99, is), std::invalid_argument);
 }
 
 TEST_F(SearchServiceTest, ComponentUpdateKeepsSearchWorking) {

@@ -1,0 +1,710 @@
+// Serving front end tests: wire protocol round-trips and malformed-frame
+// fuzzing, frame reassembly, admission control, the degradation ladder
+// under injected faults (dead component scans, artifact errors, socket
+// resets, short writes), cache staleness via data epochs, component
+// reloads, and shutdown under load. The fault-injection cases all assert
+// the same contract: degraded-or-error, never a crash, and full recovery
+// once the failpoint clears.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/artifact.h"
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "common/sharded_executor.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/replay.h"
+#include "server/server.h"
+#include "services/search/service.h"
+#include "workload/corpus.h"
+
+namespace at::server {
+namespace {
+
+namespace fp = at::common::failpoint;
+using protocol::Op;
+using protocol::Request;
+using protocol::Response;
+using protocol::Status;
+using protocol::Tier;
+
+// ---------------------------------------------------------------------------
+// Shared serving fixture (built once; tests start their own Server on an
+// ephemeral port against it)
+// ---------------------------------------------------------------------------
+
+workload::CorpusConfig test_corpus_config() {
+  workload::CorpusConfig cfg;
+  cfg.num_components = 4;
+  cfg.docs_per_component = 120;
+  cfg.vocab_size = 1500;
+  cfg.num_topics = 12;
+  cfg.seed = 20160816;
+  return cfg;
+}
+
+struct ServingFixture {
+  std::unique_ptr<common::ShardedExecutor> exec;
+  std::unique_ptr<search::SearchService> service;
+  std::vector<search::SearchRequest> queries;
+};
+
+ServingFixture& fixture() {
+  static ServingFixture fx = [] {
+    ServingFixture f;
+    workload::CorpusGen gen(test_corpus_config());
+    auto wl = gen.generate(24);
+    synopsis::BuildConfig bcfg;
+    bcfg.svd.rank = 2;
+    bcfg.svd.epochs_per_dim = 40;
+    bcfg.size_ratio = 10.0;
+    std::vector<search::SearchComponent> comps;
+    std::uint64_t base = 0;
+    for (auto& shard : wl.shards) {
+      const auto n = shard.rows();
+      comps.emplace_back(std::move(shard), base, bcfg);
+      base += n;
+    }
+    f.exec = std::make_unique<common::ShardedExecutor>();
+    f.service =
+        std::make_unique<search::SearchService>(std::move(comps), 10);
+    f.service->set_executor(f.exec.get());
+    f.queries = std::move(wl.queries);
+    return f;
+  }();
+  return fx;
+}
+
+ServerConfig test_server_config() {
+  ServerConfig cfg;
+  auto& fx = fixture();
+  for (std::size_t i = 0; i < 4; ++i)
+    cfg.calibration_queries.push_back(fx.queries[i]);
+  return cfg;
+}
+
+ClientConfig client_config(std::uint16_t port, std::size_t retries = 3) {
+  ClientConfig cfg;
+  cfg.port = port;
+  cfg.max_retries = retries;
+  cfg.backoff_base_ms = 1.0;
+  cfg.backoff_cap_ms = 20.0;
+  return cfg;
+}
+
+/// Failpoints are process-global: every server test starts and ends clean.
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fp::clear_all(); }
+  void TearDown() override { fp::clear_all(); }
+};
+
+int connect_raw(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+/// Reads until the peer closes; returns everything received.
+std::vector<std::uint8_t> drain(int fd) {
+  std::vector<std::uint8_t> all;
+  std::uint8_t buf[4096];
+  for (;;) {
+    const ssize_t r = ::recv(fd, buf, sizeof buf, 0);
+    if (r <= 0) break;
+    all.insert(all.end(), buf, buf + r);
+  }
+  return all;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol round-trips
+// ---------------------------------------------------------------------------
+
+TEST(Protocol, SearchRequestRoundTrip) {
+  Request req;
+  req.request_id = 0xDEADBEEFCAFE;
+  req.op = Op::kSearch;
+  req.deadline_ms = 75;
+  req.k = 5;
+  req.terms = {3, 1, 4, 1, 5, 9};
+  const auto frame = protocol::encode_request(req);
+  ASSERT_GT(frame.size(), 4u);
+  Request out;
+  std::string err;
+  ASSERT_TRUE(
+      protocol::decode_request(frame.data() + 4, frame.size() - 4, &out, &err))
+      << err;
+  EXPECT_EQ(out.request_id, req.request_id);
+  EXPECT_EQ(out.op, Op::kSearch);
+  EXPECT_EQ(out.deadline_ms, 75u);
+  EXPECT_EQ(out.k, 5u);
+  EXPECT_EQ(out.terms, req.terms);
+}
+
+TEST(Protocol, RecommendRequestRoundTrip) {
+  Request req;
+  req.request_id = 7;
+  req.op = Op::kRecommend;
+  req.target_item = 42;
+  req.ratings = {{1, 4.5}, {9, 2.0}};
+  const auto frame = protocol::encode_request(req);
+  Request out;
+  std::string err;
+  ASSERT_TRUE(
+      protocol::decode_request(frame.data() + 4, frame.size() - 4, &out, &err))
+      << err;
+  EXPECT_EQ(out.op, Op::kRecommend);
+  EXPECT_EQ(out.target_item, 42u);
+  ASSERT_EQ(out.ratings.size(), 2u);
+  EXPECT_EQ(out.ratings[1].first, 9u);
+  EXPECT_DOUBLE_EQ(out.ratings[1].second, 2.0);
+}
+
+TEST(Protocol, ResponseRoundTripAllStatuses) {
+  {
+    Response resp;
+    resp.request_id = 11;
+    resp.op = Op::kSearch;
+    resp.status = Status::kOk;
+    resp.tier = Tier::kSynopsis;
+    resp.est_loss_pct = 17.5;
+    resp.server_ms = 3.25;
+    resp.docs = {{2.0, 10}, {1.0, 4}};
+    const auto frame = protocol::encode_response(resp);
+    Response out;
+    out.op = Op::kSearch;
+    std::string err;
+    ASSERT_TRUE(protocol::decode_response(frame.data() + 4, frame.size() - 4,
+                                          &out, &err))
+        << err;
+    EXPECT_EQ(out.tier, Tier::kSynopsis);
+    EXPECT_DOUBLE_EQ(out.est_loss_pct, 17.5);
+    ASSERT_EQ(out.docs.size(), 2u);
+    EXPECT_EQ(out.docs[0].doc, 10u);
+  }
+  {
+    Response resp;
+    resp.op = Op::kSearch;
+    resp.status = Status::kShed;
+    resp.retry_after_ms = 120;
+    const auto frame = protocol::encode_response(resp);
+    Response out;
+    out.op = Op::kSearch;
+    std::string err;
+    ASSERT_TRUE(protocol::decode_response(frame.data() + 4, frame.size() - 4,
+                                          &out, &err));
+    EXPECT_EQ(out.status, Status::kShed);
+    EXPECT_EQ(out.retry_after_ms, 120u);
+    EXPECT_TRUE(out.docs.empty());
+  }
+  {
+    Response resp;
+    resp.op = Op::kStats;
+    resp.status = Status::kError;
+    resp.text = "boom";
+    const auto frame = protocol::encode_response(resp);
+    Response out;
+    out.op = Op::kStats;
+    std::string err;
+    ASSERT_TRUE(protocol::decode_response(frame.data() + 4, frame.size() - 4,
+                                          &out, &err));
+    EXPECT_EQ(out.status, Status::kError);
+    EXPECT_EQ(out.text, "boom");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-frame fuzzing (the decoder is the trust boundary)
+// ---------------------------------------------------------------------------
+
+TEST(Protocol, RejectsBadVersionOpFlagsAndCounts) {
+  Request req;
+  req.op = Op::kSearch;
+  req.terms = {1, 2, 3};
+  auto frame = protocol::encode_request(req);
+  std::string err;
+  Request out;
+  auto body = [&frame](std::size_t off) { return frame.data() + 4 + off; };
+  const std::size_t n = frame.size() - 4;
+
+  frame[4] = 99;  // version
+  EXPECT_FALSE(protocol::decode_request(body(0), n, &out, &err));
+  frame[4] = protocol::kVersion;
+  frame[5] = 0;  // op 0 is invalid
+  EXPECT_FALSE(protocol::decode_request(body(0), n, &out, &err));
+  frame[5] = static_cast<std::uint8_t>(Op::kSearch);
+  frame[6] = 1;  // flags must be 0
+  EXPECT_FALSE(protocol::decode_request(body(0), n, &out, &err));
+  frame[6] = 0;
+
+  // Forged term count pointing past the payload.
+  auto forged = protocol::encode_request(req);
+  const std::size_t count_off = 4 + 1 + 1 + 2 + 8 + 4 + 4;  // ... | k | nterms
+  const std::uint32_t huge = 1000000;
+  std::memcpy(forged.data() + count_off, &huge, sizeof huge);
+  EXPECT_FALSE(protocol::decode_request(forged.data() + 4, forged.size() - 4,
+                                        &out, &err));
+
+  // Trailing garbage after a valid body.
+  auto padded = protocol::encode_request(req);
+  padded.push_back(0xAB);
+  EXPECT_FALSE(
+      protocol::decode_request(padded.data() + 4, padded.size() - 4 + 1, &out,
+                               &err));
+}
+
+TEST(Protocol, AllPrefixTruncationsRejectCleanly) {
+  Request req;
+  req.op = Op::kSearch;
+  req.deadline_ms = 50;
+  req.terms = {10, 20, 30, 40};
+  const auto frame = protocol::encode_request(req);
+  const std::size_t n = frame.size() - 4;
+  for (std::size_t len = 0; len < n; ++len) {
+    Request out;
+    std::string err;
+    EXPECT_FALSE(protocol::decode_request(frame.data() + 4, len, &out, &err))
+        << "prefix of length " << len << " decoded";
+  }
+  Request out;
+  std::string err;
+  EXPECT_TRUE(protocol::decode_request(frame.data() + 4, n, &out, &err));
+}
+
+TEST(Protocol, FuzzRandomBytesNeverCrash) {
+  common::Rng rng(0xF422);
+  std::vector<std::uint8_t> buf;
+  for (int iter = 0; iter < 3000; ++iter) {
+    buf.resize(rng.uniform_index(300));
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    Request rout;
+    Response pout;
+    pout.op = static_cast<Op>(1 + rng.uniform_index(4));
+    std::string err;
+    (void)protocol::decode_request(buf.data(), buf.size(), &rout, &err);
+    (void)protocol::decode_response(buf.data(), buf.size(), &pout, &err);
+  }
+}
+
+TEST(Protocol, FrameBufferRejectsForgedLength) {
+  protocol::FrameBuffer frames;
+  const std::uint32_t huge = protocol::kMaxFrameBytes + 1;
+  frames.append(reinterpret_cast<const std::uint8_t*>(&huge), 4);
+  std::vector<std::uint8_t> payload;
+  EXPECT_EQ(frames.pull(&payload), protocol::FrameBuffer::Pull::kBad);
+}
+
+TEST(Protocol, FrameBufferReassemblesDrippedFrames) {
+  Request a, b;
+  a.op = Op::kPing;
+  a.request_id = 1;
+  b.op = Op::kSearch;
+  b.request_id = 2;
+  b.terms = {5, 6};
+  auto bytes = protocol::encode_request(a);
+  const auto fb = protocol::encode_request(b);
+  bytes.insert(bytes.end(), fb.begin(), fb.end());
+
+  protocol::FrameBuffer frames;
+  std::vector<std::vector<std::uint8_t>> got;
+  std::vector<std::uint8_t> payload;
+  for (const std::uint8_t byte : bytes) {
+    frames.append(&byte, 1);
+    while (frames.pull(&payload) == protocol::FrameBuffer::Pull::kFrame)
+      got.push_back(payload);
+  }
+  ASSERT_EQ(got.size(), 2u);
+  Request out;
+  std::string err;
+  ASSERT_TRUE(protocol::decode_request(got[1].data(), got[1].size(), &out,
+                                       &err));
+  EXPECT_EQ(out.request_id, 2u);
+  EXPECT_EQ(out.terms, b.terms);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end serving
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, ServesFullTierAndCachesRepeats) {
+  auto& fx = fixture();
+  Server srv(*fx.service, nullptr, *fx.exec, test_server_config());
+  srv.start();
+  Client client(client_config(srv.port()));
+  const auto& terms = fx.queries[10].terms;
+
+  Response resp;
+  std::string err;
+  ASSERT_TRUE(client.search(terms, 1000, 10, &resp, &err)) << err;
+  EXPECT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.tier, Tier::kFull);
+  EXPECT_DOUBLE_EQ(resp.est_loss_pct, 0.0);
+  EXPECT_FALSE(resp.docs.empty());
+  const auto exact = fx.service->exact_topk(search::SearchRequest{terms});
+  ASSERT_EQ(resp.docs.size(), exact.size());
+  for (std::size_t i = 0; i < exact.size(); ++i)
+    EXPECT_EQ(resp.docs[i].doc, exact[i].doc);
+
+  Response again;
+  ASSERT_TRUE(client.search(terms, 1000, 10, &again, &err)) << err;
+  EXPECT_EQ(again.status, Status::kOk);
+  EXPECT_EQ(again.tier, Tier::kCached);
+  EXPECT_DOUBLE_EQ(again.est_loss_pct, 0.0);
+  ASSERT_EQ(again.docs.size(), resp.docs.size());
+  EXPECT_EQ(again.docs.front().doc, resp.docs.front().doc);
+
+  const auto snap = srv.snapshot();
+  EXPECT_EQ(snap.full.count, 1u);
+  EXPECT_EQ(snap.cached.count, 1u);
+  srv.stop();
+}
+
+TEST_F(ServerTest, PingAndStatsOps) {
+  auto& fx = fixture();
+  Server srv(*fx.service, nullptr, *fx.exec, test_server_config());
+  srv.start();
+  Client client(client_config(srv.port()));
+  std::string err;
+  EXPECT_TRUE(client.ping(&err)) << err;
+  std::string json;
+  ASSERT_TRUE(client.stats(&json, &err)) << err;
+  EXPECT_NE(json.find("\"full\""), std::string::npos);
+  EXPECT_NE(json.find("\"data_epoch\""), std::string::npos);
+  srv.stop();
+}
+
+TEST_F(ServerTest, HonorsClientK) {
+  auto& fx = fixture();
+  Server srv(*fx.service, nullptr, *fx.exec, test_server_config());
+  srv.start();
+  Client client(client_config(srv.port()));
+  Response resp;
+  std::string err;
+  ASSERT_TRUE(client.search(fx.queries[11].terms, 1000, 3, &resp, &err));
+  EXPECT_LE(resp.docs.size(), 3u);
+  srv.stop();
+}
+
+TEST_F(ServerTest, MalformedFrameGetsBadRequestAndCleanClose) {
+  auto& fx = fixture();
+  Server srv(*fx.service, nullptr, *fx.exec, test_server_config());
+  srv.start();
+
+  // Valid length prefix, garbage payload.
+  const int fd = connect_raw(srv.port());
+  std::uint8_t garbage[12];
+  const std::uint32_t len = 8;
+  std::memcpy(garbage, &len, 4);
+  std::memset(garbage + 4, 0xFF, 8);
+  ASSERT_EQ(::send(fd, garbage, sizeof garbage, 0),
+            static_cast<ssize_t>(sizeof garbage));
+  const auto reply = drain(fd);  // response then server-side close
+  ::close(fd);
+  ASSERT_GT(reply.size(), 4u);
+  Response resp;
+  resp.op = Op::kPing;
+  std::string err;
+  ASSERT_TRUE(protocol::decode_response(reply.data() + 4, reply.size() - 4,
+                                        &resp, &err))
+      << err;
+  EXPECT_EQ(resp.status, Status::kBadRequest);
+  EXPECT_EQ(srv.snapshot().bad_frames, 1u);
+
+  // The process took no damage: a well-formed client still gets answers.
+  Client client(client_config(srv.port()));
+  EXPECT_TRUE(client.ping(&err)) << err;
+  srv.stop();
+}
+
+TEST_F(ServerTest, RandomBytesOnSocketNeverKillTheServer) {
+  auto& fx = fixture();
+  Server srv(*fx.service, nullptr, *fx.exec, test_server_config());
+  srv.start();
+  common::Rng rng(0xBAD);
+  for (int conn = 0; conn < 8; ++conn) {
+    const int fd = connect_raw(srv.port());
+    std::uint8_t buf[256];
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    (void)::send(fd, buf, sizeof buf, 0);
+    (void)drain(fd);
+    ::close(fd);
+  }
+  Client client(client_config(srv.port()));
+  std::string err;
+  EXPECT_TRUE(client.ping(&err)) << err;
+  srv.stop();
+}
+
+TEST_F(ServerTest, AdmissionControlShedsWithRetryAfter) {
+  auto& fx = fixture();
+  ServerConfig cfg = test_server_config();
+  cfg.max_queue_per_group = 0;  // everything sheds at enqueue
+  Server srv(*fx.service, nullptr, *fx.exec, cfg);
+  srv.start();
+  Client client(client_config(srv.port(), /*retries=*/1));
+  Response resp;
+  std::string err;
+  EXPECT_FALSE(client.search(fx.queries[12].terms, 100, 10, &resp, &err));
+  EXPECT_EQ(resp.status, Status::kShed);
+  EXPECT_GT(resp.retry_after_ms, 0u);
+  EXPECT_GE(client.stats_counters().sheds_seen, 2u);  // initial + retry
+  EXPECT_GE(srv.snapshot().shed, 2u);
+  srv.stop();
+}
+
+// ---------------------------------------------------------------------------
+// The ladder under injected faults
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, AllScansDeadFallsToSynopsisAndRecovers) {
+  auto& fx = fixture();
+  Server srv(*fx.service, nullptr, *fx.exec, test_server_config());
+  srv.start();
+  Client client(client_config(srv.port()));
+  const auto& terms = fx.queries[13].terms;
+
+  fp::set("server.scan", "error");
+  Response resp;
+  std::string err;
+  ASSERT_TRUE(client.search(terms, 1000, 10, &resp, &err)) << err;
+  EXPECT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.tier, Tier::kSynopsis);
+  EXPECT_GT(resp.est_loss_pct, 0.0);
+
+  fp::clear_all();
+  Response healed;
+  ASSERT_TRUE(client.search(terms, 1000, 10, &healed, &err)) << err;
+  EXPECT_EQ(healed.status, Status::kOk);
+  EXPECT_EQ(healed.tier, Tier::kFull);
+  EXPECT_DOUBLE_EQ(healed.est_loss_pct, 0.0);
+  srv.stop();
+}
+
+TEST_F(ServerTest, OneComponentDeadYieldsMarkedPartialFullAnswer) {
+  auto& fx = fixture();
+  Server srv(*fx.service, nullptr, *fx.exec, test_server_config());
+  srv.start();
+  Client client(client_config(srv.port()));
+
+  fp::set("server.scan.c0", "error");  // kill component 0's group mid-query
+  Response resp;
+  std::string err;
+  ASSERT_TRUE(client.search(fx.queries[14].terms, 1000, 10, &resp, &err))
+      << err;
+  EXPECT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.tier, Tier::kFull);
+  const double expected_loss =
+      100.0 / static_cast<double>(fx.service->num_components());
+  EXPECT_NEAR(resp.est_loss_pct, expected_loss, 1e-9);
+  EXPECT_FALSE(resp.docs.empty());
+
+  // Partial answers must not be cached as exact: the repeat after recovery
+  // is a fresh full scan, not a poisoned cache hit.
+  fp::clear_all();
+  Response healed;
+  ASSERT_TRUE(client.search(fx.queries[14].terms, 1000, 10, &healed, &err));
+  EXPECT_EQ(healed.tier, Tier::kFull);
+  EXPECT_DOUBLE_EQ(healed.est_loss_pct, 0.0);
+  srv.stop();
+}
+
+TEST_F(ServerTest, StaleCacheServesWithPenaltyWhenAllRungsFail) {
+  auto& fx = fixture();
+  ServerConfig cfg = test_server_config();
+  Server srv(*fx.service, nullptr, *fx.exec, cfg);
+  srv.start();
+  Client client(client_config(srv.port()));
+  const auto& terms = fx.queries[15].terms;
+
+  Response prime;
+  std::string err;
+  ASSERT_TRUE(client.search(terms, 1000, 10, &prime, &err)) << err;
+  ASSERT_EQ(prime.tier, Tier::kFull);
+
+  srv.bump_data_epoch();  // cache entry is now stale
+  fp::set_many("server.scan=error;server.synopsis=error");
+  Response resp;
+  ASSERT_TRUE(client.search(terms, 1000, 10, &resp, &err)) << err;
+  EXPECT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.tier, Tier::kCached);
+  EXPECT_NEAR(resp.est_loss_pct, cfg.stale_penalty_pct, 1e-9);
+  EXPECT_EQ(resp.docs.size(), prime.docs.size());
+  srv.stop();
+}
+
+TEST_F(ServerTest, NothingLeftSheds) {
+  auto& fx = fixture();
+  Server srv(*fx.service, nullptr, *fx.exec, test_server_config());
+  srv.start();
+  Client client(client_config(srv.port(), /*retries=*/0));
+
+  fp::set_many("server.scan=error;server.synopsis=error");
+  // Terms no prior test cached: nothing on any rung.
+  Response resp;
+  std::string err;
+  EXPECT_FALSE(
+      client.search(fx.queries[16].terms, 1000, 10, &resp, &err));
+  EXPECT_EQ(resp.status, Status::kShed);
+  EXPECT_GT(resp.retry_after_ms, 0u);
+
+  fp::clear_all();
+  Response healed;
+  ASSERT_TRUE(client.search(fx.queries[16].terms, 1000, 10, &healed, &err));
+  EXPECT_EQ(healed.tier, Tier::kFull);
+  srv.stop();
+}
+
+TEST_F(ServerTest, ShortWriteDropsConnectionAndClientRetries) {
+  auto& fx = fixture();
+  Server srv(*fx.service, nullptr, *fx.exec, test_server_config());
+  srv.start();
+  Client client(client_config(srv.port()));
+
+  fp::set("server.write", "short_write:x1");
+  Response resp;
+  std::string err;
+  ASSERT_TRUE(client.search(fx.queries[17].terms, 1000, 10, &resp, &err))
+      << err;
+  EXPECT_EQ(resp.status, Status::kOk);
+  EXPECT_GE(client.stats_counters().transport_errors, 1u);
+  EXPECT_GE(client.stats_counters().reconnects, 1u);
+  srv.stop();
+}
+
+TEST_F(ServerTest, InjectedReadErrorResetsConnectionOnly) {
+  auto& fx = fixture();
+  Server srv(*fx.service, nullptr, *fx.exec, test_server_config());
+  srv.start();
+  Client client(client_config(srv.port()));
+
+  fp::set("server.read", "error:x1");  // first read attempt drops the conn
+  Response resp;
+  std::string err;
+  ASSERT_TRUE(client.search(fx.queries[18].terms, 1000, 10, &resp, &err))
+      << err;
+  EXPECT_EQ(resp.status, Status::kOk);
+  EXPECT_GE(client.stats_counters().reconnects, 1u);
+  srv.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Reload, shutdown, replay
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, ReloadComponentBumpsEpochAndCorruptReloadIsRejected) {
+  auto& fx = fixture();
+  Server srv(*fx.service, nullptr, *fx.exec, test_server_config());
+  srv.start();
+  Client client(client_config(srv.port()));
+  const auto epoch0 = srv.snapshot().data_epoch;
+
+  std::ostringstream os;
+  fx.service->component(1).save(os);
+  const std::string bytes = os.str();
+  {
+    std::istringstream is(bytes);
+    srv.reload_search_component(1, is);
+  }
+  EXPECT_EQ(srv.snapshot().data_epoch, epoch0 + 1);
+
+  // Corrupt (truncated) snapshot: structured failure, no state change,
+  // serving continues.
+  std::istringstream bad(bytes.substr(0, bytes.size() / 2));
+  EXPECT_THROW(srv.reload_search_component(1, bad), common::ArtifactError);
+  EXPECT_EQ(srv.snapshot().data_epoch, epoch0 + 1);
+  Response resp;
+  std::string err;
+  ASSERT_TRUE(client.search(fx.queries[19].terms, 1000, 10, &resp, &err))
+      << err;
+  EXPECT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.tier, Tier::kFull);
+  srv.stop();
+}
+
+TEST_F(ServerTest, ShutdownUnderLoadAnswersOrResetsEveryCall) {
+  auto& fx = fixture();
+  Server srv(*fx.service, nullptr, *fx.exec, test_server_config());
+  srv.start();
+  const std::uint16_t port = srv.port();
+
+  std::atomic<bool> run{true};
+  std::atomic<std::uint64_t> answered{0}, failed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Client client(client_config(port, /*retries=*/0));
+      std::size_t q = static_cast<std::size_t>(t);
+      while (run.load()) {
+        Response resp;
+        std::string err;
+        if (client.search(fixture().queries[q % 24].terms, 200, 10, &resp,
+                          &err))
+          answered.fetch_add(1);
+        else
+          failed.fetch_add(1);
+        ++q;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  srv.stop();  // while clients are mid-flight
+  run.store(false);
+  for (auto& t : threads) t.join();
+  EXPECT_GT(answered.load(), 0u);  // the server did real work before stop
+  // No crash, no hang: reaching here with all threads joined is the test.
+}
+
+TEST_F(ServerTest, ReplayDriverRunsHeadless) {
+  auto& fx = fixture();
+  Server srv(*fx.service, nullptr, *fx.exec, test_server_config());
+  srv.start();
+
+  ReplayConfig cfg;
+  cfg.port = srv.port();
+  cfg.num_clients = 3;
+  cfg.requests_per_client = 15;
+  cfg.deadline_ms = 1000;
+  cfg.recommend_fraction = 0.0;
+  cfg.corpus = test_corpus_config();
+  const auto report = run_replay(cfg);
+  EXPECT_EQ(report.requests, 45u);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_EQ(report.server_errors, 0u);
+  EXPECT_EQ(report.ok_full + report.ok_synopsis + report.ok_cached, 45u);
+  const auto json = report.to_json();
+  EXPECT_NE(json.find("\"shed_rate\""), std::string::npos);
+  srv.stop();
+}
+
+TEST_F(ServerTest, RecommendWithoutServiceIsBadRequest) {
+  auto& fx = fixture();
+  Server srv(*fx.service, nullptr, *fx.exec, test_server_config());
+  srv.start();
+  Client client(client_config(srv.port()));
+  Response resp;
+  std::string err;
+  ASSERT_TRUE(client.recommend(3, {{1, 4.0}, {2, 2.5}}, 100, &resp, &err))
+      << err;
+  EXPECT_EQ(resp.status, Status::kBadRequest);
+  srv.stop();
+}
+
+}  // namespace
+}  // namespace at::server

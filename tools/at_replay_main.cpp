@@ -1,0 +1,80 @@
+// at_replay: scripted replay driver against a running at_server.
+//
+// Drives a deterministic query stream from N concurrent clients and prints
+// the aggregated report (per-tier p50/p99 latency, shed rate, transport
+// errors) as JSON to stdout — the payload the CI smoke job and
+// BENCH_serving.json consume. Exit code 0 iff every call was eventually
+// answered (shed-then-retried is fine; exhausted retries are not) and no
+// server error was returned, unless --allow-errors is given (fault
+// injection runs expect some).
+//
+// Flags: --port N       (required) server port
+//        --clients N    concurrent clients (default 4)
+//        --requests N   requests per client (default 50)
+//        --deadline MS  per-request deadline (default 100)
+//        --reco-frac P  fraction [0,1] of recommend ops (default 0.1)
+//        --components N corpus shards — must match the server (default 8)
+//        --docs N       docs per component — must match (default 200)
+//        --allow-errors tolerate shed-exhaustion / error responses
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "server/replay.h"
+
+namespace {
+
+long arg_long(int argc, char** argv, const char* name, long def) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return std::atol(argv[i + 1]);
+  return def;
+}
+
+double arg_double(int argc, char** argv, const char* name, double def) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  return def;
+}
+
+bool arg_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return true;
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace at;
+
+  const long port = arg_long(argc, argv, "--port", 0);
+  if (port <= 0) {
+    std::cerr << "at_replay: --port is required\n";
+    return 2;
+  }
+
+  server::ReplayConfig cfg;
+  cfg.port = static_cast<std::uint16_t>(port);
+  cfg.num_clients = static_cast<std::size_t>(arg_long(argc, argv, "--clients", 4));
+  cfg.requests_per_client =
+      static_cast<std::size_t>(arg_long(argc, argv, "--requests", 50));
+  cfg.deadline_ms =
+      static_cast<std::uint32_t>(arg_long(argc, argv, "--deadline", 100));
+  cfg.recommend_fraction = arg_double(argc, argv, "--reco-frac", 0.1);
+  cfg.corpus.num_components =
+      static_cast<std::size_t>(arg_long(argc, argv, "--components", 8));
+  cfg.corpus.docs_per_component =
+      static_cast<std::size_t>(arg_long(argc, argv, "--docs", 200));
+  cfg.corpus.seed = 20160816;  // same stream the server was built from
+
+  const auto report = server::run_replay(cfg);
+  std::cout << report.to_json() << std::endl;
+
+  if (arg_flag(argc, argv, "--allow-errors")) return 0;
+  if (report.failures > 0 || report.server_errors > 0) {
+    std::cerr << "at_replay: " << report.failures << " failed calls, "
+              << report.server_errors << " server errors\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+// at_server: standalone serving binary for CI smoke runs and manual poking.
+//
+// Builds a synthetic search corpus (plus a small CF recommender), starts
+// the deadline-aware server and blocks until SIGTERM/SIGINT, then shuts
+// down cleanly and prints the final serving stats JSON to stdout.
+//
+// Startup line (parsed by scripts):  LISTENING <port>
+//
+// Flags: --port N        bind port (default 0 = ephemeral)
+//        --components N  shard components (default 8)
+//        --docs N        docs per component (default 200)
+//        --queue N       admission bound per group (default 64)
+//        --deadline MS   default deadline for requests that carry none
+//        --no-reco       skip building the recommender
+//
+// Fault injection: arm failpoints via AT_FAILPOINTS (see README).
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/sharded_executor.h"
+#include "server/server.h"
+#include "services/recommender/service.h"
+#include "services/search/service.h"
+#include "workload/corpus.h"
+#include "workload/ratings.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+
+long arg_long(int argc, char** argv, const char* name, long def) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return std::atol(argv[i + 1]);
+  return def;
+}
+
+bool arg_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return true;
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace at;
+
+  const long port = arg_long(argc, argv, "--port", 0);
+  const long components = arg_long(argc, argv, "--components", 8);
+  const long docs = arg_long(argc, argv, "--docs", 200);
+  const long queue = arg_long(argc, argv, "--queue", 64);
+  const long deadline = arg_long(argc, argv, "--deadline", 100);
+  const bool no_reco = arg_flag(argc, argv, "--no-reco");
+
+  // Search corpus + service.
+  workload::CorpusConfig ccfg;
+  ccfg.num_components = static_cast<std::size_t>(components);
+  ccfg.docs_per_component = static_cast<std::size_t>(docs);
+  ccfg.seed = 20160816;
+  workload::CorpusGen gen(ccfg);
+  auto wl = gen.generate(16);  // the 16 queries seed calibration
+
+  synopsis::BuildConfig bcfg;
+  bcfg.svd.rank = 3;
+  bcfg.svd.epochs_per_dim = 30;
+  bcfg.size_ratio = 12.0;
+
+  std::vector<search::SearchComponent> comps;
+  std::uint64_t base = 0;
+  for (auto& shard : wl.shards) {
+    const auto n = shard.rows();
+    comps.emplace_back(std::move(shard), base, bcfg);
+    base += n;
+  }
+  search::SearchService search(std::move(comps), 10);
+  common::ShardedExecutor exec;
+  search.set_executor(&exec);
+
+  // Small CF recommender so the recommend op is live.
+  std::unique_ptr<reco::CfService> reco;
+  if (!no_reco) {
+    workload::RatingConfig rcfg;
+    rcfg.num_components = 4;
+    rcfg.users_per_component = 120;
+    rcfg.num_items = 256;
+    rcfg.seed = 20160816;
+    workload::RatingWorkloadGen rgen(rcfg);
+    auto rwl = rgen.generate(8, 1);
+    std::vector<reco::RecommenderComponent> rcomps;
+    for (auto& subset : rwl.subsets) rcomps.emplace_back(std::move(subset), bcfg);
+    reco = std::make_unique<reco::CfService>(std::move(rcomps),
+                                             rcfg.min_rating, rcfg.max_rating);
+    reco->set_executor(&exec);
+  }
+
+  server::ServerConfig scfg;
+  scfg.port = static_cast<std::uint16_t>(port);
+  scfg.max_queue_per_group = static_cast<std::size_t>(queue);
+  scfg.default_deadline_ms = static_cast<double>(deadline);
+  scfg.calibration_queries = wl.queries;
+
+  server::Server server(search, reco.get(), exec, scfg);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "at_server: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGINT, handle_signal);
+  std::cout << "LISTENING " << server.port() << std::endl;
+
+  while (g_stop == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  server.stop();
+  std::cout << server.stats_json() << std::endl;
+  return 0;
+}
