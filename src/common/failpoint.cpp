@@ -2,11 +2,12 @@
 
 #include <chrono>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace at::common::failpoint {
 
@@ -25,8 +26,8 @@ struct Entry {
 };
 
 struct Registry {
-  std::mutex mutex;
-  std::unordered_map<std::string, Entry> sites;
+  Mutex mutex;
+  std::unordered_map<std::string, Entry> sites AT_GUARDED_BY(mutex);
 };
 
 Registry& registry() {
@@ -95,7 +96,7 @@ void set(const std::string& site, const std::string& spec) {
   if (site.empty()) throw std::invalid_argument("failpoint: empty site");
   Entry e = parse_spec(spec);
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   auto it = r.sites.find(site);
   const bool was_armed = it != r.sites.end();
   if (e.action == Action::kOff) {
@@ -139,7 +140,7 @@ void clear(const std::string& site) { set(site, "off"); }
 
 void clear_all() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   detail::g_armed_count.fetch_sub(static_cast<int>(r.sites.size()),
                                   std::memory_order_relaxed);
   r.sites.clear();
@@ -147,7 +148,7 @@ void clear_all() {
 
 std::uint64_t hits(const std::string& site) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   auto it = r.sites.find(site);
   return it == r.sites.end() ? 0 : it->second.hits;
 }
@@ -156,7 +157,7 @@ Decision check(const char* site) {
   Decision d;
   {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     auto it = r.sites.find(site);
     if (it == r.sites.end()) return d;
     Entry& e = it->second;

@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace at::common {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mutex;
+Mutex g_log_mutex;  // serializes whole lines onto stderr
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -32,7 +33,7 @@ LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 void log_line(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed))
     return;
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 

@@ -17,7 +17,7 @@ thread_local std::size_t t_current_group = ShardedExecutor::kNoGroup;
 void* NodeArena::allocate(std::size_t bytes) {
   constexpr std::size_t kAlign = 64;
   const std::size_t need = (bytes + kAlign - 1) / kAlign * kAlign;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& b : blocks_) {
     if (b.size - b.used >= need) {
       // `used` counts from the aligned base, so every allocation — also
@@ -44,12 +44,12 @@ void* NodeArena::allocate(std::size_t bytes) {
 }
 
 void NodeArena::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& b : blocks_) b.used = 0;
 }
 
 NodeArena::Checkpoint NodeArena::mark() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Checkpoint cp;
   cp.used.reserve(blocks_.size());
   for (const auto& b : blocks_) cp.used.push_back(b.used);
@@ -57,7 +57,7 @@ NodeArena::Checkpoint NodeArena::mark() const {
 }
 
 void NodeArena::release(const Checkpoint& cp) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Blocks grabbed after the mark roll back to empty but stay owned, so
   // their capacity (and first-touch page placement) is reused.
   for (std::size_t i = 0; i < blocks_.size(); ++i) {
@@ -66,14 +66,14 @@ void NodeArena::release(const Checkpoint& cp) {
 }
 
 std::size_t NodeArena::bytes_reserved() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::size_t total = 0;
   for (const auto& b : blocks_) total += b.size;
   return total;
 }
 
 std::size_t NodeArena::bytes_used() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::size_t total = 0;
   for (const auto& b : blocks_) total += b.used;
   return total;

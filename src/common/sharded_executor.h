@@ -22,9 +22,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "common/topology.h"
 
@@ -79,8 +79,8 @@ class NodeArena {
   };
 
   std::size_t block_bytes_;
-  mutable std::mutex mutex_;
-  std::vector<Block> blocks_;
+  mutable Mutex mutex_;
+  std::vector<Block> blocks_ AT_GUARDED_BY(mutex_);
 };
 
 class ShardedExecutor {

@@ -1,0 +1,181 @@
+// Clang Thread Safety Analysis annotations and the annotated lock types
+// every mutex-protected structure in this codebase uses (ISSUE 7
+// tentpole). Under Clang with -Wthread-safety the compiler *proves* lock
+// discipline at build time: reading or writing an AT_GUARDED_BY(mu) field
+// without holding `mu`, or calling an AT_REQUIRES(mu) function unlocked,
+// is a compile error in the clang-analysis CI job (-Werror). GCC and
+// other compilers see empty macros and identical runtime behavior.
+//
+// How to annotate a new lock:
+//
+//   class Widget {
+//     void refresh();                       // takes the lock itself
+//     void refresh_locked() AT_REQUIRES(mutex_);  // caller holds the lock
+//    private:
+//     common::Mutex mutex_;
+//     std::deque<Item> queue_ AT_GUARDED_BY(mutex_);
+//   };
+//
+//   void Widget::refresh() {
+//     common::MutexLock lock(mutex_);
+//     queue_.clear();                        // OK: lock is held
+//   }
+//
+// Condition-variable waits re-check their predicate in an explicit loop
+// while holding the annotated mutex (lambda predicates are opaque to the
+// analysis, so the wait-with-predicate overload does not exist here):
+//
+//   common::MutexLock lock(mutex_);
+//   while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
+//
+// The escape hatch AT_NO_THREAD_SAFETY_ANALYSIS is for functions whose
+// locking is deliberately outside what the analysis can follow; every use
+// needs a comment saying why.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define AT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define AT_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define AT_CAPABILITY(x) AT_THREAD_ANNOTATION(capability(x))
+#define AT_SCOPED_CAPABILITY AT_THREAD_ANNOTATION(scoped_lockable)
+#define AT_GUARDED_BY(x) AT_THREAD_ANNOTATION(guarded_by(x))
+#define AT_PT_GUARDED_BY(x) AT_THREAD_ANNOTATION(pt_guarded_by(x))
+#define AT_ACQUIRED_BEFORE(...) \
+  AT_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define AT_ACQUIRED_AFTER(...) \
+  AT_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define AT_REQUIRES(...) \
+  AT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define AT_REQUIRES_SHARED(...) \
+  AT_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define AT_ACQUIRE(...) \
+  AT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define AT_ACQUIRE_SHARED(...) \
+  AT_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define AT_RELEASE(...) \
+  AT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define AT_RELEASE_SHARED(...) \
+  AT_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define AT_TRY_ACQUIRE(...) \
+  AT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define AT_EXCLUDES(...) AT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define AT_ASSERT_CAPABILITY(x) AT_THREAD_ANNOTATION(assert_capability(x))
+#define AT_RETURN_CAPABILITY(x) AT_THREAD_ANNOTATION(lock_returned(x))
+#define AT_NO_THREAD_SAFETY_ANALYSIS \
+  AT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace at::common {
+
+/// Annotated exclusive mutex. A drop-in std::mutex with the capability
+/// attribute the analysis tracks; `native()` exposes the wrapped mutex for
+/// CondVar's adopt-lock dance only.
+class AT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() AT_ACQUIRE() { mu_.lock(); }
+  void unlock() AT_RELEASE() { mu_.unlock(); }
+  bool try_lock() AT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over Mutex (the std::lock_guard shape, annotated).
+class AT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) AT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() AT_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. wait() atomically releases the
+/// mutex, blocks, and reacquires before returning — callers hold the lock
+/// across the call (which is what AT_REQUIRES asserts) and re-check their
+/// predicate in an explicit loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) AT_REQUIRES(mu) {
+    // Adopt the already-held native mutex so the plain (fast)
+    // std::condition_variable can be used; release() hands ownership back
+    // without unlocking, so the Mutex is held again on return, exactly as
+    // the annotation promises.
+    std::unique_lock<std::mutex> native(mu.native(), std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Annotated reader/writer mutex over std::shared_mutex.
+class AT_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() AT_ACQUIRE() { mu_.lock(); }
+  void unlock() AT_RELEASE() { mu_.unlock(); }
+  void lock_shared() AT_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() AT_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over SharedMutex (writers).
+class AT_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) AT_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterMutexLock() AT_RELEASE() { mu_.unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared lock over SharedMutex (readers).
+class AT_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) AT_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderMutexLock() AT_RELEASE() { mu_.unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace at::common

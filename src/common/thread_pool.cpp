@@ -52,7 +52,7 @@ ThreadPool::ThreadPool(const std::vector<int>& pin_cpus,
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -65,12 +65,9 @@ void ThreadPool::worker_loop(std::function<void(std::size_t)> on_start,
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
+      if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());
       queue_.pop();
     }
@@ -81,7 +78,7 @@ void ThreadPool::worker_loop(std::function<void(std::size_t)> on_start,
 bool ThreadPool::run_one_queued_task() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop();

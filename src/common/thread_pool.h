@@ -7,14 +7,14 @@
 // per topology node from the pinning constructor.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace at::common {
 
@@ -46,7 +46,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<void()>>(std::forward<F>(fn));
     std::future<void> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
       queue_.emplace([task] { (*task)(); });
     }
@@ -79,10 +79,10 @@ class ThreadPool {
   bool run_one_queued_task();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ AT_GUARDED_BY(mutex_);
+  bool stopping_ AT_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace at::common

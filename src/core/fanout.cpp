@@ -1,9 +1,9 @@
 #include "core/fanout.h"
 
 #include <atomic>
-#include <mutex>
 
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 
 namespace at::core {
 
@@ -14,17 +14,17 @@ namespace {
 struct RequestState {
   explicit RequestState(std::size_t n) : results(n) {}
 
-  std::vector<FanOutComponentResult> results;
+  common::Mutex merge_mutex;
+  std::vector<FanOutComponentResult> results AT_GUARDED_BY(merge_mutex);
   std::atomic<std::size_t> outstanding{0};
   common::Stopwatch dispatch_time;
   FanOutCoordinator::MergerFn merger;
-  std::mutex merge_mutex;  // guards the non-atomic result slots ordering
 
   void finish_one() {
     if (outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       FanOutResult out;
       {
-        std::lock_guard<std::mutex> lock(merge_mutex);
+        common::MutexLock lock(merge_mutex);
         out.components = std::move(results);
       }
       out.latency_ms = dispatch_time.elapsed_ms();
@@ -66,7 +66,7 @@ std::size_t FanOutCoordinator::dispatch(const Stage1Fn& stage1,
         [improve, c](std::size_t group) { improve(c, group); },
         [state, c](const JobResult& job) {
           {
-            std::lock_guard<std::mutex> lock(state->merge_mutex);
+            common::MutexLock lock(state->merge_mutex);
             state->results[c].accepted = true;
             state->results[c].job = job;
           }

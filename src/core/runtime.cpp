@@ -1,5 +1,7 @@
 #include "core/runtime.h"
 
+#include <utility>
+
 namespace at::core {
 
 namespace {
@@ -23,7 +25,7 @@ ComponentRuntime::~ComponentRuntime() { shutdown(); }
 bool ComponentRuntime::submit(Stage1Fn stage1, ImproveFn improve,
                               CompletionFn done) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     if (stopping_ || queue_.size() >= config_.queue_capacity) {
       ++stats_.rejected;
       return false;
@@ -37,40 +39,54 @@ bool ComponentRuntime::submit(Stage1Fn stage1, ImproveFn improve,
 }
 
 std::size_t ComponentRuntime::pending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return queue_.size();
 }
 
 RuntimeStats ComponentRuntime::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return stats_;
 }
 
 common::PercentileTracker ComponentRuntime::latency_snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return latency_ms_;
 }
 
 void ComponentRuntime::shutdown() {
+  // Exactly one caller may execute worker_.join(): joining the same
+  // std::thread from two threads is undefined behavior (the destructor and
+  // an explicit shutdown() used to race here). The first caller to flip
+  // join_started_ owns the join; everyone else waits for join_done_ so all
+  // callers still observe "worker is down" on return.
+  bool do_join = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_ && !worker_.joinable()) return;
+    common::MutexLock lock(mutex_);
     stopping_ = true;
+    if (!join_started_) {
+      join_started_ = true;
+      do_join = true;
+    }
   }
   cv_.notify_all();
-  if (worker_.joinable()) worker_.join();
+  if (do_join) {
+    worker_.join();
+    common::MutexLock lock(mutex_);
+    join_done_ = true;
+    cv_.notify_all();
+  } else {
+    common::MutexLock lock(mutex_);
+    while (!join_done_) cv_.wait(mutex_);
+  }
 }
 
 void ComponentRuntime::worker_loop() {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
+      common::MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
+      if (queue_.empty()) return;  // stopping and drained
       job = std::move(queue_.front());
       queue_.pop_front();
     }
@@ -83,7 +99,7 @@ void ComponentRuntime::worker_loop() {
     result.total_latency_ms = job.enqueue_time.elapsed_ms();
 
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       ++stats_.completed;
       latency_ms_.add(result.total_latency_ms);
     }

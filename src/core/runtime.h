@@ -10,15 +10,14 @@
 // the large-scale experiments.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 #include "common/stopwatch.h"
 #include "core/algorithm1.h"
 
@@ -72,7 +71,8 @@ class ComponentRuntime {
   common::PercentileTracker latency_snapshot() const;
 
   /// Stops accepting new requests, finishes the queue, joins the worker.
-  /// Idempotent; also called by the destructor.
+  /// Idempotent and safe to call from several threads at once: exactly one
+  /// caller joins, the others block until the worker is down.
   void shutdown();
 
  private:
@@ -86,12 +86,16 @@ class ComponentRuntime {
   void worker_loop();
 
   RuntimeConfig config_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Job> queue_;
-  bool stopping_ = false;
-  RuntimeStats stats_;
-  common::PercentileTracker latency_ms_;
+  mutable common::Mutex mutex_;
+  common::CondVar cv_;
+  std::deque<Job> queue_ AT_GUARDED_BY(mutex_);
+  bool stopping_ AT_GUARDED_BY(mutex_) = false;
+  // Shutdown handshake: the caller that flips join_started_ owns the
+  // worker_.join(); everyone else waits for join_done_.
+  bool join_started_ AT_GUARDED_BY(mutex_) = false;
+  bool join_done_ AT_GUARDED_BY(mutex_) = false;
+  RuntimeStats stats_ AT_GUARDED_BY(mutex_);
+  common::PercentileTracker latency_ms_ AT_GUARDED_BY(mutex_);
   std::thread worker_;
 };
 

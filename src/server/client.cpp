@@ -30,6 +30,11 @@ Client::Client(ClientConfig config)
 Client::~Client() { close(); }
 
 bool Client::connect(std::string* err) {
+  common::MutexLock lock(mutex_);
+  return connect_locked(err);
+}
+
+bool Client::connect_locked(std::string* err) {
   if (fd_ >= 0) return true;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
@@ -59,6 +64,11 @@ bool Client::connect(std::string* err) {
 }
 
 void Client::close() {
+  common::MutexLock lock(mutex_);
+  close_locked();
+}
+
+void Client::close_locked() {
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
@@ -90,7 +100,7 @@ bool Client::recv_some(std::string* err) {
 bool Client::attempt(const protocol::Request& req,
                      const std::vector<std::uint8_t>& frame,
                      protocol::Response* resp, std::string* err) {
-  if (!connect(err)) return false;
+  if (!connect_locked(err)) return false;
   const std::uint8_t* p = frame.data();
   std::size_t n = frame.size();
   while (n > 0) {
@@ -142,12 +152,17 @@ void Client::backoff(std::size_t attempt_idx, std::uint32_t retry_after_ms) {
   base = std::min(base, config_.backoff_cap_ms);
   const double sleep_ms = base * jitter_.uniform(0.5, 1.0);
   stats_.backoff_total_ms += sleep_ms;
+  // atlint: allow(banned-sleep) — the backoff envelope IS the contract.
   std::this_thread::sleep_for(
       std::chrono::duration<double, std::milli>(sleep_ms));
 }
 
 bool Client::call(const protocol::Request& req_in, protocol::Response* resp,
                   std::string* err) {
+  // One lock across the whole call, backoff sleeps included: the client
+  // runs a single connection, so concurrent calls must serialize anyway
+  // (two callers draining one socket would steal each other's frames).
+  common::MutexLock lock(mutex_);
   protocol::Request req = req_in;
   ++stats_.calls;
   std::string last_err = "no attempt made";
@@ -165,7 +180,7 @@ bool Client::call(const protocol::Request& req_in, protocol::Response* resp,
     }
     ++stats_.transport_errors;
     last_err = aerr;
-    close();  // the stream may be mid-frame; reconnect clean
+    close_locked();  // the stream may be mid-frame; reconnect clean
     ++stats_.reconnects;
     backoff(a, 0);
   }

@@ -7,6 +7,12 @@
 //
 // Deterministic by construction: the jitter stream is seeded from the
 // config, so replay runs and tests reproduce bit-identical schedules.
+//
+// Thread-safe: every public operation holds one internal mutex, so a
+// Client may be shared across threads. Concurrent call()s serialize —
+// necessary, not just convenient: the client runs one connection, and a
+// second caller draining the socket mid-response would steal (and drop,
+// as "stale") the first caller's frame.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +20,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "server/protocol.h"
 
 namespace at::server {
@@ -56,7 +63,10 @@ class Client {
   /// to fail fast. Returns false (with err) when the server is unreachable.
   bool connect(std::string* err = nullptr);
   void close();
-  bool connected() const { return fd_ >= 0; }
+  bool connected() const {
+    common::MutexLock lock(mutex_);
+    return fd_ >= 0;
+  }
 
   /// One synchronous RPC. Assigns the request id, sends, and waits for the
   /// response. Transport errors reconnect and retry with jittered
@@ -80,22 +90,31 @@ class Client {
   /// Fetches the server's stats op; returns the JSON body.
   bool stats(std::string* json, std::string* err);
 
-  const ClientStats& stats_counters() const { return stats_; }
+  /// Snapshot of the retry/transport counters (copied under the lock).
+  ClientStats stats_counters() const {
+    common::MutexLock lock(mutex_);
+    return stats_;
+  }
 
  private:
+  bool connect_locked(std::string* err) AT_REQUIRES(mutex_);
+  void close_locked() AT_REQUIRES(mutex_);
   /// One attempt: send the frame, read frames until the matching response.
   bool attempt(const protocol::Request& req,
                const std::vector<std::uint8_t>& frame,
-               protocol::Response* resp, std::string* err);
-  bool recv_some(std::string* err);
-  void backoff(std::size_t attempt_idx, std::uint32_t retry_after_ms);
+               protocol::Response* resp, std::string* err)
+      AT_REQUIRES(mutex_);
+  bool recv_some(std::string* err) AT_REQUIRES(mutex_);
+  void backoff(std::size_t attempt_idx, std::uint32_t retry_after_ms)
+      AT_REQUIRES(mutex_);
 
   ClientConfig config_;
-  int fd_ = -1;
-  std::uint64_t next_request_id_ = 1;
-  protocol::FrameBuffer frames_;
-  common::Rng jitter_;
-  ClientStats stats_;
+  mutable common::Mutex mutex_;
+  int fd_ AT_GUARDED_BY(mutex_) = -1;
+  std::uint64_t next_request_id_ AT_GUARDED_BY(mutex_) = 1;
+  protocol::FrameBuffer frames_ AT_GUARDED_BY(mutex_);
+  common::Rng jitter_ AT_GUARDED_BY(mutex_);
+  ClientStats stats_ AT_GUARDED_BY(mutex_);
 };
 
 }  // namespace at::server

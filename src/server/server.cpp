@@ -65,10 +65,10 @@ struct Server::Job {
 };
 
 struct Server::GroupQueue {
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::deque<Job> jobs;
-  bool open = true;  // false once the worker must drain and exit
+  common::Mutex mutex;
+  common::CondVar cv;
+  std::deque<Job> jobs AT_GUARDED_BY(mutex);
+  bool open AT_GUARDED_BY(mutex) = true;  // false: worker drains and exits
 };
 
 // ---------------------------------------------------------------------------
@@ -149,7 +149,7 @@ void Server::stop() {
   //    (their promises must be fulfilled — connection threads are waiting
   //    on them), then exit.
   for (auto& q : queues_) {
-    std::lock_guard<std::mutex> lock(q->mutex);
+    common::MutexLock lock(q->mutex);
     q->open = false;
     q->cv.notify_all();
   }
@@ -161,7 +161,7 @@ void Server::stop() {
   // 3. Now that no responses are pending, unblock and join the
   //    connection threads.
   {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    common::MutexLock lock(conn_mutex_);
     for (auto& c : connections_) {
       if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
     }
@@ -169,7 +169,7 @@ void Server::stop() {
   for (;;) {
     std::unique_ptr<Connection> victim;
     {
-      std::lock_guard<std::mutex> lock(conn_mutex_);
+      common::MutexLock lock(conn_mutex_);
       if (connections_.empty()) break;
       victim = std::move(connections_.back());
       connections_.pop_back();
@@ -236,7 +236,7 @@ void Server::acceptor_loop() {
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     Connection* raw = conn.get();
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    common::MutexLock lock(conn_mutex_);
     connections_.push_back(std::move(conn));
     raw->thread =
         std::thread([this, fd, conn_id] { connection_loop(fd, conn_id); });
@@ -335,7 +335,7 @@ void Server::connection_loop(int fd, std::uint64_t conn_id) {
   // The fd itself is closed by stop() (which owns the Connection entry) or
   // here when the server keeps running and the entry can be reaped lazily.
   if (!stopping_.load()) {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    common::MutexLock lock(conn_mutex_);
     for (auto& c : connections_) {
       if (c->fd == fd && c->thread.get_id() == std::this_thread::get_id()) {
         ::close(fd);
@@ -371,39 +371,47 @@ bool Server::admit(Request req, Response* shed_resp,
           1, std::memory_order_relaxed)) %
       queues_.size();
   GroupQueue& q = *queues_[g];
-  std::unique_lock<std::mutex> lock(q.mutex);
-  if (!q.open) {
-    shed_resp->status = Status::kError;
-    shed_resp->text = "server shutting down";
-    return false;
+  // Decide under the queue lock, count under the stats lock — never both
+  // at once (the stats lock is hot on the serving path).
+  bool enqueued = false;
+  {
+    common::MutexLock lock(q.mutex);
+    if (!q.open) {
+      shed_resp->status = Status::kError;
+      shed_resp->text = "server shutting down";
+      return false;
+    }
+    const std::size_t depth = q.jobs.size();
+    const double est_wait_ms =
+        static_cast<double>(depth) * std::max(est_full_ms_.load(), 0.1);
+    // Shed when the queue is at its bound, or when the deadline is already
+    // unmeetable at enqueue time (the queue ahead alone eats the budget —
+    // serving this request would waste work the deadline makes worthless).
+    if (depth >= config_.max_queue_per_group || est_wait_ms >= deadline_ms) {
+      std::uint32_t retry_ms = static_cast<std::uint32_t>(
+          std::clamp(est_wait_ms - deadline_ms + est_full_ms_.load(), 1.0,
+                     5000.0));
+      shed_resp->status = Status::kShed;
+      shed_resp->retry_after_ms = retry_ms;
+    } else {
+      Job job;
+      job.req = std::move(req);
+      job.enqueued = SteadyClock::now();
+      *done = job.done.get_future();
+      q.jobs.push_back(std::move(job));
+      q.cv.notify_one();
+      enqueued = true;
+    }
   }
-  const std::size_t depth = q.jobs.size();
-  const double est_wait_ms =
-      static_cast<double>(depth) * std::max(est_full_ms_.load(), 0.1);
-  // Shed when the queue is at its bound, or when the deadline is already
-  // unmeetable at enqueue time (the queue ahead alone eats the budget —
-  // serving this request would waste work the deadline makes worthless).
-  if (depth >= config_.max_queue_per_group || est_wait_ms >= deadline_ms) {
-    std::uint32_t retry_ms = static_cast<std::uint32_t>(
-        std::clamp(est_wait_ms - deadline_ms + est_full_ms_.load(), 1.0,
-                   5000.0));
-    shed_resp->status = Status::kShed;
-    shed_resp->retry_after_ms = retry_ms;
-    lock.unlock();
-    std::lock_guard<std::mutex> slock(stats_mutex_);
-    ++shed_;
-    return false;
+  {
+    common::MutexLock slock(stats_mutex_);
+    if (enqueued) {
+      ++accepted_;
+    } else {
+      ++shed_;
+    }
   }
-  Job job;
-  job.req = std::move(req);
-  job.enqueued = SteadyClock::now();
-  *done = job.done.get_future();
-  q.jobs.push_back(std::move(job));
-  q.cv.notify_one();
-  lock.unlock();
-  std::lock_guard<std::mutex> slock(stats_mutex_);
-  ++accepted_;
-  return true;
+  return enqueued;
 }
 
 void Server::worker_loop(std::size_t g) {
@@ -411,8 +419,8 @@ void Server::worker_loop(std::size_t g) {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(q.mutex);
-      q.cv.wait(lock, [&] { return !q.jobs.empty() || !q.open; });
+      common::MutexLock lock(q.mutex);
+      while (q.jobs.empty() && q.open) q.cv.wait(q.mutex);
       if (q.jobs.empty()) return;  // closed and drained
       job = std::move(q.jobs.front());
       q.jobs.pop_front();
@@ -447,7 +455,7 @@ Response Server::serve(const Job& job) {
   try {
     AT_FAILPOINT("server.dispatch");
     const double remaining = deadline_ms - ms_since(job.enqueued);
-    std::shared_lock<std::shared_mutex> guard(state_mutex_);
+    common::ReaderMutexLock guard(state_mutex_);
     if (job.req.op == Op::kSearch) {
       resp = serve_search(job.req, remaining);
     } else {
@@ -615,7 +623,7 @@ Response Server::serve_recommend(const Request& req, double remaining_ms) {
 // ---------------------------------------------------------------------------
 
 void Server::record(const Response& resp) {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  common::MutexLock lock(stats_mutex_);
   switch (resp.status) {
     case Status::kOk:
       break;
@@ -647,7 +655,7 @@ void Server::record(const Response& resp) {
 }
 
 ServingSnapshot Server::snapshot() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  common::MutexLock lock(stats_mutex_);
   ServingSnapshot s;
   auto fill = [](const common::PercentileTracker& lat,
                  const common::StreamingStats& loss) {
@@ -707,7 +715,7 @@ void Server::reload_search_component(std::size_t c, std::istream& is) {
   // Exclusive: no query may be scanning the component being swapped. The
   // load itself (the slow part) throws before this point mutates anything
   // — SearchService::reload_component gives the strong guarantee.
-  std::unique_lock<std::shared_mutex> guard(state_mutex_);
+  common::WriterMutexLock guard(state_mutex_);
   search_.reload_component(c, is);
   bump_data_epoch();
 }

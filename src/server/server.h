@@ -35,19 +35,17 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <istream>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/sharded_executor.h"
+#include "common/thread_annotations.h"
 #include "common/stats.h"
 #include "server/protocol.h"
 #include "services/recommender/service.h"
@@ -154,10 +152,14 @@ class Server {
              std::future<protocol::Response>* done);
 
   protocol::Response serve(const Job& job);
+  /// Ladder rungs run with state_mutex_ held shared: a component reload
+  /// (exclusive holder) can never swap data out from under a scan.
   protocol::Response serve_search(const protocol::Request& req,
-                                  double remaining_ms);
+                                  double remaining_ms)
+      AT_REQUIRES_SHARED(state_mutex_);
   protocol::Response serve_recommend(const protocol::Request& req,
-                                     double remaining_ms);
+                                     double remaining_ms)
+      AT_REQUIRES_SHARED(state_mutex_);
   void record(const protocol::Response& resp);
   void calibrate();
   void observe_cost(std::atomic<double>& est_ms, double observed_ms);
@@ -176,12 +178,13 @@ class Server {
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> rr_next_group_{0};
 
-  std::mutex conn_mutex_;
+  common::Mutex conn_mutex_;
   struct Connection {
     int fd = -1;
     std::thread thread;
   };
-  std::vector<std::unique_ptr<Connection>> connections_;
+  std::vector<std::unique_ptr<Connection>> connections_
+      AT_GUARDED_BY(conn_mutex_);
 
   // Answer cache: full-tier answers keyed by canonical terms, annotated
   // (QueryCache::ResultMeta) with recorded loss + the data epoch they were
@@ -191,7 +194,7 @@ class Server {
 
   // Reloads swap a component while workers may be scanning it: workers
   // hold this shared, reload_search_component holds it exclusively.
-  std::shared_mutex state_mutex_;
+  common::SharedMutex state_mutex_;
 
   // Ladder cost model.
   std::atomic<double> est_full_ms_{0.0};
@@ -201,10 +204,16 @@ class Server {
   double synopsis_loss_pct_ = 0.0;
 
   // Aggregated serving stats.
-  mutable std::mutex stats_mutex_;
-  common::PercentileTracker lat_full_, lat_synopsis_, lat_cached_;
-  common::StreamingStats loss_full_, loss_synopsis_, loss_cached_;
-  std::uint64_t shed_ = 0, errors_ = 0, accepted_ = 0;
+  mutable common::Mutex stats_mutex_;
+  common::PercentileTracker lat_full_ AT_GUARDED_BY(stats_mutex_),
+      lat_synopsis_ AT_GUARDED_BY(stats_mutex_),
+      lat_cached_ AT_GUARDED_BY(stats_mutex_);
+  common::StreamingStats loss_full_ AT_GUARDED_BY(stats_mutex_),
+      loss_synopsis_ AT_GUARDED_BY(stats_mutex_),
+      loss_cached_ AT_GUARDED_BY(stats_mutex_);
+  std::uint64_t shed_ AT_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t errors_ AT_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t accepted_ AT_GUARDED_BY(stats_mutex_) = 0;
   std::atomic<std::uint64_t> bad_frames_{0};
   std::atomic<std::uint64_t> connections_seen_{0};
 };

@@ -47,7 +47,7 @@ std::vector<std::uint32_t> QueryCache::canonical_key(
 bool QueryCache::lookup(const std::vector<std::uint32_t>& terms,
                         std::vector<ScoredDoc>* out, ResultMeta* meta) {
   const Key key = canonical_key(terms);
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -63,7 +63,7 @@ bool QueryCache::lookup(const std::vector<std::uint32_t>& terms,
 void QueryCache::insert(const std::vector<std::uint32_t>& terms,
                         std::vector<ScoredDoc> result, ResultMeta meta) {
   Key key = canonical_key(terms);
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   const std::size_t incoming = entry_footprint(key.size(), result.size());
   if (max_bytes_ != 0 && incoming > max_bytes_) {
     ++stats_.oversized_rejects;
@@ -91,7 +91,7 @@ void QueryCache::insert(const std::vector<std::uint32_t>& terms,
 }
 
 void QueryCache::invalidate_all() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   lru_.clear();
   index_.clear();
   bytes_ = 0;
@@ -99,12 +99,12 @@ void QueryCache::invalidate_all() {
 }
 
 std::size_t QueryCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return lru_.size();
 }
 
 QueryCacheStats QueryCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   QueryCacheStats s = stats_;
   s.bytes = bytes_;
   return s;

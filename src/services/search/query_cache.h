@@ -12,10 +12,10 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "services/search/topk.h"
 
 namespace at::search {
@@ -109,16 +109,18 @@ class QueryCache {
   };
 
   /// Evicts LRU entries until both bounds hold with `incoming` more bytes
-  /// pending. Caller holds mutex_.
-  void evict_for(std::size_t incoming_bytes, std::size_t incoming_entries);
+  /// pending.
+  void evict_for(std::size_t incoming_bytes, std::size_t incoming_entries)
+      AT_REQUIRES(mutex_);
 
   std::size_t capacity_;
   std::size_t max_bytes_;
-  std::size_t bytes_ = 0;
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
-  QueryCacheStats stats_;
+  mutable common::Mutex mutex_;
+  std::size_t bytes_ AT_GUARDED_BY(mutex_) = 0;
+  std::list<Entry> lru_ AT_GUARDED_BY(mutex_);  // front = most recent
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_
+      AT_GUARDED_BY(mutex_);
+  QueryCacheStats stats_ AT_GUARDED_BY(mutex_);
 };
 
 }  // namespace at::search

@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <istream>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 
 #include "common/failpoint.h"
+#include "common/thread_annotations.h"
 #include "core/algorithm1.h"
 
 namespace at::search {
@@ -92,12 +92,12 @@ void SearchService::fan_out_topk(
     // the sequential component-order scan.
     const std::size_t groups = exec_->num_groups();
     std::vector<TopK> node_tops(groups, TopK(top.k()));
-    std::vector<std::mutex> node_locks(groups);
+    std::vector<common::Mutex> node_locks(groups);
     exec_->for_each_shard_grouped(components_.size(), [&](std::size_t c) {
       const auto local = scan(c);
       if (local.empty()) return;
       const std::size_t g = exec_->home_group(c);
-      std::lock_guard<std::mutex> lock(node_locks[g]);
+      common::MutexLock lock(node_locks[g]);
       for (const auto& d : local) node_tops[g].offer(d);
     });
     for (const auto& nt : node_tops) {

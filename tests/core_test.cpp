@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <future>
+#include <thread>
 
 #include "core/algorithm1.h"
 #include "core/fanout.h"
@@ -299,6 +300,30 @@ TEST(Runtime, DrainsQueueOnShutdown) {
     // Destructor must drain everything.
   }
   EXPECT_EQ(done.load(), 50);
+}
+
+TEST(Runtime, ConcurrentShutdownIsSafe) {
+  // Regression (found by the thread-safety annotation pass): two threads
+  // calling shutdown() used to race to worker_.join() — joining the same
+  // std::thread twice is undefined behavior. Exactly one caller joins
+  // now; the others block until the worker is down, so every caller still
+  // observes a fully drained runtime on return.
+  RuntimeConfig cfg;
+  cfg.algorithm.deadline_ms = 1000.0;
+  ComponentRuntime runtime(cfg);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(runtime.submit([] { return std::vector<double>{0.5}; },
+                               [](std::size_t) {},
+                               [&done](const JobResult&) { done++; }));
+  }
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t)
+    callers.emplace_back([&runtime] { runtime.shutdown(); });
+  for (auto& th : callers) th.join();
+  EXPECT_EQ(done.load(), 10);  // drained before any shutdown() returned
+  EXPECT_FALSE(runtime.submit([] { return std::vector<double>{}; },
+                              [](std::size_t) {}));
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,4 @@
+void f() {
+  common::ArtifactWriter w(os, "NOPE", 1);
+  common::ArtifactWriter w2(os, "OLDK", 2);
+}

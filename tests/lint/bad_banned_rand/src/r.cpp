@@ -1,0 +1,4 @@
+int f() {
+  std::mt19937 gen;
+  return rand();
+}

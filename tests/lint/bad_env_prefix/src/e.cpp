@@ -1,0 +1,3 @@
+const char* f() {
+  return std::getenv("HOME");
+}

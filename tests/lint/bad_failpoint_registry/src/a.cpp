@@ -1,0 +1,4 @@
+void f() {
+  AT_FAILPOINT("unregistered.site");
+  AT_FAILPOINT("dup.site");
+}

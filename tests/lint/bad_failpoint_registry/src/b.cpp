@@ -1,0 +1,3 @@
+void g() {
+  AT_FAILPOINT("dup.site");
+}

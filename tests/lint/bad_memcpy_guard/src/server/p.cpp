@@ -1,0 +1,3 @@
+void f(void* dst, const void* src, unsigned long n) {
+  std::memcpy(dst, src, n);
+}

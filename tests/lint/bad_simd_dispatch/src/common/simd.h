@@ -1,0 +1,4 @@
+struct Kernels {
+  double (*dot)(const double* a, const double* b, std::size_t n);
+  void (*scale)(double* a, double s, std::size_t n);
+};

@@ -1,0 +1,12 @@
+// Clean fixture: one registered static failpoint, one dynamic-prefix site,
+// a registered artifact kind + chunk, an allowed sleep, a guarded memcpy,
+// and an AT_-prefixed env var.
+void f() {
+  AT_FAILPOINT("demo.site");
+  failpoint::check_throw(("demo.shard." + std::to_string(i)).c_str());
+  common::ArtifactWriter w(os, "DEMO", 1);
+  w.chunk("META", meta);
+  // atlint: allow(banned-sleep) — fixture proves the allow escape works.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const char* v = std::getenv("AT_DEMO");
+}

@@ -1,0 +1,4 @@
+void g() {
+  if (n < sizeof v) return;
+  std::memcpy(&v, p, n);
+}

@@ -1,0 +1,41 @@
+// Negative-compile demo for the thread-safety gate (ISSUE 7 acceptance):
+// this file reads an AT_GUARDED_BY field WITHOUT holding its mutex and
+// therefore MUST FAIL to compile under Clang with -Wthread-safety -Werror.
+// It is deliberately outside the tests/*.cpp build glob;
+// tools/check_thread_safety.sh compiles it expecting failure (and compiles
+// the guarded variant below expecting success) as part of the
+// clang-analysis CI job.
+#include "common/thread_annotations.h"
+
+#include <deque>
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    at::common::MutexLock lock(mutex_);
+    pending_.push_back(amount);
+  }
+
+  // BUG (on purpose): touches pending_ unlocked. Clang reports
+  // "reading variable 'pending_' requires holding mutex 'mutex_'".
+  bool unguarded_empty() const { return pending_.empty(); }
+
+  bool guarded_empty() const {
+    at::common::MutexLock lock(mutex_);
+    return pending_.empty();
+  }
+
+ private:
+  mutable at::common::Mutex mutex_;
+  std::deque<int> pending_ AT_GUARDED_BY(mutex_);
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.deposit(1);
+  return a.unguarded_empty() && a.guarded_empty() ? 0 : 1;
+}

@@ -469,6 +469,35 @@ TEST_F(ServerTest, AdmissionControlShedsWithRetryAfter) {
   srv.stop();
 }
 
+TEST_F(ServerTest, ClientIsSafeForConcurrentCalls) {
+  // Regression (found by the thread-safety annotation pass): a Client
+  // shared across threads used to race on fd_/frames_/stats_ — two
+  // callers draining one socket could steal each other's response frames.
+  // Calls now serialize on the client's internal mutex.
+  auto& fx = fixture();
+  Server srv(*fx.service, nullptr, *fx.exec, test_server_config());
+  srv.start();
+  Client client(client_config(srv.port()));
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 8; ++i) {
+        Response resp;
+        std::string err;
+        const auto& q = fx.queries[(t * 8 + i) % fx.queries.size()];
+        if (client.search(q.terms, 2000, 10, &resp, &err) &&
+            resp.status == Status::kOk)
+          ok++;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ok.load(), 32);
+  EXPECT_GE(client.stats_counters().calls, 32u);
+  srv.stop();
+}
+
 // ---------------------------------------------------------------------------
 // The ladder under injected faults
 // ---------------------------------------------------------------------------

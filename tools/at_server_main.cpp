@@ -118,6 +118,7 @@ int main(int argc, char** argv) {
   std::cout << "LISTENING " << server.port() << std::endl;
 
   while (g_stop == 0)
+    // atlint: allow(banned-sleep) — signal-wait poll in the binary's main.
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
 
   server.stop();

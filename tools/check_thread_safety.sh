@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# Thread-safety gate sanity check (ISSUE 7 acceptance criterion): proves
+# the Clang analysis is actually armed by compiling the deliberate
+# violation in tests/lint/thread_safety_negative.cpp and requiring it to
+# FAIL. A toolchain where that file compiles would silently pass every
+# real violation too.
+#
+# Usage: tools/check_thread_safety.sh [clang++-binary]
+# Exits 0 when the gate works, 1 when the violation slipped through,
+# 77 (the automake SKIP code) when no clang is available.
+set -eu
+cd "$(dirname "$0")/.."
+
+CLANG="${1:-clang++}"
+if ! command -v "$CLANG" >/dev/null 2>&1; then
+  echo "check_thread_safety: $CLANG not found; skipping (gate runs in the" \
+       "clang-analysis CI job)"
+  exit 77
+fi
+
+FLAGS="-std=c++20 -Isrc -Wthread-safety -Werror -fsyntax-only"
+
+# The violation must fail ...
+if $CLANG $FLAGS tests/lint/thread_safety_negative.cpp 2>/dev/null; then
+  echo "check_thread_safety: FAIL — the unguarded access compiled; the" \
+       "thread-safety gate is not armed"
+  exit 1
+fi
+
+# ... for the right reason (the analysis, not some unrelated error), and a
+# guarded-only version of the same code must compile.
+if ! $CLANG $FLAGS tests/lint/thread_safety_negative.cpp 2>&1 |
+    grep -q "requires holding mutex"; then
+  echo "check_thread_safety: FAIL — compile failed without a thread-safety" \
+       "diagnostic"
+  exit 1
+fi
+if ! $CLANG $FLAGS -DAT_TS_NEGATIVE_GUARDED_ONLY=1 -x c++ - <<'EOF'
+#include "common/thread_annotations.h"
+at::common::Mutex mu;
+int value AT_GUARDED_BY(mu) = 0;
+int read_guarded() {
+  at::common::MutexLock lock(mu);
+  return value;
+}
+EOF
+then
+  echo "check_thread_safety: FAIL — correctly guarded code did not compile"
+  exit 1
+fi
+
+echo "check_thread_safety: OK — gate armed ($CLANG)"
+exit 0
