@@ -4,14 +4,17 @@
 // creation time for reference — updates must be much cheaper than
 // re-creation, and "changed" must cost more than "added" (delete + insert
 // vs. insert only).
+#include <atomic>
 #include <fstream>
 #include <iostream>
 #include <thread>
 
 #include "bench/bench_common.h"
 #include "bench/seed_reference.h"
+#include "common/stats.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "services/search/component.h"
 #include "synopsis/updater.h"
 
 namespace at::bench {
@@ -23,6 +26,25 @@ constexpr int kRepeats = 3;
 /// changed batch per pool size, 1..nproc (AT_BENCH_THREADS extends the
 /// sweep past nproc for oversubscription measurements).
 std::vector<std::pair<std::size_t, double>> g_sweep_cf, g_sweep_ws;
+
+/// Epoch-swap serving cost: read-side tail latency while the component is
+/// continuously retrained and republished through its RCU epoch slot,
+/// against a contention-matched baseline (same retraining CPU burned on a
+/// twin component the readers never touch). The ratio isolates what the
+/// publish pointer swap itself costs in-flight queries; AT_REQUIRE_SWAP_
+/// READ_RATIO turns it into a CI no-blocking guard.
+struct SwapLatencyResult {
+  std::uint64_t publishes = 0;
+  std::uint64_t reads_baseline = 0, reads_retraining = 0;
+  double update_p50_ms = 0.0, update_p99_ms = 0.0;
+  double read_p99_baseline_ms = 0.0, read_p99_retraining_ms = 0.0;
+  double ratio() const {
+    return read_p99_baseline_ms > 0.0
+               ? read_p99_retraining_ms / read_p99_baseline_ms
+               : 0.0;
+  }
+};
+SwapLatencyResult g_swap;
 
 struct Scenario {
   synopsis::SparseRows rows;
@@ -127,6 +149,119 @@ void report_thread_sweep(const char* name, const Scenario& scenario,
   table.print(std::cout);
 }
 
+/// One measurement phase: reader threads query `read_comp` flat out while
+/// this thread applies `publishes` changes-only retraining batches to
+/// `write_comp` back to back (no sleeps — the writer IS the contention).
+/// Passing the same component as both measures serving under continuous
+/// epoch swaps; passing a twin measures the contention-matched baseline.
+/// Changes-only batches keep the corpus size constant, so both phases
+/// scan identical row counts and the read p99 ratio is size-fair.
+void swap_phase(const workload::CorpusGen& gen,
+                search::SearchComponent* read_comp,
+                search::SearchComponent* write_comp, std::size_t publishes,
+                std::uint64_t seed, common::PercentileTracker* reads,
+                common::PercentileTracker* updates) {
+  constexpr std::size_t kReaders = 2;
+  std::atomic<bool> done{false};
+  std::vector<common::PercentileTracker> per_reader(kReaders);
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders);
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      common::Rng rng(seed * 131 + r);
+      std::size_t hits = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const auto query = gen.sample_query(rng);
+        const search::SearchRequest req{query.terms};
+        common::Stopwatch w;
+        const auto snap = read_comp->snapshot();  // pin one epoch
+        hits += snap->exact_topk(req, 10).size();
+        per_reader[r].add(w.elapsed_ms());
+      }
+      if (hits == static_cast<std::size_t>(-1)) std::abort();  // keep live
+    });
+  }
+
+  common::Rng wrng(seed);
+  const auto rows = write_comp->num_docs();
+  for (std::size_t i = 0; i < publishes; ++i) {
+    synopsis::UpdateBatch batch;
+    for (int c = 0; c < 4; ++c) {
+      batch.changed.emplace_back(
+          static_cast<std::uint32_t>(wrng.uniform_index(rows)),
+          gen.sample_doc(wrng));
+    }
+    common::Stopwatch w;
+    write_comp->update(batch);
+    updates->add(w.elapsed_ms());
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  for (const auto& p : per_reader) reads->merge(p);
+}
+
+void report_epoch_swap() {
+  auto ccfg = default_corpus_config();
+  ccfg.num_components = 1;
+  workload::CorpusGen gen(ccfg);
+  auto wl_live = gen.generate(0);
+  auto wl_twin = gen.generate(0);  // identical shard for the baseline writer
+  const auto bcfg = default_build_config(12.0);
+  search::SearchComponent live(std::move(wl_live.shards[0]), 0, bcfg);
+  search::SearchComponent twin(std::move(wl_twin.shards[0]), 0, bcfg);
+
+  const std::size_t publishes = large_scale() ? 32 : 12;
+  constexpr int kPhaseRepeats = 3;  // best-of, like the fan-out parity guard
+  const auto v0 = live.epoch_version();
+
+  common::PercentileTracker base_all, retrain_all, live_updates,
+      twin_updates;
+  double best_base = 0.0, best_retrain = 0.0;
+  for (int rep = 0; rep < kPhaseRepeats; ++rep) {
+    common::PercentileTracker r;
+    swap_phase(gen, &live, &twin, publishes, 8100 + rep, &r, &twin_updates);
+    if (rep == 0 || r.p99() < best_base) best_base = r.p99();
+    base_all.merge(r);
+  }
+  for (int rep = 0; rep < kPhaseRepeats; ++rep) {
+    common::PercentileTracker r;
+    swap_phase(gen, &live, &live, publishes, 9100 + rep, &r, &live_updates);
+    if (rep == 0 || r.p99() < best_retrain) best_retrain = r.p99();
+    retrain_all.merge(r);
+  }
+  if (live.epoch_version() != v0 + kPhaseRepeats * publishes) {
+    std::cerr << "FAIL: epoch version did not advance once per publish\n";
+    std::exit(1);
+  }
+
+  g_swap.publishes = kPhaseRepeats * publishes;
+  g_swap.reads_baseline = base_all.count();
+  g_swap.reads_retraining = retrain_all.count();
+  g_swap.update_p50_ms = live_updates.median();
+  g_swap.update_p99_ms = live_updates.p99();
+  g_swap.read_p99_baseline_ms = best_base;
+  g_swap.read_p99_retraining_ms = best_retrain;
+
+  common::TableWriter table(
+      "Epoch-swap serving cost, web search (2 readers vs retraining "
+      "writer; best p99 of 3 runs)");
+  table.set_columns(
+      {"phase", "reads", "read p50 ms", "read p99 ms", "publish p99 ms"});
+  table.add_row({"baseline (twin contention)",
+                 std::to_string(base_all.count()),
+                 common::TableWriter::fmt(base_all.median(), 3),
+                 common::TableWriter::fmt(best_base, 3), "-"});
+  table.add_row({"continuous retraining",
+                 std::to_string(retrain_all.count()),
+                 common::TableWriter::fmt(retrain_all.median(), 3),
+                 common::TableWriter::fmt(best_retrain, 3),
+                 common::TableWriter::fmt(live_updates.p99(), 3)});
+  table.print(std::cout);
+  std::cout << "  read p99 ratio (retraining / baseline): "
+            << common::TableWriter::fmt(g_swap.ratio(), 2)
+            << "x over " << g_swap.publishes << " publishes\n";
+}
+
 /// Machine-readable scaling record (ROADMAP asks for the curves). Path
 /// override: AT_FIG3_JSON.
 void write_json() {
@@ -148,7 +283,13 @@ void write_json() {
   };
   os << "{\n  \"bench\": \"bench_fig3_synopsis_update\",\n"
      << "  \"scale\": \"" << (large_scale() ? "large" : "small") << "\",\n"
-     << "  \"batch\": \"5pct_added_plus_5pct_changed\",\n";
+     << "  \"batch\": \"5pct_added_plus_5pct_changed\",\n"
+     << "  \"epoch_swap\": {\"publishes\": " << g_swap.publishes
+     << ", \"update_p50_ms\": " << g_swap.update_p50_ms
+     << ", \"update_p99_ms\": " << g_swap.update_p99_ms
+     << ", \"read_p99_no_retrain_ms\": " << g_swap.read_p99_baseline_ms
+     << ", \"read_p99_retraining_ms\": " << g_swap.read_p99_retraining_ms
+     << ", \"read_p99_ratio\": " << g_swap.ratio() << "},\n";
   emit("cf_update_seconds_by_threads", g_sweep_cf, ",");
   emit("search_update_seconds_by_threads", g_sweep_ws, "");
   os << "}\n";
@@ -226,6 +367,24 @@ int main() {
     run_service("web search", s);
     report_thread_sweep("web search", s, &g_sweep_ws);
   }
+  report_epoch_swap();
   write_json();
+
+  // CI guard: with AT_REQUIRE_SWAP_READ_RATIO set (e.g. 1.5), read p99
+  // under continuous retraining must stay within that factor of the
+  // contention-matched baseline — queries never block on an epoch
+  // publish; the swap is a pointer exchange, not a lock.
+  if (const char* bound_env = std::getenv("AT_REQUIRE_SWAP_READ_RATIO")) {
+    const double bound = std::atof(bound_env);
+    if (!(bound > 0.0) || g_swap.ratio() > bound) {
+      std::cerr << "FAIL: retraining/baseline read p99 ratio "
+                << common::TableWriter::fmt(g_swap.ratio(), 3)
+                << " exceeds bound " << bound_env << "\n";
+      return 1;
+    }
+    std::cout << "  swap read-p99 guard OK: ratio "
+              << common::TableWriter::fmt(g_swap.ratio(), 3)
+              << " <= " << bound_env << "\n";
+  }
   return 0;
 }

@@ -61,6 +61,35 @@ RTree::~RTree() = default;
 RTree::RTree(RTree&&) noexcept = default;
 RTree& RTree::operator=(RTree&&) noexcept = default;
 
+RTree RTree::clone() const {
+  RTree copy(dims_, params_);
+  std::function<std::unique_ptr<Node>(const Node*)> clone_node =
+      [&](const Node* node) -> std::unique_ptr<Node> {
+    auto out = std::make_unique<Node>();
+    out->id = node->id;
+    out->version = node->version;
+    out->level = node->level;
+    out->entries.reserve(node->entries.size());
+    for (const auto& e : node->entries) {
+      Entry ce;
+      ce.rect = e.rect;
+      if (e.is_data()) {
+        ce.data_id = e.data_id;
+      } else {
+        ce.child = clone_node(e.child.get());
+      }
+      out->entries.push_back(std::move(ce));
+    }
+    copy.register_node(out.get());
+    return out;
+  };
+  copy.registry_.clear();
+  copy.root_ = clone_node(root_.get());
+  copy.size_ = size_;
+  copy.next_node_id_ = next_node_id_;
+  return copy;
+}
+
 std::size_t RTree::height() const { return root_->level + 1; }
 
 void RTree::register_node(Node* node) { registry_[node->id] = node; }

@@ -69,6 +69,13 @@ class RTree {
   RTree(const RTree&) = delete;
   RTree& operator=(const RTree&) = delete;
 
+  /// Deep copy preserving node ids, versions and the id allocator, so the
+  /// clone continues incremental updates exactly like the original. This
+  /// is what lets an epoch snapshot carry its own tree while the shadow
+  /// copy keeps mutating (copying is explicit — the copy ctor stays
+  /// deleted so a tree is never duplicated by accident).
+  RTree clone() const;
+
   std::size_t dims() const { return dims_; }
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }

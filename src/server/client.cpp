@@ -218,6 +218,20 @@ bool Client::ping(std::string* err) {
   return call(req, &resp, err) && resp.status == protocol::Status::kOk;
 }
 
+bool Client::update(std::uint32_t component, std::uint32_t adds,
+                    std::uint32_t changes, std::uint64_t seed,
+                    std::uint32_t deadline_ms, protocol::Response* resp,
+                    std::string* err) {
+  protocol::Request req;
+  req.op = protocol::Op::kUpdate;
+  req.deadline_ms = deadline_ms;
+  req.update_component = component;
+  req.update_adds = adds;
+  req.update_changes = changes;
+  req.update_seed = seed;
+  return call(req, resp, err);
+}
+
 bool Client::stats(std::string* json, std::string* err) {
   protocol::Request req;
   req.op = protocol::Op::kStats;

@@ -89,6 +89,13 @@ class Client {
   bool ping(std::string* err);
   /// Fetches the server's stats op; returns the JSON body.
   bool stats(std::string* json, std::string* err);
+  /// Drives one online-retraining batch into `component`: the server
+  /// synthesizes a deterministic batch from (seed, adds, changes), applies
+  /// it and publishes a new epoch. The JSON report lands in resp->text.
+  bool update(std::uint32_t component, std::uint32_t adds,
+              std::uint32_t changes, std::uint64_t seed,
+              std::uint32_t deadline_ms, protocol::Response* resp,
+              std::string* err);
 
   /// Snapshot of the retry/transport counters (copied under the lock).
   ClientStats stats_counters() const {

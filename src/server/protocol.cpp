@@ -109,6 +109,12 @@ std::vector<std::uint8_t> encode_request(const Request& req) {
         w.f64(rating);
       }
       break;
+    case Op::kUpdate:
+      w.u32(req.update_component);
+      w.u32(req.update_adds);
+      w.u32(req.update_changes);
+      w.u64(req.update_seed);
+      break;
     case Op::kStats:
     case Op::kPing:
       break;
@@ -136,7 +142,8 @@ std::vector<std::uint8_t> encode_response(const Response& resp) {
     }
   } else if (resp.status == Status::kOk && resp.op == Op::kRecommend) {
     w.f64(resp.prediction);
-  } else if ((resp.status == Status::kOk && resp.op == Op::kStats) ||
+  } else if ((resp.status == Status::kOk &&
+              (resp.op == Op::kStats || resp.op == Op::kUpdate)) ||
              resp.status == Status::kError ||
              resp.status == Status::kBadRequest) {
     w.u32(static_cast<std::uint32_t>(resp.text.size()));
@@ -186,6 +193,18 @@ bool decode_request(const std::uint8_t* p, std::size_t n, Request* out,
       }
       break;
     }
+    case static_cast<std::uint8_t>(Op::kUpdate): {
+      out->op = Op::kUpdate;
+      out->update_component = c.u32();
+      out->update_adds = c.u32();
+      out->update_changes = c.u32();
+      out->update_seed = c.u64();
+      if (c.fail) return fail(err, "truncated update body");
+      if (out->update_adds > kMaxUpdateRows ||
+          out->update_changes > kMaxUpdateRows)
+        return fail(err, "update batch too large");
+      break;
+    }
     case static_cast<std::uint8_t>(Op::kStats):
       out->op = Op::kStats;
       break;
@@ -223,7 +242,7 @@ bool decode_response(const std::uint8_t* p, std::size_t n, Response* out,
   // own op. Try the layouts that are self-describing.
   if (out->status == Status::kError || out->status == Status::kBadRequest ||
       (out->status == Status::kOk && c.remaining() > 0 &&
-       out->op == Op::kStats)) {
+       (out->op == Op::kStats || out->op == Op::kUpdate))) {
     const std::uint32_t len = c.u32();
     if (c.fail || len > c.remaining())
       return fail(err, "text overruns frame");

@@ -14,6 +14,7 @@
 //
 //   op body  search:    u32 k | u32 nterms | u32 term[nterms]
 //            recommend: u32 target_item | u32 n | (u32 item, f64 rating)[n]
+//            update:    u32 component | u32 adds | u32 changes | u64 seed
 //            stats/ping: empty
 //
 // Response payload:
@@ -24,7 +25,7 @@
 //
 //   body     search ok:    u32 ndocs | (f64 score, u64 doc)[ndocs]
 //            recommend ok: f64 prediction
-//            stats ok:     u32 len | bytes (JSON)
+//            stats/update ok: u32 len | bytes (JSON)
 //            error:        u32 len | bytes (message)
 //            shed:         empty
 //
@@ -51,12 +52,16 @@ inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
 inline constexpr std::uint32_t kMaxTerms = 4096;
 inline constexpr std::uint32_t kMaxRatings = 1u << 16;
 inline constexpr std::uint32_t kMaxDocs = 1u << 16;
+/// Cap on rows a single kUpdate request may synthesize (adds + changes
+/// each): bounds the retraining work a hostile frame can demand.
+inline constexpr std::uint32_t kMaxUpdateRows = 4096;
 
 enum class Op : std::uint8_t {
   kSearch = 1,
   kRecommend = 2,
   kStats = 3,
   kPing = 4,
+  kUpdate = 5,  // online retraining: seeded synthetic batch into one shard
 };
 
 enum class Status : std::uint8_t {
@@ -90,6 +95,12 @@ struct Request {
   // recommend
   std::uint32_t target_item = 0;
   std::vector<std::pair<std::uint32_t, double>> ratings;
+  // update: deterministic batch synthesized server-side from the seed, so
+  // the wire cost of driving retraining load stays O(1) per request
+  std::uint32_t update_component = 0;
+  std::uint32_t update_adds = 0;
+  std::uint32_t update_changes = 0;
+  std::uint64_t update_seed = 0;
 };
 
 struct Response {

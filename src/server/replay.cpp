@@ -13,6 +13,7 @@ void ReplayReport::merge(const ReplayReport& other) {
   ok_full += other.ok_full;
   ok_synopsis += other.ok_synopsis;
   ok_cached += other.ok_cached;
+  ok_updates += other.ok_updates;
   shed_responses += other.shed_responses;
   server_errors += other.server_errors;
   transport_errors += other.transport_errors;
@@ -21,6 +22,7 @@ void ReplayReport::merge(const ReplayReport& other) {
   lat_full_ms.merge(other.lat_full_ms);
   lat_synopsis_ms.merge(other.lat_synopsis_ms);
   lat_cached_ms.merge(other.lat_cached_ms);
+  lat_update_ms.merge(other.lat_update_ms);
   loss_full.merge(other.loss_full);
   loss_synopsis.merge(other.loss_synopsis);
   loss_cached.merge(other.loss_cached);
@@ -42,6 +44,9 @@ std::string ReplayReport::to_json() const {
   tier("synopsis", lat_synopsis_ms, loss_synopsis, ok_synopsis);
   os << ", ";
   tier("cached", lat_cached_ms, loss_cached, ok_cached);
+  os << ", \"update\": {\"count\": " << ok_updates
+     << ", \"p50_ms\": " << lat_update_ms.median()
+     << ", \"p99_ms\": " << lat_update_ms.p99() << "}";
   os << ", \"requests\": " << requests
      << ", \"shed_responses\": " << shed_responses
      << ", \"shed_rate\": " << shed_rate()
@@ -68,8 +73,21 @@ ReplayReport run_replay(const ReplayConfig& config) {
       protocol::Response resp;
       std::string err;
       bool delivered;
+      bool is_update = false;
       common::Stopwatch sw;
-      if (rng.uniform() < config.recommend_fraction) {
+      if (config.update_fraction > 0.0 &&
+          rng.uniform() < config.update_fraction) {
+        // Retraining op interleaved with the query stream: the batch is
+        // synthesized server-side from this deterministic seed, so a rerun
+        // replays the identical update sequence against each component.
+        is_update = true;
+        const auto comp = static_cast<std::uint32_t>(
+            rng.uniform_index(std::max<std::uint32_t>(1,
+                                  config.update_components)));
+        delivered = client.update(comp, config.update_adds,
+                                  config.update_changes, rng(),
+                                  config.deadline_ms, &resp, &err);
+      } else if (rng.uniform() < config.recommend_fraction) {
         std::vector<std::pair<std::uint32_t, double>> ratings;
         const std::size_t n = 3 + rng.uniform_index(5);
         for (std::size_t r = 0; r < n; ++r)
@@ -92,6 +110,11 @@ ReplayReport run_replay(const ReplayConfig& config) {
       }
       switch (resp.status) {
         case protocol::Status::kOk:
+          if (is_update) {
+            ++out->ok_updates;
+            out->lat_update_ms.add(ms);
+            break;
+          }
           switch (resp.tier) {
             case protocol::Tier::kFull:
               ++out->ok_full;

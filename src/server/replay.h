@@ -24,6 +24,15 @@ struct ReplayConfig {
   std::uint32_t k = 10;
   /// Fraction of requests sent as recommend ops (rest are searches).
   double recommend_fraction = 0.0;
+  /// Fraction of requests sent as online-retraining updates, interleaved
+  /// with the query load from the same seeded stream (--update-mix). Each
+  /// update targets a seeded-random component with a deterministic batch.
+  double update_fraction = 0.0;
+  std::uint32_t update_adds = 4;
+  std::uint32_t update_changes = 4;
+  /// Components the update stream may target (server-side bound is
+  /// authoritative; out-of-range picks come back as bad requests).
+  std::uint32_t update_components = 1;
   std::uint64_t seed = 7;
   /// Query distribution; must match the corpus the server was built from
   /// for the workload to be meaningful (term ids outside the vocabulary
@@ -39,12 +48,14 @@ struct ReplayReport {
   std::uint64_t ok_full = 0;
   std::uint64_t ok_synopsis = 0;
   std::uint64_t ok_cached = 0;
+  std::uint64_t ok_updates = 0;        // retraining batches applied
   std::uint64_t shed_responses = 0;    // kShed frames seen (pre-retry)
   std::uint64_t server_errors = 0;     // kError / kBadRequest answers
   std::uint64_t transport_errors = 0;
   std::uint64_t retries = 0;
   std::uint64_t failures = 0;          // calls that exhausted retries
-  common::PercentileTracker lat_full_ms, lat_synopsis_ms, lat_cached_ms;
+  common::PercentileTracker lat_full_ms, lat_synopsis_ms, lat_cached_ms,
+      lat_update_ms;
   common::StreamingStats loss_full, loss_synopsis, loss_cached;
 
   void merge(const ReplayReport& other);

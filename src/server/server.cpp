@@ -12,12 +12,16 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
+#include "synopsis/delta.h"
 
 namespace at::server {
 
@@ -92,30 +96,39 @@ void Server::start() {
   if (running_.load()) return;
   calibrate();
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw std::runtime_error("server: socket() failed");
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (lfd < 0) throw std::runtime_error("server: socket() failed");
   int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(config_.port);
   if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(lfd);
     throw std::runtime_error("server: bad host " + config_.host);
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
-          0 ||
-      ::listen(listen_fd_, 128) < 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(lfd, 128) < 0) {
+    ::close(lfd);
     throw std::runtime_error("server: bind/listen failed on " + config_.host +
                              ":" + std::to_string(config_.port));
   }
   socklen_t alen = sizeof addr;
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  ::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen);
   port_ = ntohs(addr.sin_port);
+  listen_fd_.store(lfd, std::memory_order_release);
+
+  // Standby delta stream: every component publish emits one DLTA artifact.
+  // The sink runs under the component's writer mutex, so deltas for one
+  // shard are written in version order with no gaps between from/to.
+  if (!config_.delta_dir.empty()) {
+    for (std::size_t c = 0; c < search_.num_components(); ++c) {
+      search_.component(c).set_delta_sink(
+          [this, c](const synopsis::UpdateBatch& batch, std::uint64_t from,
+                    std::uint64_t to) { write_delta(c, batch, from, to); });
+    }
+  }
 
   stopping_.store(false);
   const std::size_t groups = std::max<std::size_t>(1, exec_.num_groups());
@@ -135,13 +148,13 @@ void Server::stop() {
     // stop() only runs from the owner thread / destructor.
     return;
   }
-  if (!running_.load(std::memory_order_acquire) && listen_fd_ < 0) return;
+  const int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (!running_.load(std::memory_order_acquire) && lfd < 0) return;
 
   // 1. Stop accepting: closing the listen fd unblocks accept().
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
   }
   if (acceptor_.joinable()) acceptor_.join();
 
@@ -157,6 +170,13 @@ void Server::stop() {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+
+  // The delta sinks capture `this`; the components outlive the server
+  // (caller-owned), so they must be detached before we are destroyed.
+  if (!config_.delta_dir.empty()) {
+    for (std::size_t c = 0; c < search_.num_components(); ++c)
+      search_.component(c).set_delta_sink({});
+  }
 
   // 3. Now that no responses are pending, unblock and join the
   //    connection threads.
@@ -220,7 +240,9 @@ void Server::observe_cost(std::atomic<double>& est_ms, double observed_ms) {
 void Server::acceptor_loop() {
   for (;;) {
     AT_FAILPOINT("server.accept");
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int lfd = listen_fd_.load(std::memory_order_acquire);
+    if (lfd < 0) return;  // stop() already closed the socket
+    const int fd = ::accept(lfd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // listen fd closed: shutting down
@@ -455,9 +477,12 @@ Response Server::serve(const Job& job) {
   try {
     AT_FAILPOINT("server.dispatch");
     const double remaining = deadline_ms - ms_since(job.enqueued);
-    common::ReaderMutexLock guard(state_mutex_);
+    // No serving-path lock: every rung pins the epoch snapshots it scans,
+    // and updates/reloads publish new epochs without blocking readers.
     if (job.req.op == Op::kSearch) {
       resp = serve_search(job.req, remaining);
+    } else if (job.req.op == Op::kUpdate) {
+      resp = serve_update(job.req);
     } else {
       resp = serve_recommend(job.req, remaining);
     }
@@ -475,7 +500,7 @@ Response Server::serve(const Job& job) {
 Response Server::serve_search(const Request& req, double remaining_ms) {
   Response resp;
   resp.op = Op::kSearch;
-  const std::uint64_t epoch = data_epoch_.load(std::memory_order_acquire);
+  const std::uint64_t epoch = epoch_now();
   const double safety = config_.ladder_safety;
   // The service's k is fixed at construction; a client asking for fewer
   // docs gets the answer's prefix (the merge order is score desc, doc asc).
@@ -488,7 +513,7 @@ Response Server::serve_search(const Request& req, double remaining_ms) {
   std::vector<search::ScoredDoc> cached;
   search::ResultMeta cached_meta;
   const bool cache_hit = cache_->lookup(req.terms, &cached, &cached_meta);
-  if (cache_hit && cached_meta.epoch == epoch) {
+  if (cache_hit && !cached_meta.stale && cached_meta.epoch == epoch) {
     resp.status = Status::kOk;
     resp.tier = Tier::kCached;
     resp.est_loss_pct = cached_meta.loss_pct;
@@ -513,7 +538,10 @@ Response Server::serve_search(const Request& req, double remaining_ms) {
             total > 0 ? 100.0 * static_cast<double>(total - ok) /
                             static_cast<double>(total)
                       : 0.0;
-        if (ok == total) {
+        // Only cache when no epoch was published mid-scan: a fan-out that
+        // straddled a publish may merge rows from two epochs, and such an
+        // answer must not be stamped fresh.
+        if (ok == total && epoch_now() == epoch) {
           cache_->insert(req.terms, docs, search::ResultMeta{0.0, epoch});
         }
         resp.docs = std::move(docs);
@@ -546,11 +574,15 @@ Response Server::serve_search(const Request& req, double remaining_ms) {
     }
   }
 
-  // Rung 3: stale cached answer (epoch mismatch) — degraded but real.
+  // Rung 3: stale cached answer — degraded but real. An entry already
+  // re-annotated at publish time carries the penalty in its recorded
+  // loss; one merely from a mismatched epoch gets it added here.
   if (cache_hit) {
     resp.status = Status::kOk;
     resp.tier = Tier::kCached;
-    resp.est_loss_pct = cached_meta.loss_pct + config_.stale_penalty_pct;
+    resp.est_loss_pct =
+        cached_meta.loss_pct +
+        (cached_meta.stale ? 0.0 : config_.stale_penalty_pct);
     resp.docs = std::move(cached);
     clip(resp.docs);
     return resp;
@@ -619,6 +651,105 @@ Response Server::serve_recommend(const Request& req, double remaining_ms) {
 }
 
 // ---------------------------------------------------------------------------
+// Online retraining
+// ---------------------------------------------------------------------------
+
+Response Server::serve_update(const Request& req) {
+  Response resp;
+  resp.op = Op::kUpdate;
+  if (req.update_component >= search_.num_components()) {
+    resp.status = Status::kBadRequest;
+    resp.text = "update component out of range";
+    return resp;
+  }
+  if (req.update_adds == 0 && req.update_changes == 0) {
+    resp.status = Status::kBadRequest;
+    resp.text = "empty update batch";
+    return resp;
+  }
+
+  // Synthesize the batch deterministically from the wire seed against the
+  // component's current shape — the same (seed, adds, changes) triple
+  // replayed against the same state produces the same rows, which is what
+  // lets at_replay interleave a reproducible retraining mix.
+  const auto snap = search_.component(req.update_component).snapshot();
+  const std::size_t rows = snap->num_docs();
+  const std::size_t cols = snap->docs().cols();
+  if (rows == 0 || cols == 0) {
+    resp.status = Status::kBadRequest;
+    resp.text = "update component is empty";
+    return resp;
+  }
+  common::Rng rng(req.update_seed);
+  const auto make_row = [&rng, cols]() {
+    synopsis::SparseVector row;
+    std::set<std::uint32_t> terms;
+    const std::size_t n =
+        1 + static_cast<std::size_t>(rng.uniform_index(8));
+    while (terms.size() < n)
+      terms.insert(static_cast<std::uint32_t>(rng.uniform_index(cols)));
+    for (const std::uint32_t t : terms)
+      row.emplace_back(t, 1.0 + static_cast<double>(rng.uniform_index(5)));
+    return row;
+  };
+  synopsis::UpdateBatch batch;
+  batch.added.reserve(req.update_adds);
+  for (std::uint32_t i = 0; i < req.update_adds; ++i)
+    batch.added.push_back(make_row());
+  batch.changed.reserve(req.update_changes);
+  for (std::uint32_t i = 0; i < req.update_changes; ++i)
+    batch.changed.emplace_back(
+        static_cast<std::uint32_t>(rng.uniform_index(rows)), make_row());
+
+  const std::uint64_t from = epoch_now();
+  common::Stopwatch sw;
+  const synopsis::UpdateReport report =
+      search_.update_component(req.update_component, batch);
+  const double update_ms = sw.elapsed_ms();
+  const std::uint64_t to = epoch_now();
+  // Satellite of the publish: answers computed against the retired epoch
+  // stay servable, but only as the stale rung, with the penalty folded in.
+  cache_->mark_stale_epochs(to, config_.stale_penalty_pct);
+
+  std::ostringstream os;
+  os << "{\"component\": " << req.update_component
+     << ", \"points_added\": " << report.points_added
+     << ", \"points_changed\": " << report.points_changed
+     << ", \"dirty_groups\": " << report.dirty_groups
+     << ", \"from_epoch\": " << from << ", \"to_epoch\": " << to
+     << ", \"update_ms\": " << update_ms << "}";
+  resp.status = Status::kOk;
+  resp.tier = Tier::kNone;
+  resp.text = os.str();
+  return resp;
+}
+
+void Server::write_delta(std::size_t c, const synopsis::UpdateBatch& batch,
+                         std::uint64_t from, std::uint64_t to) {
+  const std::string path = config_.delta_dir + "/delta_c" +
+                           std::to_string(c) + "_" + std::to_string(to) +
+                           ".atac";
+  try {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+      throw common::ArtifactError("delta stream: cannot open " + path);
+    synopsis::DeltaArtifact delta;
+    delta.component = static_cast<std::uint32_t>(c);
+    delta.from_version = from;
+    delta.to_version = to;
+    delta.batch = batch;
+    synopsis::save_delta(os, delta);
+    if (!os.flush())
+      throw common::ArtifactError("delta stream: short write " + path);
+    deltas_written_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const std::exception& e) {
+    // Standby stream only: the epoch is already live, serving goes on.
+    delta_failures_.fetch_add(1, std::memory_order_relaxed);
+    AT_LOG_DEBUG << "server: delta write failed: " << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Stats, epochs, reload
 // ---------------------------------------------------------------------------
 
@@ -626,6 +757,10 @@ void Server::record(const Response& resp) {
   common::MutexLock lock(stats_mutex_);
   switch (resp.status) {
     case Status::kOk:
+      if (resp.op == Op::kUpdate) {
+        ++updates_;
+        return;
+      }
       break;
     case Status::kShed:
       // Ladder sheds land here; admission sheds were already counted.
@@ -678,6 +813,13 @@ ServingSnapshot Server::snapshot() const {
   s.est_synopsis_ms = est_synopsis_ms_.load(std::memory_order_relaxed);
   s.synopsis_loss_pct = synopsis_loss_pct_;
   s.data_epoch = data_epoch_.load(std::memory_order_relaxed);
+  s.updates = updates_;
+  s.epoch_version = epoch_now();
+  const common::EpochStats es = search_.epoch_stats();
+  s.epoch_published = es.published;
+  s.epoch_retired = es.retired;
+  s.deltas_written = deltas_written_.load(std::memory_order_relaxed);
+  s.delta_failures = delta_failures_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -702,20 +844,32 @@ std::string Server::stats_json() const {
      << ", \"est_synopsis_ms\": " << s.est_synopsis_ms
      << ", \"synopsis_loss_pct\": " << s.synopsis_loss_pct
      << ", \"data_epoch\": " << s.data_epoch
+     << ", \"updates\": " << s.updates
+     << ", \"epoch_version\": " << s.epoch_version
+     << ", \"epoch_published\": " << s.epoch_published
+     << ", \"epoch_retired\": " << s.epoch_retired
+     << ", \"deltas_written\": " << s.deltas_written
+     << ", \"delta_failures\": " << s.delta_failures
      << ", \"num_components\": " << search_.num_components()
      << ", \"k\": " << search_.k() << "}";
   return os.str();
 }
 
+std::uint64_t Server::epoch_now() const {
+  return data_epoch_.load(std::memory_order_acquire) +
+         search_.data_version();
+}
+
 void Server::bump_data_epoch() {
   data_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  cache_->mark_stale_epochs(epoch_now(), config_.stale_penalty_pct);
 }
 
 void Server::reload_search_component(std::size_t c, std::istream& is) {
-  // Exclusive: no query may be scanning the component being swapped. The
-  // load itself (the slow part) throws before this point mutates anything
-  // — SearchService::reload_component gives the strong guarantee.
-  common::WriterMutexLock guard(state_mutex_);
+  // No serving-path lock: the fully loaded replacement is published as a
+  // new epoch while in-flight queries finish on their pinned snapshots.
+  // The load itself (the slow part) throws before anything mutates —
+  // SearchService::reload_component gives the strong guarantee.
   search_.reload_component(c, is);
   bump_data_epoch();
 }

@@ -26,6 +26,17 @@
 //             staleness penalty added to their recorded loss.
 //   shed      structured refusal with retry-after.
 //
+// Online retraining (ISSUE 8): queries never block on updates. Every
+// component owns an RCU epoch slot; a query pins the current snapshot and
+// scans it to completion while kUpdate requests retrain the shadow copy
+// and publish a new epoch with a pointer swap. There is no serving-path
+// reader/writer lock anywhere — freshness is an epoch token: cached
+// answers are stamped with the effective epoch (reload bumps +
+// per-component publish versions) they were computed in, and every publish
+// re-annotates older cache entries as stale with an accuracy penalty.
+// When `delta_dir` is set, each publish also emits an ATAC "DLTA" delta
+// artifact a warm standby can tail (see src/synopsis/delta.h).
+//
 // Every response records the rung (tier) and estimated accuracy loss;
 // per-tier latency and loss aggregate into the stats op / stats_json().
 // Failure handling is total: any exception in a rung falls to the next
@@ -75,6 +86,11 @@ struct ServerConfig {
   /// Queries run at start() to seed the per-rung cost EWMAs and measure
   /// the synopsis tier's actual accuracy loss on this corpus.
   std::vector<search::SearchRequest> calibration_queries;
+  /// When non-empty, every component publish writes one ATAC "DLTA" delta
+  /// artifact (`delta_c<comp>_<to_version>.atac`) into this directory for
+  /// warm-standby tailing. A failed delta write is counted, never fatal —
+  /// the epoch itself is already live.
+  std::string delta_dir;
 };
 
 /// One rung's aggregate: request count, latency percentiles and mean
@@ -97,7 +113,13 @@ struct ServingSnapshot {
   double est_full_ms = 0.0;
   double est_synopsis_ms = 0.0;
   double synopsis_loss_pct = 0.0;
-  std::uint64_t data_epoch = 0;
+  std::uint64_t data_epoch = 0;   // reload bumps only
+  std::uint64_t updates = 0;      // kUpdate requests applied
+  std::uint64_t epoch_version = 0;    // effective epoch (freshness token)
+  std::uint64_t epoch_published = 0;  // snapshots published across shards
+  std::uint64_t epoch_retired = 0;    // snapshots fully drained + freed
+  std::uint64_t deltas_written = 0;   // DLTA artifacts emitted
+  std::uint64_t delta_failures = 0;   // DLTA writes that failed (injected)
 };
 
 class Server {
@@ -128,14 +150,19 @@ class Server {
 
   /// Marks every currently cached answer as belonging to an older data
   /// epoch: still servable, but only as the stale-cached degradation rung
-  /// with a loss penalty. Called by the update path; exposed so tests can
+  /// with a loss penalty. Called by the reload path; exposed so tests can
   /// drive the rung directly.
   void bump_data_epoch();
 
   /// Strong-guarantee snapshot reload of one search component (see
-  /// SearchService::reload_component); serialized against in-flight
-  /// queries and bumps the data epoch on success.
+  /// SearchService::reload_component). In-flight queries keep scanning
+  /// their pinned epoch snapshots — the swap is a publish, not a lock —
+  /// and the data epoch is bumped on success.
   void reload_search_component(std::size_t c, std::istream& is);
+
+  /// Effective epoch: reload bumps + the sum of every search component's
+  /// published version. Monotonic; changes whenever any shard's data does.
+  std::uint64_t epoch_now() const;
 
  private:
   struct Job;
@@ -152,14 +179,16 @@ class Server {
              std::future<protocol::Response>* done);
 
   protocol::Response serve(const Job& job);
-  /// Ladder rungs run with state_mutex_ held shared: a component reload
-  /// (exclusive holder) can never swap data out from under a scan.
+  /// Ladder rungs take no lock: each scan pins the epoch snapshots it
+  /// needs, so a concurrent update/reload publish never blocks or tears
+  /// a query.
   protocol::Response serve_search(const protocol::Request& req,
-                                  double remaining_ms)
-      AT_REQUIRES_SHARED(state_mutex_);
+                                  double remaining_ms);
   protocol::Response serve_recommend(const protocol::Request& req,
-                                     double remaining_ms)
-      AT_REQUIRES_SHARED(state_mutex_);
+                                     double remaining_ms);
+  protocol::Response serve_update(const protocol::Request& req);
+  void write_delta(std::size_t c, const synopsis::UpdateBatch& batch,
+                   std::uint64_t from, std::uint64_t to);
   void record(const protocol::Response& resp);
   void calibrate();
   void observe_cost(std::atomic<double>& est_ms, double observed_ms);
@@ -169,7 +198,8 @@ class Server {
   common::ShardedExecutor& exec_;
   ServerConfig config_;
 
-  int listen_fd_ = -1;
+  // Atomic: stop() closes and clears the fd while acceptor_loop reads it.
+  std::atomic<int> listen_fd_{-1};
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
@@ -187,14 +217,11 @@ class Server {
       AT_GUARDED_BY(conn_mutex_);
 
   // Answer cache: full-tier answers keyed by canonical terms, annotated
-  // (QueryCache::ResultMeta) with recorded loss + the data epoch they were
-  // computed in. Thread-safe and doubly bounded (entries + bytes).
+  // (QueryCache::ResultMeta) with recorded loss + the effective epoch they
+  // were computed in. Thread-safe and doubly bounded (entries + bytes).
+  // Every publish re-annotates entries from retired epochs as stale.
   std::unique_ptr<search::QueryCache> cache_;
-  std::atomic<std::uint64_t> data_epoch_{0};
-
-  // Reloads swap a component while workers may be scanning it: workers
-  // hold this shared, reload_search_component holds it exclusively.
-  common::SharedMutex state_mutex_;
+  std::atomic<std::uint64_t> data_epoch_{0};  // reload counter
 
   // Ladder cost model.
   std::atomic<double> est_full_ms_{0.0};
@@ -214,8 +241,11 @@ class Server {
   std::uint64_t shed_ AT_GUARDED_BY(stats_mutex_) = 0;
   std::uint64_t errors_ AT_GUARDED_BY(stats_mutex_) = 0;
   std::uint64_t accepted_ AT_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t updates_ AT_GUARDED_BY(stats_mutex_) = 0;
   std::atomic<std::uint64_t> bad_frames_{0};
   std::atomic<std::uint64_t> connections_seen_{0};
+  std::atomic<std::uint64_t> deltas_written_{0};
+  std::atomic<std::uint64_t> delta_failures_{0};
 };
 
 }  // namespace at::server

@@ -32,18 +32,21 @@ CfPartial CfComponentWork::after_sets(const std::vector<std::size_t>& ranked,
   return out;
 }
 
-RecommenderComponent::RecommenderComponent(synopsis::SparseRows users,
-                                           const synopsis::BuildConfig& config,
-                                           common::ThreadPool* pool)
-    : users_(std::move(users)), pool_(pool), config_(config),
-      structure_(synopsis::SynopsisBuilder(config).build(users_, pool)),
-      synopsis_(synopsis::aggregate_all(users_, structure_.index,
-                                        synopsis::AggregationKind::kMean,
-                                        pool)) {
-  rebuild_derived();
+// ---------------------------------------------------------------------------
+// RecommenderSnapshot
+
+RecommenderSnapshot::RecommenderSnapshot(synopsis::SparseRows users,
+                                         synopsis::BuildConfig config,
+                                         synopsis::SynopsisStructure structure,
+                                         synopsis::Synopsis synopsis)
+    : users_(std::move(users)),
+      config_(config),
+      structure_(std::move(structure)),
+      synopsis_(std::move(synopsis)) {
+  build_derived();
 }
 
-void RecommenderComponent::rebuild_derived() {
+void RecommenderSnapshot::build_derived() {
   const std::size_t n = users_.rows();
   user_means_.assign(n, 0.0);
   raters_.assign(users_.cols(), {});
@@ -65,7 +68,7 @@ void RecommenderComponent::rebuild_derived() {
   }
 }
 
-std::vector<std::uint32_t> RecommenderComponent::group_sizes() const {
+std::vector<std::uint32_t> RecommenderSnapshot::group_sizes() const {
   std::vector<std::uint32_t> sizes;
   sizes.reserve(structure_.index.size());
   for (const auto& g : structure_.index.groups())
@@ -73,13 +76,13 @@ std::vector<std::uint32_t> RecommenderComponent::group_sizes() const {
   return sizes;
 }
 
-double RecommenderComponent::user_weight(const CfRequest& request,
-                                         std::uint32_t user) const {
+double RecommenderSnapshot::user_weight(const CfRequest& request,
+                                        std::uint32_t user) const {
   return pearson_weight(request.ratings, request.rating_mean,
                         users_.row(user), user_means_[user]);
 }
 
-CfComponentWork RecommenderComponent::analyze(const CfRequest& request) const {
+CfComponentWork RecommenderSnapshot::analyze(const CfRequest& request) const {
   const std::size_t m = synopsis_.size();
   CfComponentWork work;
   work.correlations.resize(m);
@@ -131,30 +134,7 @@ CfComponentWork RecommenderComponent::analyze(const CfRequest& request) const {
   return work;
 }
 
-synopsis::UpdateReport RecommenderComponent::update(
-    const synopsis::UpdateBatch& batch) {
-  synopsis::SynopsisUpdater updater(config_);
-  auto report = updater.apply(structure_, users_, synopsis_, batch,
-                              synopsis::AggregationKind::kMean, pool_);
-  rebuild_derived();
-  return report;
-}
-
-RecommenderComponent::RecommenderComponent(LoadedTag,
-                                           synopsis::SparseRows users,
-                                           synopsis::BuildConfig config,
-                                           synopsis::SynopsisStructure
-                                               structure,
-                                           synopsis::Synopsis synopsis)
-    : users_(std::move(users)),
-      config_(config),
-      structure_(std::move(structure)),
-      synopsis_(std::move(synopsis)) {
-  rebuild_derived();
-}
-
-void RecommenderComponent::save(std::ostream& os,
-                                common::Codec codec) const {
+void RecommenderSnapshot::save(std::ostream& os, common::Codec codec) const {
   common::ArtifactWriter w(os, "RCMP", 1);
   common::ChunkWriter conf;
   conf.u64(config_.svd.rank);
@@ -168,6 +148,133 @@ void RecommenderComponent::save(std::ostream& os,
   synopsis::save(os, structure_, codec);
   synopsis::save(os, synopsis_);
   w.finish();
+}
+
+// ---------------------------------------------------------------------------
+// RecommenderBuilder
+
+RecommenderBuilder::RecommenderBuilder(synopsis::SparseRows users,
+                                       const synopsis::BuildConfig& config,
+                                       common::ThreadPool* pool)
+    : users_(std::move(users)),
+      config_(config),
+      structure_(synopsis::SynopsisBuilder(config).build(users_, pool)),
+      synopsis_(synopsis::aggregate_all(users_, structure_.index,
+                                        synopsis::AggregationKind::kMean,
+                                        pool)) {}
+
+RecommenderBuilder::RecommenderBuilder(synopsis::SparseRows users,
+                                       synopsis::BuildConfig config,
+                                       synopsis::SynopsisStructure structure,
+                                       synopsis::Synopsis synopsis)
+    : users_(std::move(users)),
+      config_(config),
+      structure_(std::move(structure)),
+      synopsis_(std::move(synopsis)) {}
+
+synopsis::UpdateReport RecommenderBuilder::apply(
+    const synopsis::UpdateBatch& batch, common::ThreadPool* pool) {
+  synopsis::SynopsisUpdater updater(config_);
+  return updater.apply(structure_, users_, synopsis_, batch,
+                       synopsis::AggregationKind::kMean, pool);
+}
+
+std::unique_ptr<const RecommenderSnapshot> RecommenderBuilder::build() const {
+  return std::make_unique<const RecommenderSnapshot>(
+      users_, config_, structure_.clone(), synopsis_);
+}
+
+// ---------------------------------------------------------------------------
+// RecommenderComponent
+
+/// Non-movable anchor behind the movable facade — see SearchComponent::Core.
+struct RecommenderComponent::Core {
+  common::Mutex writer_mutex;
+  RecommenderBuilder builder AT_GUARDED_BY(writer_mutex);
+  common::ThreadPool* pool AT_GUARDED_BY(writer_mutex) = nullptr;
+  DeltaSink delta_sink AT_GUARDED_BY(writer_mutex);
+  common::EpochSlot<RecommenderSnapshot> epoch;
+
+  explicit Core(RecommenderBuilder b) : builder(std::move(b)) {}
+};
+
+RecommenderComponent::RecommenderComponent(RecommenderBuilder builder,
+                                           common::ThreadPool* pool)
+    : core_(std::make_unique<Core>(std::move(builder))) {
+  common::MutexLock lock(core_->writer_mutex);
+  core_->pool = pool;
+  core_->epoch.publish(core_->builder.build());
+}
+
+RecommenderComponent::RecommenderComponent(synopsis::SparseRows users,
+                                           const synopsis::BuildConfig& config,
+                                           common::ThreadPool* pool)
+    : RecommenderComponent(
+          RecommenderBuilder(std::move(users), config, pool), pool) {}
+
+RecommenderComponent::~RecommenderComponent() = default;
+RecommenderComponent::RecommenderComponent(RecommenderComponent&&) noexcept =
+    default;
+RecommenderComponent& RecommenderComponent::operator=(
+    RecommenderComponent&&) noexcept = default;
+
+void RecommenderComponent::set_pool(common::ThreadPool* pool) {
+  common::MutexLock lock(core_->writer_mutex);
+  core_->pool = pool;
+}
+
+std::shared_ptr<const RecommenderSnapshot> RecommenderComponent::snapshot()
+    const {
+  return core_->epoch.acquire();
+}
+
+std::uint64_t RecommenderComponent::epoch_version() const {
+  return core_->epoch.version();
+}
+
+common::EpochStats RecommenderComponent::epoch_stats() const {
+  return core_->epoch.stats();
+}
+
+void RecommenderComponent::set_delta_sink(DeltaSink sink) {
+  common::MutexLock lock(core_->writer_mutex);
+  core_->delta_sink = std::move(sink);
+}
+
+const synopsis::SynopsisStructure& RecommenderComponent::structure() const {
+  return snapshot()->structure();
+}
+
+const synopsis::Synopsis& RecommenderComponent::synopsis() const {
+  return snapshot()->synopsis();
+}
+
+const synopsis::SparseRows& RecommenderComponent::users() const {
+  return snapshot()->users();
+}
+
+synopsis::UpdateReport RecommenderComponent::update(
+    const synopsis::UpdateBatch& batch) {
+  common::MutexLock lock(core_->writer_mutex);
+  const std::uint64_t from = core_->epoch.version();
+  synopsis::UpdateReport report = core_->builder.apply(batch, core_->pool);
+  core_->epoch.publish(core_->builder.build());
+  if (core_->delta_sink) {
+    core_->delta_sink(batch, from, core_->epoch.version());
+  }
+  return report;
+}
+
+void RecommenderComponent::adopt(RecommenderComponent&& fresh) {
+  std::unique_ptr<Core> incoming = std::move(fresh.core_);
+  RecommenderBuilder* adopted = nullptr;
+  {
+    common::MutexLock lock(incoming->writer_mutex);
+    adopted = &incoming->builder;
+  }
+  common::MutexLock lock(core_->writer_mutex);
+  core_->builder = std::move(*adopted);
+  core_->epoch.publish(core_->builder.build());
 }
 
 RecommenderComponent RecommenderComponent::load(std::istream& is) try {
@@ -187,8 +294,10 @@ RecommenderComponent RecommenderComponent::load(std::istream& is) try {
     auto users = synopsis::load_sparse_rows(is);
     auto structure = synopsis::load_structure(is);
     auto synopsis = synopsis::load_synopsis(is);
-    return RecommenderComponent(LoadedTag{}, std::move(users), config,
-                                std::move(structure), std::move(synopsis));
+    return RecommenderComponent(
+        RecommenderBuilder(std::move(users), config, std::move(structure),
+                           std::move(synopsis)),
+        nullptr);
   }
   common::ArtifactReader r(is, "RCMP");
   if (r.version() != 1)
@@ -207,8 +316,10 @@ RecommenderComponent RecommenderComponent::load(std::istream& is) try {
   auto structure = synopsis::load_structure(is);
   auto synopsis = synopsis::load_synopsis(is);
   r.finish();
-  return RecommenderComponent(LoadedTag{}, std::move(users), config,
-                              std::move(structure), std::move(synopsis));
+  return RecommenderComponent(
+      RecommenderBuilder(std::move(users), config, std::move(structure),
+                         std::move(synopsis)),
+      nullptr);
 } catch (const common::ArtifactError&) {
   throw;
 } catch (const std::exception& e) {

@@ -19,6 +19,24 @@ CfService::CfService(std::vector<RecommenderComponent> components,
     throw std::invalid_argument("CfService: bad rating range");
 }
 
+std::uint64_t CfService::data_version() const {
+  std::uint64_t v = 0;
+  for (const auto& c : components_) v += c.epoch_version();
+  return v;
+}
+
+common::EpochStats CfService::epoch_stats() const {
+  common::EpochStats total;
+  for (const auto& c : components_) {
+    const common::EpochStats s = c.epoch_stats();
+    total.version += s.version;
+    total.published += s.published;
+    total.retired += s.retired;
+    total.live += s.live;
+  }
+  return total;
+}
+
 void CfService::set_pool(common::ThreadPool* pool) {
   pool_ = pool;
   if (exec_ != nullptr) return;  // executor assignment wins until cleared

@@ -44,6 +44,11 @@ class CfService {
   double max_rating() const { return max_rating_; }
   double rating_range() const { return max_rating_ - min_rating_; }
 
+  /// Sum of every component's epoch version (changes on any publish).
+  std::uint64_t data_version() const;
+  /// Aggregated epoch counters across all components.
+  common::EpochStats epoch_stats() const;
+
   /// Installs a thread pool: per-component request analysis and synopsis
   /// updates fan out across it. Partial results merge in component order,
   /// so predictions are identical to the sequential path. The caller owns

@@ -8,25 +8,39 @@
 
 namespace at::search {
 
-SearchComponent::SearchComponent(synopsis::SparseRows docs,
-                                 std::uint64_t doc_id_base,
-                                 const synopsis::BuildConfig& config,
-                                 ScorerParams scorer,
-                                 common::ThreadPool* pool)
+// ---------------------------------------------------------------------------
+// SearchSnapshot
+
+SearchSnapshot::SearchSnapshot(
+    synopsis::SparseRows docs, std::uint64_t doc_id_base,
+    synopsis::BuildConfig config, ScorerParams scorer,
+    synopsis::SynopsisStructure structure, synopsis::Synopsis synopsis,
+    std::shared_ptr<const std::vector<double>> global_idf)
     : docs_(std::move(docs)),
-      pool_(pool),
       doc_id_base_(doc_id_base),
       config_(config),
       scorer_(scorer),
-      structure_(synopsis::SynopsisBuilder(config).build(docs_, pool)),
-      synopsis_(synopsis::aggregate_all(docs_, structure_.index,
-                                        synopsis::AggregationKind::kMerge,
-                                        pool)),
-      index_(docs_, scorer) {
-  rebuild_index();
+      structure_(std::move(structure)),
+      synopsis_(std::move(synopsis)),
+      index_(docs_, scorer),
+      global_idf_(std::move(global_idf)) {
+  if (global_idf_ != nullptr) index_.set_global_idf(global_idf_);
+  build_derived();
 }
 
-void SearchComponent::rebuild_index() {
+SearchSnapshot::SearchSnapshot(const SearchSnapshot& o)
+    : docs_(o.docs_),
+      doc_id_base_(o.doc_id_base_),
+      config_(o.config_),
+      scorer_(o.scorer_),
+      structure_(o.structure_.clone()),
+      synopsis_(o.synopsis_),
+      index_(o.index_),
+      doc_group_(o.doc_group_),
+      agg_length_(o.agg_length_),
+      global_idf_(o.global_idf_) {}
+
+void SearchSnapshot::build_derived() {
   doc_group_.assign(docs_.rows(), 0);
   const auto& groups = structure_.index.groups();
   for (std::uint32_t g = 0; g < groups.size(); ++g) {
@@ -41,20 +55,14 @@ void SearchComponent::rebuild_index() {
   }
 }
 
-std::vector<std::uint32_t> SearchComponent::doc_frequencies() const {
+std::vector<std::uint32_t> SearchSnapshot::doc_frequencies() const {
   std::vector<std::uint32_t> dfs(docs_.cols(), 0);
   for (std::uint32_t t = 0; t < docs_.cols(); ++t)
     dfs[t] = index_.doc_frequency(t);
   return dfs;
 }
 
-void SearchComponent::set_global_idf(
-    std::shared_ptr<const std::vector<double>> idf) {
-  global_idf_ = idf;
-  index_.set_global_idf(std::move(idf));
-}
-
-std::vector<std::uint32_t> SearchComponent::group_sizes() const {
+std::vector<std::uint32_t> SearchSnapshot::group_sizes() const {
   std::vector<std::uint32_t> sizes;
   sizes.reserve(structure_.index.size());
   for (const auto& g : structure_.index.groups())
@@ -62,7 +70,7 @@ std::vector<std::uint32_t> SearchComponent::group_sizes() const {
   return sizes;
 }
 
-SearchComponentWork SearchComponent::analyze(
+SearchComponentWork SearchSnapshot::analyze(
     const SearchRequest& request) const {
   SearchComponentWork work;
   const std::size_t m = synopsis_.size();
@@ -87,12 +95,12 @@ SearchComponentWork SearchComponent::analyze(
   return work;
 }
 
-std::vector<ScoredDoc> SearchComponent::exact_topk(
-    const SearchRequest& request, std::size_t k) const {
+std::vector<ScoredDoc> SearchSnapshot::exact_topk(const SearchRequest& request,
+                                                  std::size_t k) const {
   return index_.topk(request.terms, doc_id_base_, k);
 }
 
-std::vector<ScoredDoc> SearchComponent::synopsis_topk(
+std::vector<ScoredDoc> SearchSnapshot::synopsis_topk(
     const SearchRequest& request, std::size_t k) const {
   const std::size_t m = synopsis_.size();
   std::vector<double> corr(m, 0.0);
@@ -111,7 +119,7 @@ std::vector<ScoredDoc> SearchComponent::synopsis_topk(
   return out;
 }
 
-std::vector<std::uint64_t> SearchComponent::group_member_docs(
+std::vector<std::uint64_t> SearchSnapshot::group_member_docs(
     std::size_t g) const {
   const auto& members = structure_.index.groups().at(g).members;
   std::vector<std::uint64_t> out;
@@ -120,23 +128,7 @@ std::vector<std::uint64_t> SearchComponent::group_member_docs(
   return out;
 }
 
-SearchComponent::SearchComponent(LoadedTag, synopsis::SparseRows docs,
-                                 std::uint64_t doc_id_base,
-                                 synopsis::BuildConfig config,
-                                 ScorerParams scorer,
-                                 synopsis::SynopsisStructure structure,
-                                 synopsis::Synopsis synopsis)
-    : docs_(std::move(docs)),
-      doc_id_base_(doc_id_base),
-      config_(config),
-      scorer_(scorer),
-      structure_(std::move(structure)),
-      synopsis_(std::move(synopsis)),
-      index_(docs_, scorer) {
-  rebuild_index();
-}
-
-void SearchComponent::save(std::ostream& os, common::Codec codec) const {
+void SearchSnapshot::save(std::ostream& os, common::Codec codec) const {
   common::ArtifactWriter w(os, "SCMP", 1);
   common::ChunkWriter conf;
   conf.u64(doc_id_base_);
@@ -154,6 +146,167 @@ void SearchComponent::save(std::ostream& os, common::Codec codec) const {
   synopsis::save(os, structure_, codec);
   synopsis::save(os, synopsis_);
   w.finish();
+}
+
+std::unique_ptr<const SearchSnapshot> SearchSnapshot::with_global_idf(
+    std::shared_ptr<const std::vector<double>> idf) const {
+  std::unique_ptr<SearchSnapshot> copy(new SearchSnapshot(*this));
+  copy->global_idf_ = std::move(idf);
+  copy->index_.set_global_idf(copy->global_idf_);
+  return copy;
+}
+
+// ---------------------------------------------------------------------------
+// SearchBuilder
+
+SearchBuilder::SearchBuilder(synopsis::SparseRows docs,
+                             std::uint64_t doc_id_base,
+                             const synopsis::BuildConfig& config,
+                             ScorerParams scorer, common::ThreadPool* pool)
+    : docs_(std::move(docs)),
+      doc_id_base_(doc_id_base),
+      config_(config),
+      scorer_(scorer),
+      structure_(synopsis::SynopsisBuilder(config).build(docs_, pool)),
+      synopsis_(synopsis::aggregate_all(docs_, structure_.index,
+                                        synopsis::AggregationKind::kMerge,
+                                        pool)) {}
+
+SearchBuilder::SearchBuilder(synopsis::SparseRows docs,
+                             std::uint64_t doc_id_base,
+                             synopsis::BuildConfig config, ScorerParams scorer,
+                             synopsis::SynopsisStructure structure,
+                             synopsis::Synopsis synopsis)
+    : docs_(std::move(docs)),
+      doc_id_base_(doc_id_base),
+      config_(config),
+      scorer_(scorer),
+      structure_(std::move(structure)),
+      synopsis_(std::move(synopsis)) {}
+
+synopsis::UpdateReport SearchBuilder::apply(const synopsis::UpdateBatch& batch,
+                                            common::ThreadPool* pool) {
+  synopsis::SynopsisUpdater updater(config_);
+  return updater.apply(structure_, docs_, synopsis_, batch,
+                       synopsis::AggregationKind::kMerge, pool);
+}
+
+std::unique_ptr<const SearchSnapshot> SearchBuilder::build(
+    std::shared_ptr<const std::vector<double>> global_idf) const {
+  return std::make_unique<const SearchSnapshot>(
+      docs_, doc_id_base_, config_, scorer_, structure_.clone(), synopsis_,
+      std::move(global_idf));
+}
+
+// ---------------------------------------------------------------------------
+// SearchComponent
+
+/// The non-movable anchor behind the movable facade: the writer mutex, the
+/// shadow copy it guards, and the epoch slot readers pin through. Held via
+/// unique_ptr so SearchComponent still fits in std::vector.
+struct SearchComponent::Core {
+  common::Mutex writer_mutex;
+  SearchBuilder builder AT_GUARDED_BY(writer_mutex);
+  common::ThreadPool* pool AT_GUARDED_BY(writer_mutex) = nullptr;
+  std::shared_ptr<const std::vector<double>> global_idf
+      AT_GUARDED_BY(writer_mutex);
+  DeltaSink delta_sink AT_GUARDED_BY(writer_mutex);
+  common::EpochSlot<SearchSnapshot> epoch;
+
+  explicit Core(SearchBuilder b) : builder(std::move(b)) {}
+};
+
+SearchComponent::SearchComponent(SearchBuilder builder,
+                                 common::ThreadPool* pool)
+    : core_(std::make_unique<Core>(std::move(builder))) {
+  common::MutexLock lock(core_->writer_mutex);
+  core_->pool = pool;
+  core_->epoch.publish(core_->builder.build(nullptr));
+}
+
+SearchComponent::SearchComponent(synopsis::SparseRows docs,
+                                 std::uint64_t doc_id_base,
+                                 const synopsis::BuildConfig& config,
+                                 ScorerParams scorer, common::ThreadPool* pool)
+    : SearchComponent(
+          SearchBuilder(std::move(docs), doc_id_base, config, scorer, pool),
+          pool) {}
+
+SearchComponent::~SearchComponent() = default;
+SearchComponent::SearchComponent(SearchComponent&&) noexcept = default;
+SearchComponent& SearchComponent::operator=(SearchComponent&&) noexcept =
+    default;
+
+void SearchComponent::set_pool(common::ThreadPool* pool) {
+  common::MutexLock lock(core_->writer_mutex);
+  core_->pool = pool;
+}
+
+std::shared_ptr<const SearchSnapshot> SearchComponent::snapshot() const {
+  return core_->epoch.acquire();
+}
+
+std::uint64_t SearchComponent::epoch_version() const {
+  return core_->epoch.version();
+}
+
+common::EpochStats SearchComponent::epoch_stats() const {
+  return core_->epoch.stats();
+}
+
+void SearchComponent::set_delta_sink(DeltaSink sink) {
+  common::MutexLock lock(core_->writer_mutex);
+  core_->delta_sink = std::move(sink);
+}
+
+const synopsis::SynopsisStructure& SearchComponent::structure() const {
+  return snapshot()->structure();
+}
+
+const synopsis::Synopsis& SearchComponent::synopsis() const {
+  return snapshot()->synopsis();
+}
+
+const InvertedIndex& SearchComponent::index() const {
+  return snapshot()->index();
+}
+
+void SearchComponent::set_global_idf(
+    std::shared_ptr<const std::vector<double>> idf) {
+  common::MutexLock lock(core_->writer_mutex);
+  core_->global_idf = idf;
+  std::shared_ptr<const SearchSnapshot> cur = core_->epoch.acquire();
+  // Cheap-copy publish: swap the idf table on a copy of the published
+  // snapshot instead of rebuilding index + derived arrays from the shadow.
+  core_->epoch.publish(cur->with_global_idf(std::move(idf)));
+}
+
+synopsis::UpdateReport SearchComponent::update(
+    const synopsis::UpdateBatch& batch) {
+  common::MutexLock lock(core_->writer_mutex);
+  const std::uint64_t from = core_->epoch.version();
+  // Retrain/fold-in runs on the shadow copy: readers keep scanning the
+  // published epoch and never observe intermediate state.
+  synopsis::UpdateReport report = core_->builder.apply(batch, core_->pool);
+  core_->epoch.publish(core_->builder.build(core_->global_idf));
+  if (core_->delta_sink) {
+    core_->delta_sink(batch, from, core_->epoch.version());
+  }
+  return report;
+}
+
+void SearchComponent::adopt(SearchComponent&& fresh) {
+  // Move the incoming shadow copy out from under `fresh`'s own mutex
+  // first; both locks are never held at once (no ordering to get wrong).
+  std::unique_ptr<Core> incoming = std::move(fresh.core_);
+  SearchBuilder* adopted = nullptr;
+  {
+    common::MutexLock lock(incoming->writer_mutex);
+    adopted = &incoming->builder;
+  }
+  common::MutexLock lock(core_->writer_mutex);
+  core_->builder = std::move(*adopted);
+  core_->epoch.publish(core_->builder.build(core_->global_idf));
 }
 
 SearchComponent SearchComponent::load(std::istream& is) try {
@@ -178,8 +331,10 @@ SearchComponent SearchComponent::load(std::istream& is) try {
     auto docs = synopsis::load_sparse_rows(is);
     auto structure = synopsis::load_structure(is);
     auto synopsis = synopsis::load_synopsis(is);
-    return SearchComponent(LoadedTag{}, std::move(docs), doc_id_base, config,
-                           scorer, std::move(structure), std::move(synopsis));
+    return SearchComponent(
+        SearchBuilder(std::move(docs), doc_id_base, config, scorer,
+                      std::move(structure), std::move(synopsis)),
+        nullptr);
   }
   common::ArtifactReader r(is, "SCMP");
   if (r.version() != 1)
@@ -202,8 +357,10 @@ SearchComponent SearchComponent::load(std::istream& is) try {
   auto structure = synopsis::load_structure(is);
   auto synopsis = synopsis::load_synopsis(is);
   r.finish();
-  return SearchComponent(LoadedTag{}, std::move(docs), doc_id_base, config,
-                         scorer, std::move(structure), std::move(synopsis));
+  return SearchComponent(
+      SearchBuilder(std::move(docs), doc_id_base, config, scorer,
+                    std::move(structure), std::move(synopsis)),
+      nullptr);
 } catch (const common::ArtifactError&) {
   throw;
 } catch (const std::exception& e) {
@@ -211,17 +368,6 @@ SearchComponent SearchComponent::load(std::istream& is) try {
   // error mid-chunk — surfaces as the artifact layer's structured error.
   throw common::ArtifactError(std::string("SearchComponent::load: ") +
                               e.what());
-}
-
-synopsis::UpdateReport SearchComponent::update(
-    const synopsis::UpdateBatch& batch) {
-  synopsis::SynopsisUpdater updater(config_);
-  auto report = updater.apply(structure_, docs_, synopsis_, batch,
-                              synopsis::AggregationKind::kMerge, pool_);
-  index_ = InvertedIndex(docs_, scorer_);
-  if (global_idf_ != nullptr) index_.set_global_idf(global_idf_);
-  rebuild_index();
-  return report;
 }
 
 }  // namespace at::search

@@ -90,6 +90,20 @@ void QueryCache::insert(const std::vector<std::uint32_t>& terms,
   ++stats_.insertions;
 }
 
+std::size_t QueryCache::mark_stale_epochs(std::uint64_t current_epoch,
+                                          double penalty_pct) {
+  common::MutexLock lock(mutex_);
+  std::size_t marked = 0;
+  for (Entry& e : lru_) {
+    if (e.meta.stale || e.meta.epoch == current_epoch) continue;
+    e.meta.stale = true;
+    e.meta.loss_pct += penalty_pct;
+    ++marked;
+  }
+  stats_.stale_marks += marked;
+  return marked;
+}
+
 void QueryCache::invalidate_all() {
   common::MutexLock lock(mutex_);
   lru_.clear();

@@ -28,6 +28,8 @@ struct QueryCacheStats {
   std::uint64_t invalidations = 0;
   /// Inserts refused because one entry alone exceeds the byte budget.
   std::uint64_t oversized_rejects = 0;
+  /// Entries re-annotated stale by mark_stale_epochs() (epoch publish).
+  std::uint64_t stale_marks = 0;
   /// Current estimated footprint of all cached entries (gauge, not a
   /// counter): keys + results + per-entry bookkeeping.
   std::uint64_t bytes = 0;
@@ -46,6 +48,10 @@ struct QueryCacheStats {
 struct ResultMeta {
   double loss_pct = 0.0;
   std::uint64_t epoch = 0;
+  /// Set by mark_stale_epochs() when the entry's epoch was retired while
+  /// the entry stayed cached: its loss_pct already includes the staleness
+  /// penalty, and it must never be served as fresh again.
+  bool stale = false;
 };
 
 class QueryCache {
@@ -71,6 +77,16 @@ class QueryCache {
 
   /// Drops everything (input data changed; all cached answers are stale).
   void invalidate_all();
+
+  /// Epoch-publish hook: every entry computed in an epoch other than
+  /// `current_epoch` (and not already marked) is re-annotated stale —
+  /// `penalty_pct` is folded into its loss_pct once, and the entry can
+  /// only be served as a degraded answer from then on. Keeping (rather
+  /// than dropping) the entries preserves the degradation ladder's last
+  /// rung: a stale answer still beats shedding the request. Returns how
+  /// many entries were newly marked.
+  std::size_t mark_stale_epochs(std::uint64_t current_epoch,
+                                double penalty_pct);
 
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }

@@ -17,15 +17,39 @@ SearchService::SearchService(std::vector<SearchComponent> components,
     : components_(std::move(components)), k_(k) {
   if (components_.empty())
     throw std::invalid_argument("SearchService: no components");
+  rebuild_global_idf();
+}
+
+void SearchService::rebuild_global_idf() {
   std::vector<std::vector<std::uint32_t>> dfs;
   dfs.reserve(components_.size());
+  std::size_t total = 0;
   for (const auto& c : components_) {
     dfs.push_back(c.doc_frequencies());
-    total_docs_ += c.num_docs();
+    total += c.num_docs();
   }
+  total_docs_.store(total, std::memory_order_relaxed);
   auto idf = std::make_shared<const std::vector<double>>(
-      merge_idf(dfs, total_docs_));
+      merge_idf(dfs, total));
   for (auto& c : components_) c.set_global_idf(idf);
+}
+
+std::uint64_t SearchService::data_version() const {
+  std::uint64_t v = 0;
+  for (const auto& c : components_) v += c.epoch_version();
+  return v;
+}
+
+common::EpochStats SearchService::epoch_stats() const {
+  common::EpochStats total;
+  for (const auto& c : components_) {
+    const common::EpochStats s = c.epoch_stats();
+    total.version += s.version;
+    total.published += s.published;
+    total.retired += s.retired;
+    total.live += s.live;
+  }
+  return total;
 }
 
 IndexSizeStats SearchService::index_size() const {
@@ -123,16 +147,28 @@ void SearchService::fan_out_topk(
 
 std::vector<ScoredDoc> SearchService::exact_topk(
     const SearchRequest& request) const {
+  // Freshness token: the sum of component epoch versions at lookup time.
+  // A hit computed in any other epoch set is treated as a miss, and a
+  // result is only inserted if no component published while the fan-out
+  // was in flight — a concurrently-updated answer must not be cached as
+  // current.
+  const std::uint64_t v = data_version();
   if (cache_ != nullptr) {
     std::vector<ScoredDoc> cached;
-    if (cache_->lookup(request.terms, &cached)) return cached;
+    ResultMeta meta;
+    if (cache_->lookup(request.terms, &cached, &meta) && !meta.stale &&
+        meta.epoch == v) {
+      return cached;
+    }
   }
   TopK top(k_);
   fan_out_topk(
       [&](std::size_t c) { return components_[c].exact_topk(request, k_); },
       top);
   auto result = top.take();
-  if (cache_ != nullptr) cache_->insert(request.terms, result);
+  if (cache_ != nullptr && data_version() == v) {
+    cache_->insert(request.terms, result, ResultMeta{0.0, v, false});
+  }
   return result;
 }
 
@@ -181,24 +217,14 @@ void SearchService::reload_component(std::size_t c, std::istream& is) {
   // injected artifact fault) throws out of here before any service state
   // is touched.
   SearchComponent fresh = SearchComponent::load(is);
-  if (exec_ != nullptr) {
-    fresh.set_pool(&exec_->group(exec_->home_group(c)));
-  } else {
-    fresh.set_pool(pool_);
-  }
-  components_[c] = std::move(fresh);
+  // Adopt the loaded shadow copy and publish it as a new epoch on the
+  // *existing* component object — in-flight queries hold pinned snapshots
+  // and drain against the old epoch, while the component's mutex/epoch
+  // anchor (which concurrent readers go through) is never replaced.
+  components_[c].adopt(std::move(fresh));
   // The shard's contents may have changed: rebuild the corpus-global idf
   // and drop every cached answer.
-  std::vector<std::vector<std::uint32_t>> dfs;
-  dfs.reserve(components_.size());
-  total_docs_ = 0;
-  for (const auto& comp : components_) {
-    dfs.push_back(comp.doc_frequencies());
-    total_docs_ += comp.num_docs();
-  }
-  auto idf = std::make_shared<const std::vector<double>>(
-      merge_idf(dfs, total_docs_));
-  for (auto& comp : components_) comp.set_global_idf(idf);
+  rebuild_global_idf();
   if (cache_ != nullptr) cache_->invalidate_all();
 }
 
@@ -237,17 +263,25 @@ std::vector<ScoredDoc> SearchService::retrieve(
   };
   std::vector<PendingGroup> unprocessed;
   std::vector<SearchComponentWork> works(components_.size());
+  // Pin ONE snapshot per component for the whole request: the group
+  // indices coming out of analyze() are only meaningful against the same
+  // epoch's group index, so the padding pass below must read member docs
+  // from the snapshot that produced them — not whatever a concurrent
+  // update published in between.
+  std::vector<std::shared_ptr<const SearchSnapshot>> snaps(components_.size());
+  for (std::size_t c = 0; c < components_.size(); ++c)
+    snaps[c] = components_[c].snapshot();
   if (exec_ != nullptr && components_.size() > 1) {
     exec_->for_each_shard_grouped(components_.size(), [&](std::size_t c) {
-      works[c] = components_[c].analyze(request);
+      works[c] = snaps[c]->analyze(request);
     });
   } else if (pool_ != nullptr && components_.size() > 1) {
     pool_->parallel_for(components_.size(), [&](std::size_t c) {
-      works[c] = components_[c].analyze(request);
+      works[c] = snaps[c]->analyze(request);
     });
   } else {
     for (std::size_t c = 0; c < components_.size(); ++c)
-      works[c] = components_[c].analyze(request);
+      works[c] = snaps[c]->analyze(request);
   }
   for (std::size_t c = 0; c < components_.size(); ++c) {
     const SearchComponentWork& work = works[c];
@@ -277,7 +311,7 @@ std::vector<ScoredDoc> SearchService::retrieve(
     for (const auto& pg : unprocessed) {
       if (result.size() >= k_) break;
       if (pg.correlation <= 0.0) break;  // no query overlap at all
-      for (auto doc : components_[pg.comp].group_member_docs(pg.group)) {
+      for (auto doc : snaps[pg.comp]->group_member_docs(pg.group)) {
         if (result.size() >= k_) break;
         const bool dup =
             std::any_of(result.begin(), result.end(),

@@ -3,6 +3,7 @@
 // the exact top-k is the paper's accuracy metric.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -37,7 +38,17 @@ class SearchService {
   }
   SearchComponent& component(std::size_t i) { return components_.at(i); }
   std::size_t k() const { return k_; }
-  std::size_t total_docs() const { return total_docs_; }
+  std::size_t total_docs() const {
+    return total_docs_.load(std::memory_order_relaxed);
+  }
+
+  /// Sum of every component's epoch version: changes whenever any shard
+  /// publishes a new epoch (update, reload, idf rebuild). The freshness
+  /// token cached answers are stamped with.
+  std::uint64_t data_version() const;
+  /// Aggregated epoch counters across all components (version/published/
+  /// retired/live summed per slot).
+  common::EpochStats epoch_stats() const;
 
   /// Aggregate inverted-index footprint across all shard components.
   IndexSizeStats index_size() const;
@@ -67,7 +78,10 @@ class SearchService {
   common::ShardedExecutor* executor() const { return exec_; }
 
   /// Routes an input-data change batch to component `c` and invalidates
-  /// the query cache (every cached answer is potentially stale).
+  /// the query cache (every cached answer is potentially stale). The
+  /// component retrains into its shadow copy and publishes a new epoch —
+  /// concurrent queries keep scanning their pinned snapshots and never
+  /// block on this call.
   synopsis::UpdateReport update_component(std::size_t c,
                                           const synopsis::UpdateBatch& batch);
 
@@ -125,9 +139,13 @@ class SearchService {
       const std::function<std::vector<ScoredDoc>(std::size_t)>& scan,
       TopK& top) const;
 
+  /// Recomputes the corpus-global idf from current component contents and
+  /// publishes it into every component (each a cheap epoch).
+  void rebuild_global_idf();
+
   std::vector<SearchComponent> components_;
   std::size_t k_;
-  std::size_t total_docs_ = 0;
+  std::atomic<std::size_t> total_docs_{0};
   std::unique_ptr<QueryCache> cache_;
   common::ThreadPool* pool_ = nullptr;
   common::ShardedExecutor* exec_ = nullptr;

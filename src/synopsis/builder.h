@@ -43,6 +43,12 @@ struct SynopsisStructure {
 
   std::size_t num_points() const { return reduced.rows(); }
   std::size_t num_groups() const { return index.size(); }
+
+  /// Deep copy (the R-tree member makes the implicit copy deleted); the
+  /// clone updates incrementally exactly like the original.
+  SynopsisStructure clone() const {
+    return SynopsisStructure{svd, reduced, tree.clone(), level, index};
+  }
 };
 
 class SynopsisBuilder {

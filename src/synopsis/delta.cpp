@@ -1,0 +1,145 @@
+#include "synopsis/delta.h"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+
+#include "common/failpoint.h"
+
+namespace at::synopsis {
+
+namespace {
+
+/// Columnar encoding shared by DADD and DCHG: per-row entry counts, then
+/// all term ids concatenated, then all values as one codec'd f64 column.
+void write_rows_columnar(common::ChunkWriter& w,
+                         const std::vector<const SparseVector*>& rows,
+                         common::Codec codec) {
+  std::vector<std::uint32_t> lengths;
+  std::vector<std::uint32_t> terms;
+  std::vector<double> values;
+  lengths.reserve(rows.size());
+  for (const SparseVector* row : rows) {
+    lengths.push_back(static_cast<std::uint32_t>(row->size()));
+    for (const auto& [term, value] : *row) {
+      terms.push_back(term);
+      values.push_back(value);
+    }
+  }
+  w.vec_u32(lengths);
+  w.vec_u32(terms);
+  w.vec_f64(values, codec);
+}
+
+std::vector<SparseVector> read_rows_columnar(common::ChunkReader& r,
+                                             std::uint64_t expected_rows) {
+  const std::vector<std::uint32_t> lengths = r.vec_u32();
+  const std::vector<std::uint32_t> terms = r.vec_u32();
+  const std::vector<double> values = r.vec_f64();
+  if (lengths.size() != expected_rows)
+    throw common::ArtifactError("delta artifact: row count mismatch");
+  std::uint64_t total = 0;
+  for (const std::uint32_t len : lengths) total += len;
+  if (terms.size() != total || values.size() != total)
+    throw common::ArtifactError("delta artifact: entry count mismatch");
+  std::vector<SparseVector> rows(lengths.size());
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    rows[i].reserve(lengths[i]);
+    for (std::uint32_t j = 0; j < lengths[i]; ++j, ++at) {
+      if (j > 0 && terms[at] <= rows[i].back().first)
+        throw common::ArtifactError("delta artifact: unsorted row terms");
+      rows[i].emplace_back(terms[at], values[at]);
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+void save_delta(std::ostream& os, const DeltaArtifact& delta,
+                common::Codec codec) {
+  // Standby-stream fault injection: an armed error aborts before any
+  // bytes are written, so a consumer never sees a half-framed container.
+  if (common::failpoint::check("artifact.delta_write").action ==
+      common::failpoint::Action::kError)
+    throw common::ArtifactError("save_delta: injected fault");
+
+  common::ArtifactWriter w(os, "DLTA", 1);
+
+  common::ChunkWriter meta;
+  meta.u32(delta.component);
+  meta.u64(delta.from_version);
+  meta.u64(delta.to_version);
+  meta.u64(delta.batch.added.size());
+  meta.u64(delta.batch.changed.size());
+  w.chunk("META", meta);
+
+  common::ChunkWriter dadd;
+  std::vector<const SparseVector*> added;
+  added.reserve(delta.batch.added.size());
+  for (const SparseVector& row : delta.batch.added) added.push_back(&row);
+  write_rows_columnar(dadd, added, codec);
+  w.chunk("DADD", dadd);
+
+  common::ChunkWriter dchg;
+  std::vector<std::uint32_t> row_ids;
+  std::vector<const SparseVector*> changed;
+  row_ids.reserve(delta.batch.changed.size());
+  changed.reserve(delta.batch.changed.size());
+  for (const auto& [row, content] : delta.batch.changed) {
+    row_ids.push_back(row);
+    changed.push_back(&content);
+  }
+  dchg.vec_u32(row_ids);
+  write_rows_columnar(dchg, changed, codec);
+  w.chunk("DCHG", dchg);
+
+  w.finish();
+}
+
+DeltaArtifact load_delta(std::istream& is) try {
+  common::ArtifactReader r(is, "DLTA");
+  if (r.version() != 1)
+    throw common::ArtifactError("load_delta: unsupported version");
+
+  common::ChunkReader meta = r.chunk("META");
+  DeltaArtifact delta;
+  delta.component = meta.u32();
+  delta.from_version = meta.u64();
+  delta.to_version = meta.u64();
+  const std::uint64_t n_added = meta.u64();
+  const std::uint64_t n_changed = meta.u64();
+  meta.expect_consumed();
+  if (delta.to_version <= delta.from_version)
+    throw common::ArtifactError("load_delta: non-advancing epoch interval");
+  // A batch row costs >= 4 payload bytes (its length entry), so forged
+  // counts are bounded before any allocation sized by them.
+  constexpr std::uint64_t kMaxRows = std::uint64_t{1} << 26;
+  if (n_added > kMaxRows || n_changed > kMaxRows)
+    throw common::ArtifactError("load_delta: implausible row count");
+
+  common::ChunkReader dadd = r.chunk("DADD");
+  delta.batch.added = read_rows_columnar(dadd, n_added);
+  dadd.expect_consumed();
+
+  common::ChunkReader dchg = r.chunk("DCHG");
+  const std::vector<std::uint32_t> row_ids = dchg.vec_u32();
+  std::vector<SparseVector> contents = read_rows_columnar(dchg, n_changed);
+  dchg.expect_consumed();
+  if (row_ids.size() != contents.size())
+    throw common::ArtifactError("load_delta: changed-row id mismatch");
+  delta.batch.changed.reserve(row_ids.size());
+  for (std::size_t i = 0; i < row_ids.size(); ++i)
+    delta.batch.changed.emplace_back(row_ids[i], std::move(contents[i]));
+
+  r.finish();
+  return delta;
+} catch (const common::ArtifactError&) {
+  throw;
+} catch (const std::exception& e) {
+  throw common::ArtifactError(std::string("load_delta: ") + e.what());
+}
+
+}  // namespace at::synopsis

@@ -10,7 +10,10 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
+
+#include <fstream>
 
 #include <atomic>
 #include <cstring>
@@ -28,6 +31,7 @@
 #include "server/replay.h"
 #include "server/server.h"
 #include "services/search/service.h"
+#include "synopsis/delta.h"
 #include "workload/corpus.h"
 
 namespace at::server {
@@ -175,6 +179,49 @@ TEST(Protocol, RecommendRequestRoundTrip) {
   ASSERT_EQ(out.ratings.size(), 2u);
   EXPECT_EQ(out.ratings[1].first, 9u);
   EXPECT_DOUBLE_EQ(out.ratings[1].second, 2.0);
+}
+
+TEST(Protocol, UpdateRequestRoundTripAndCaps) {
+  Request req;
+  req.request_id = 9;
+  req.op = Op::kUpdate;
+  req.deadline_ms = 500;
+  req.update_component = 3;
+  req.update_adds = 17;
+  req.update_changes = 5;
+  req.update_seed = 0xFEEDFACE12345678ULL;
+  const auto frame = protocol::encode_request(req);
+  Request out;
+  std::string err;
+  ASSERT_TRUE(
+      protocol::decode_request(frame.data() + 4, frame.size() - 4, &out, &err))
+      << err;
+  EXPECT_EQ(out.op, Op::kUpdate);
+  EXPECT_EQ(out.update_component, 3u);
+  EXPECT_EQ(out.update_adds, 17u);
+  EXPECT_EQ(out.update_changes, 5u);
+  EXPECT_EQ(out.update_seed, 0xFEEDFACE12345678ULL);
+
+  // Forged row counts are rejected before any retraining work.
+  req.update_adds = protocol::kMaxUpdateRows + 1;
+  const auto big = protocol::encode_request(req);
+  EXPECT_FALSE(
+      protocol::decode_request(big.data() + 4, big.size() - 4, &out, &err));
+
+  // The JSON report response round-trips like a stats body.
+  Response resp;
+  resp.request_id = 9;
+  resp.status = Status::kOk;
+  resp.tier = Tier::kNone;
+  resp.op = Op::kUpdate;
+  resp.text = "{\"points_added\": 17}";
+  const auto rframe = protocol::encode_response(resp);
+  Response rout;
+  rout.op = Op::kUpdate;
+  ASSERT_TRUE(protocol::decode_response(rframe.data() + 4, rframe.size() - 4,
+                                        &rout, &err))
+      << err;
+  EXPECT_EQ(rout.text, resp.text);
 }
 
 TEST(Protocol, ResponseRoundTripAllStatuses) {
@@ -719,6 +766,170 @@ TEST_F(ServerTest, ReplayDriverRunsHeadless) {
   EXPECT_EQ(report.ok_full + report.ok_synopsis + report.ok_cached, 45u);
   const auto json = report.to_json();
   EXPECT_NE(json.find("\"shed_rate\""), std::string::npos);
+  srv.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Online retraining (kUpdate) — built on a PRIVATE service so the seeded
+// retraining batches cannot perturb the shared fixture other tests query.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<search::SearchService> private_service() {
+  workload::CorpusConfig ccfg = test_corpus_config();
+  ccfg.num_components = 2;
+  ccfg.docs_per_component = 80;
+  workload::CorpusGen gen(ccfg);
+  auto wl = gen.generate(8);
+  synopsis::BuildConfig bcfg;
+  bcfg.svd.rank = 2;
+  bcfg.svd.epochs_per_dim = 40;
+  bcfg.size_ratio = 10.0;
+  std::vector<search::SearchComponent> comps;
+  std::uint64_t base = 0;
+  for (auto& shard : wl.shards) {
+    const auto n = shard.rows();
+    comps.emplace_back(std::move(shard), base, bcfg);
+    base += n;
+  }
+  return std::make_unique<search::SearchService>(std::move(comps), 10);
+}
+
+TEST_F(ServerTest, UpdateOpRetrainsPublishesEpochAndMarksCacheStale) {
+  auto service = private_service();
+  auto& fx = fixture();
+  ServerConfig cfg = test_server_config();
+  Server srv(*service, nullptr, *fx.exec, cfg);
+  srv.start();
+  Client client(client_config(srv.port()));
+  const auto& terms = fx.queries[2].terms;
+
+  Response prime;
+  std::string err;
+  ASSERT_TRUE(client.search(terms, 1000, 10, &prime, &err)) << err;
+  ASSERT_EQ(prime.tier, Tier::kFull);
+  const std::uint64_t epoch0 = srv.snapshot().epoch_version;
+
+  Response up;
+  ASSERT_TRUE(client.update(0, 3, 2, 42, 5000, &up, &err)) << err;
+  ASSERT_EQ(up.status, Status::kOk) << up.text;
+  EXPECT_NE(up.text.find("\"points_added\": 3"), std::string::npos)
+      << up.text;
+  EXPECT_NE(up.text.find("\"to_epoch\""), std::string::npos);
+
+  const auto snap = srv.snapshot();
+  EXPECT_EQ(snap.updates, 1u);
+  EXPECT_GT(snap.epoch_version, epoch0);
+  EXPECT_GT(snap.epoch_published, 0u);
+  EXPECT_EQ(snap.data_epoch, 0u);  // reload counter untouched by updates
+
+  // The pre-update cached answer is stale now: with the scan rungs dead it
+  // still serves, penalty folded in at publish time (not re-added).
+  fp::set_many("server.scan=error;server.synopsis=error");
+  Response stale;
+  ASSERT_TRUE(client.search(terms, 1000, 10, &stale, &err)) << err;
+  EXPECT_EQ(stale.tier, Tier::kCached);
+  EXPECT_NEAR(stale.est_loss_pct, cfg.stale_penalty_pct, 1e-9);
+  fp::clear_all();
+
+  // And a live recompute works against the new epoch.
+  Response fresh;
+  ASSERT_TRUE(client.search(terms, 1000, 10, &fresh, &err)) << err;
+  EXPECT_EQ(fresh.tier, Tier::kFull);
+
+  // Out-of-range component: structured bad request, server keeps serving.
+  Response bad;
+  ASSERT_TRUE(client.update(99, 1, 0, 1, 5000, &bad, &err)) << err;
+  EXPECT_EQ(bad.status, Status::kBadRequest);
+
+  const auto json = srv.stats_json();
+  EXPECT_NE(json.find("\"updates\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"epoch_version\""), std::string::npos);
+  EXPECT_NE(json.find("\"epoch_published\""), std::string::npos);
+  EXPECT_NE(json.find("\"epoch_retired\""), std::string::npos);
+  srv.stop();
+}
+
+TEST_F(ServerTest, DeltaDirEmitsTailableArtifactsAndSurvivesWriteFaults) {
+  auto service = private_service();
+  auto& fx = fixture();
+  ServerConfig cfg = test_server_config();
+  std::string dir_template = ::testing::TempDir() + "at_delta_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template.data()), nullptr);
+  cfg.delta_dir = dir_template;
+  Server srv(*service, nullptr, *fx.exec, cfg);
+  srv.start();
+  Client client(client_config(srv.port()));
+
+  Response up;
+  std::string err;
+  ASSERT_TRUE(client.update(1, 2, 1, 7, 5000, &up, &err)) << err;
+  ASSERT_EQ(up.status, Status::kOk) << up.text;
+  ASSERT_TRUE(client.update(1, 2, 1, 8, 5000, &up, &err)) << err;
+  ASSERT_EQ(up.status, Status::kOk) << up.text;
+  EXPECT_EQ(srv.snapshot().deltas_written, 2u);
+
+  // The emitted files form a gapless tailable chain for the component.
+  // The first few versions are the build-time publishes (initial epoch,
+  // global idf), which emit no delta — scan a generous version range.
+  std::vector<synopsis::DeltaArtifact> chain;
+  for (std::uint64_t v = 1; v <= 32; ++v) {
+    std::ifstream is(cfg.delta_dir + "/delta_c1_" + std::to_string(v) +
+                         ".atac",
+                     std::ios::binary);
+    if (!is.good()) continue;
+    chain.push_back(synopsis::load_delta(is));
+  }
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0].component, 1u);
+  EXPECT_EQ(chain[1].from_version, chain[0].to_version);
+
+  // An injected delta-write fault loses only the delta: the epoch is
+  // already live and the update still reports success.
+  fp::set("artifact.delta_write", "error");
+  ASSERT_TRUE(client.update(1, 1, 0, 9, 5000, &up, &err)) << err;
+  EXPECT_EQ(up.status, Status::kOk) << up.text;
+  fp::clear_all();
+  const auto snap = srv.snapshot();
+  EXPECT_EQ(snap.deltas_written, 2u);
+  EXPECT_EQ(snap.delta_failures, 1u);
+  EXPECT_EQ(snap.updates, 3u);
+  srv.stop();
+}
+
+TEST_F(ServerTest, ReplayUpdateMixInterleavesRetrainingWithQueries) {
+  auto service = private_service();
+  auto& fx = fixture();
+  Server srv(*service, nullptr, *fx.exec, test_server_config());
+  srv.start();
+
+  ReplayConfig cfg;
+  cfg.port = srv.port();
+  cfg.num_clients = 3;
+  cfg.requests_per_client = 20;
+  cfg.deadline_ms = 2000;
+  cfg.recommend_fraction = 0.0;
+  cfg.update_fraction = 0.25;
+  cfg.update_adds = 2;
+  cfg.update_changes = 1;
+  cfg.update_components = 2;
+  cfg.corpus = test_corpus_config();
+  const auto report = run_replay(cfg);
+  EXPECT_EQ(report.requests, 60u);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_EQ(report.server_errors, 0u);
+  EXPECT_GT(report.ok_updates, 0u);
+  EXPECT_GT(report.ok_full + report.ok_synopsis + report.ok_cached, 0u);
+  EXPECT_EQ(report.ok_full + report.ok_synopsis + report.ok_cached +
+                report.ok_updates,
+            60u);
+  EXPECT_NE(report.to_json().find("\"update\""), std::string::npos);
+
+  // Same seed, same stream: the update mix is reproducible.
+  const auto again = run_replay(cfg);
+  EXPECT_EQ(again.ok_updates, report.ok_updates);
+
+  EXPECT_EQ(srv.snapshot().updates,
+            report.ok_updates + again.ok_updates);
   srv.stop();
 }
 

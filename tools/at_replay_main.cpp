@@ -13,8 +13,14 @@
 //        --requests N   requests per client (default 50)
 //        --deadline MS  per-request deadline (default 100)
 //        --reco-frac P  fraction [0,1] of recommend ops (default 0.1)
+//        --update-mix P fraction [0,1] of online-retraining update ops,
+//                       interleaved with the query load from the same
+//                       seeded stream (default 0 — queries only)
+//        --update-adds N    rows added per update batch (default 4)
+//        --update-changes N rows changed per update batch (default 4)
 //        --components N corpus shards — must match the server (default 8)
 //        --docs N       docs per component — must match (default 200)
+//        --seed N       replay stream seed (default 7)
 //        --allow-errors tolerate shed-exhaustion / error responses
 #include <cstdlib>
 #include <cstring>
@@ -61,8 +67,16 @@ int main(int argc, char** argv) {
   cfg.deadline_ms =
       static_cast<std::uint32_t>(arg_long(argc, argv, "--deadline", 100));
   cfg.recommend_fraction = arg_double(argc, argv, "--reco-frac", 0.1);
+  cfg.update_fraction = arg_double(argc, argv, "--update-mix", 0.0);
+  cfg.update_adds = static_cast<std::uint32_t>(
+      arg_long(argc, argv, "--update-adds", 4));
+  cfg.update_changes = static_cast<std::uint32_t>(
+      arg_long(argc, argv, "--update-changes", 4));
+  cfg.seed = static_cast<std::uint64_t>(arg_long(argc, argv, "--seed", 7));
   cfg.corpus.num_components =
       static_cast<std::size_t>(arg_long(argc, argv, "--components", 8));
+  cfg.update_components =
+      static_cast<std::uint32_t>(cfg.corpus.num_components);
   cfg.corpus.docs_per_component =
       static_cast<std::size_t>(arg_long(argc, argv, "--docs", 200));
   cfg.corpus.seed = 20160816;  // same stream the server was built from

@@ -12,6 +12,9 @@
 //        --queue N       admission bound per group (default 64)
 //        --deadline MS   default deadline for requests that carry none
 //        --no-reco       skip building the recommender
+//        --delta-dir P   emit one DLTA delta artifact per epoch publish
+//                        into directory P (warm-standby tailing; see
+//                        README "Online retraining & epochs")
 //
 // Fault injection: arm failpoints via AT_FAILPOINTS (see README).
 #include <csignal>
@@ -46,6 +49,13 @@ bool arg_flag(int argc, char** argv, const char* name) {
   return false;
 }
 
+std::string arg_str(int argc, char** argv, const char* name,
+                    const char* def) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  return def;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -57,6 +67,7 @@ int main(int argc, char** argv) {
   const long queue = arg_long(argc, argv, "--queue", 64);
   const long deadline = arg_long(argc, argv, "--deadline", 100);
   const bool no_reco = arg_flag(argc, argv, "--no-reco");
+  const std::string delta_dir = arg_str(argc, argv, "--delta-dir", "");
 
   // Search corpus + service.
   workload::CorpusConfig ccfg;
@@ -103,6 +114,7 @@ int main(int argc, char** argv) {
   scfg.port = static_cast<std::uint16_t>(port);
   scfg.max_queue_per_group = static_cast<std::size_t>(queue);
   scfg.default_deadline_ms = static_cast<double>(deadline);
+  scfg.delta_dir = delta_dir;
   scfg.calibration_queries = wl.queries;
 
   server::Server server(search, reco.get(), exec, scfg);
