@@ -79,6 +79,16 @@ class EpochSlot {
     return version_;
   }
 
+  /// Pins the current epoch together with its version in one critical
+  /// section. Checkpoint writers need the pair to be mutually consistent:
+  /// acquire() followed by version() could straddle a concurrent publish
+  /// and stamp old bytes with a new version.
+  std::pair<std::shared_ptr<const T>, std::uint64_t> acquire_versioned()
+      const {
+    MutexLock lock(mutex_);
+    return {current_, version_};
+  }
+
   /// Publishes `next` as the new current epoch: one pointer swap under
   /// the mutex. The outgoing epoch is released *outside* the lock, so
   /// when this writer happens to hold its last reference, the retire
@@ -114,13 +124,21 @@ class EpochSlot {
     return s;
   }
 
-  /// Test hook: forces the version counter (e.g. to UINT64_MAX - 1) so
-  /// the wrap-around behavior of epoch-equality freshness checks can be
-  /// exercised without 2^64 publishes.
-  void set_version_for_test(std::uint64_t v) {
+  /// Rebases the version counter without publishing. The warm-standby
+  /// replay path uses this to align a freshly loaded snapshot's slot with
+  /// the version the primary stamped into the checkpoint filename, so
+  /// every subsequent publish advances in lockstep with the primary's
+  /// delta stream (from_version/to_version match exactly, and the promoted
+  /// replica reports the same effective epoch — no epoch gap).
+  void rebase_version(std::uint64_t v) {
     MutexLock lock(mutex_);
     version_ = v;
   }
+
+  /// Test hook: forces the version counter (e.g. to UINT64_MAX - 1) so
+  /// the wrap-around behavior of epoch-equality freshness checks can be
+  /// exercised without 2^64 publishes.
+  void set_version_for_test(std::uint64_t v) { rebase_version(v); }
 
  private:
   /// Wraps the epoch with a deleter that counts its retirement. The

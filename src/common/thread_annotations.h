@@ -33,6 +33,7 @@
 // needs a comment saying why.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -123,6 +124,21 @@ class CondVar {
     std::unique_lock<std::mutex> native(mu.native(), std::adopt_lock);
     cv_.wait(native);
     native.release();
+  }
+
+  /// Timed wait with the same adopt-lock discipline as wait(): the Mutex
+  /// is held again on return whether the wait was notified or timed out.
+  /// Returns true when notified before the timeout. This is how periodic
+  /// background loops (e.g. the standby delta tailer) sleep between
+  /// iterations while staying immediately interruptible — a stop flag
+  /// checked in the caller's predicate loop plus notify, never a bare
+  /// sleep.
+  bool wait_for(Mutex& mu, double timeout_ms) AT_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.native(), std::adopt_lock);
+    const auto status = cv_.wait_for(
+        native, std::chrono::duration<double, std::milli>(timeout_ms));
+    native.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void notify_one() noexcept { cv_.notify_one(); }

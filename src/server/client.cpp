@@ -142,15 +142,29 @@ bool Client::attempt(const protocol::Request& req,
   }
 }
 
+double backoff_delay_ms(const ClientConfig& config, std::size_t attempt_idx,
+                        std::uint32_t retry_after_ms, double unit) {
+  if (retry_after_ms > 0) {
+    // The hint is a floor: the server sized it to the queue it is asking
+    // the client to outwait, so sleeping less (the old equal-jitter
+    // downward draw) re-offers the request into the same congestion it
+    // was just shed from. Jitter spreads retries upward from the hint.
+    const double floor = std::min(static_cast<double>(retry_after_ms),
+                                  config.backoff_cap_ms);
+    const double jittered = floor * (1.0 + 0.5 * unit);
+    return std::max(std::min(jittered, config.backoff_cap_ms), floor);
+  }
+  const double base =
+      std::min(config.backoff_base_ms *
+                   std::pow(2.0, static_cast<double>(attempt_idx)),
+               config.backoff_cap_ms);
+  return base * (0.5 + 0.5 * unit);
+}
+
 void Client::backoff(std::size_t attempt_idx, std::uint32_t retry_after_ms) {
-  // Equal jitter over the exponential term — or over the server's
-  // retry-after hint, which knows the queue it is asking us to outwait.
-  double base = retry_after_ms > 0
-                    ? static_cast<double>(retry_after_ms)
-                    : config_.backoff_base_ms *
-                          std::pow(2.0, static_cast<double>(attempt_idx));
-  base = std::min(base, config_.backoff_cap_ms);
-  const double sleep_ms = base * jitter_.uniform(0.5, 1.0);
+  const double sleep_ms = backoff_delay_ms(config_, attempt_idx,
+                                           retry_after_ms,
+                                           jitter_.uniform(0.0, 1.0));
   stats_.backoff_total_ms += sleep_ms;
   // atlint: allow(banned-sleep) — the backoff envelope IS the contract.
   std::this_thread::sleep_for(

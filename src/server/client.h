@@ -2,8 +2,8 @@
 // synchronous request/response, and the retry discipline the server's
 // admission control expects from well-behaved callers — per-call timeout,
 // jittered exponential backoff on transport errors, and honoring a shed
-// response's retry_after_ms hint (clamped into the backoff envelope, so a
-// misbehaving server cannot park the client forever).
+// response's retry_after_ms hint as a floor (jittered above it, capped at
+// backoff_cap_ms, so a misbehaving server cannot park the client forever).
 //
 // Deterministic by construction: the jitter stream is seeded from the
 // config, so replay runs and tests reproduce bit-identical schedules.
@@ -35,12 +35,26 @@ struct ClientConfig {
   /// attempt, no retries.
   std::size_t max_retries = 4;
   /// Backoff for attempt n waits uniform(0.5, 1.0) * min(base * 2^n, cap)
-  /// ("equal jitter"); a shed's retry_after_ms replaces the exponential
-  /// term, still jittered and still capped.
+  /// ("equal jitter"). A shed's retry_after_ms is a *floor*, not a base:
+  /// the server sized the hint to the queue it is asking the client to
+  /// outwait, so the client sleeps at least that long, jitters *above*
+  /// the hint (up to 1.5x, de-synchronizing retry herds), and stays
+  /// capped at backoff_cap_ms.
   double backoff_base_ms = 5.0;
   double backoff_cap_ms = 500.0;
   std::uint64_t jitter_seed = 0x5eedc11e;
 };
+
+/// Pure backoff schedule (exposed for deterministic regression tests).
+/// `unit` is one draw from uniform[0, 1). With no hint (retry_after_ms ==
+/// 0), attempt n sleeps equal-jittered exponential:
+///   min(backoff_base_ms * 2^n, cap) * (0.5 + 0.5 * unit).
+/// A shed hint is honored as a floor: the delay is in
+///   [min(hint, cap), cap], drawn as hint * (1 + 0.5 * unit) then clamped
+/// — never below what the server asked for, still bounded so a
+/// misbehaving server cannot park the client forever.
+double backoff_delay_ms(const ClientConfig& config, std::size_t attempt_idx,
+                        std::uint32_t retry_after_ms, double unit);
 
 struct ClientStats {
   std::uint64_t calls = 0;

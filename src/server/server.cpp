@@ -21,6 +21,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "linalg/matrix.h"
 #include "synopsis/delta.h"
 
 namespace at::server {
@@ -122,11 +123,23 @@ void Server::start() {
   // Standby delta stream: every component publish emits one DLTA artifact.
   // The sink runs under the component's writer mutex, so deltas for one
   // shard are written in version order with no gaps between from/to.
+  // Search and recommender shards are wired symmetrically — a standby
+  // that replays only half the publishes silently diverges on the other
+  // half.
   if (!config_.delta_dir.empty()) {
     for (std::size_t c = 0; c < search_.num_components(); ++c) {
       search_.component(c).set_delta_sink(
           [this, c](const synopsis::UpdateBatch& batch, std::uint64_t from,
-                    std::uint64_t to) { write_delta(c, batch, from, to); });
+                    std::uint64_t to) { write_delta('c', c, batch, from, to); });
+    }
+    if (reco_ != nullptr) {
+      for (std::size_t c = 0; c < reco_->num_components(); ++c) {
+        reco_->component(c).set_delta_sink(
+            [this, c](const synopsis::UpdateBatch& batch, std::uint64_t from,
+                      std::uint64_t to) {
+              write_delta('r', c, batch, from, to);
+            });
+      }
     }
   }
 
@@ -172,10 +185,15 @@ void Server::stop() {
   workers_.clear();
 
   // The delta sinks capture `this`; the components outlive the server
-  // (caller-owned), so they must be detached before we are destroyed.
+  // (caller-owned), so they must be detached before we are destroyed —
+  // recommender sinks included, symmetric with start().
   if (!config_.delta_dir.empty()) {
     for (std::size_t c = 0; c < search_.num_components(); ++c)
       search_.component(c).set_delta_sink({});
+    if (reco_ != nullptr) {
+      for (std::size_t c = 0; c < reco_->num_components(); ++c)
+        reco_->component(c).set_delta_sink({});
+    }
   }
 
   // 3. Now that no responses are pending, unblock and join the
@@ -724,28 +742,89 @@ Response Server::serve_update(const Request& req) {
   return resp;
 }
 
-void Server::write_delta(std::size_t c, const synopsis::UpdateBatch& batch,
+void Server::write_delta(char kind, std::size_t c,
+                         const synopsis::UpdateBatch& batch,
                          std::uint64_t from, std::uint64_t to) {
-  const std::string path = config_.delta_dir + "/delta_c" +
-                           std::to_string(c) + "_" + std::to_string(to) +
-                           ".atac";
+  const std::string path =
+      config_.delta_dir + "/" +
+      synopsis::delta_filename(kind, static_cast<std::uint32_t>(c), to);
+  // Write under a ".tmp" name and rename into place: a tailing standby
+  // lists the directory at arbitrary instants and must never see a
+  // truncated container under a final name (it skips non-".atac" entries).
+  const std::string tmp = path + ".tmp";
   try {
-    std::ofstream os(path, std::ios::binary | std::ios::trunc);
-    if (!os)
-      throw common::ArtifactError("delta stream: cannot open " + path);
-    synopsis::DeltaArtifact delta;
-    delta.component = static_cast<std::uint32_t>(c);
-    delta.from_version = from;
-    delta.to_version = to;
-    delta.batch = batch;
-    synopsis::save_delta(os, delta);
-    if (!os.flush())
-      throw common::ArtifactError("delta stream: short write " + path);
+    {
+      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+      if (!os)
+        throw common::ArtifactError("delta stream: cannot open " + tmp);
+      synopsis::DeltaArtifact delta;
+      delta.component = static_cast<std::uint32_t>(c);
+      delta.from_version = from;
+      delta.to_version = to;
+      delta.batch = batch;
+      synopsis::save_delta(os, delta);
+      if (!os.flush())
+        throw common::ArtifactError("delta stream: short write " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+      throw common::ArtifactError("delta stream: rename failed for " + path);
     deltas_written_.fetch_add(1, std::memory_order_relaxed);
   } catch (const std::exception& e) {
     // Standby stream only: the epoch is already live, serving goes on.
+    std::remove(tmp.c_str());
     delta_failures_.fetch_add(1, std::memory_order_relaxed);
     AT_LOG_DEBUG << "server: delta write failed: " << e.what();
+  }
+}
+
+void Server::write_checkpoint(const std::string& dir) const {
+  // Each artifact is fully written to a ".tmp" name, flushed, then
+  // renamed — the same atomic-visibility contract as the delta stream.
+  const auto commit = [&dir](const std::string& name,
+                             const std::function<void(std::ostream&)>& fill) {
+    const std::string path = dir + "/" + name;
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+      if (!os)
+        throw common::ArtifactError("checkpoint: cannot open " + tmp);
+      fill(os);
+      if (!os.flush())
+        throw common::ArtifactError("checkpoint: short write " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      throw common::ArtifactError("checkpoint: rename failed for " + path);
+    }
+  };
+
+  std::shared_ptr<const std::vector<double>> idf;
+  for (std::size_t c = 0; c < search_.num_components(); ++c) {
+    // Atomic (snapshot, version) pin: the version stamped into the
+    // filename is the version of the bytes even while updates publish
+    // concurrently.
+    const auto [snap, version] = search_.component(c).snapshot_versioned();
+    if (idf == nullptr) idf = snap->global_idf();
+    commit(synopsis::checkpoint_filename('c', static_cast<std::uint32_t>(c),
+                                         version),
+           [&snap](std::ostream& os) { snap->save(os); });
+  }
+  if (reco_ != nullptr) {
+    for (std::size_t c = 0; c < reco_->num_components(); ++c) {
+      const auto [snap, version] = reco_->component(c).snapshot_versioned();
+      commit(synopsis::checkpoint_filename('r', static_cast<std::uint32_t>(c),
+                                           version),
+             [&snap](std::ostream& os) { snap->save(os); });
+    }
+  }
+  // The corpus-global idf, persisted as a 1xN MATX matrix. Scores are a
+  // function of it and it is NOT rebuilt by online updates, so a replica
+  // must install this table verbatim (rebuilding from replayed contents
+  // would diverge from the primary the moment any update landed).
+  if (idf != nullptr) {
+    linalg::Matrix m(1, idf->size());
+    for (std::size_t i = 0; i < idf->size(); ++i) m.at(0, i) = (*idf)[i];
+    commit("ckpt_idf.atac", [&m](std::ostream& os) { linalg::save(os, m); });
   }
 }
 

@@ -86,10 +86,12 @@ struct ServerConfig {
   /// Queries run at start() to seed the per-rung cost EWMAs and measure
   /// the synopsis tier's actual accuracy loss on this corpus.
   std::vector<search::SearchRequest> calibration_queries;
-  /// When non-empty, every component publish writes one ATAC "DLTA" delta
-  /// artifact (`delta_c<comp>_<to_version>.atac`) into this directory for
-  /// warm-standby tailing. A failed delta write is counted, never fatal —
-  /// the epoch itself is already live.
+  /// When non-empty, every component publish — search ("c") and
+  /// recommender ("r") alike — writes one ATAC "DLTA" delta artifact
+  /// (`delta_c<comp>_<ver>.atac` / `delta_r<comp>_<ver>.atac`, version
+  /// zero-padded, written to a ".tmp" name and atomically renamed) into
+  /// this directory for warm-standby tailing. A failed delta write is
+  /// counted, never fatal — the epoch itself is already live.
   std::string delta_dir;
 };
 
@@ -164,6 +166,19 @@ class Server {
   /// published version. Monotonic; changes whenever any shard's data does.
   std::uint64_t epoch_now() const;
 
+  /// Writes a full warm-standby checkpoint into `dir`: one SCMP artifact
+  /// per search component (`ckpt_c<comp>_<version>.atac`), one RCMP per
+  /// recommender component (`ckpt_r<comp>_<version>.atac`), and the
+  /// corpus-global idf as a 1xN MATX matrix (`ckpt_idf.atac`). Each
+  /// component's (snapshot, version) pair is pinned atomically, and every
+  /// file is written to a ".tmp" name then renamed, so a tailing replica
+  /// never observes a half-framed artifact. Per-component chains stay
+  /// consistent under concurrent updates (deltas at or below the
+  /// checkpointed version are simply skipped at replay); do not call
+  /// concurrently with reload_search_component (the idf would be torn
+  /// across components). Throws on I/O failure.
+  void write_checkpoint(const std::string& dir) const;
+
  private:
   struct Job;
   struct GroupQueue;
@@ -187,7 +202,9 @@ class Server {
   protocol::Response serve_recommend(const protocol::Request& req,
                                      double remaining_ms);
   protocol::Response serve_update(const protocol::Request& req);
-  void write_delta(std::size_t c, const synopsis::UpdateBatch& batch,
+  /// `kind` is 'c' (search) or 'r' (recommender) — the stream-filename
+  /// namespace the delta lands in.
+  void write_delta(char kind, std::size_t c, const synopsis::UpdateBatch& batch,
                    std::uint64_t from, std::uint64_t to);
   void record(const protocol::Response& resp);
   void calibrate();

@@ -228,8 +228,19 @@ std::shared_ptr<const RecommenderSnapshot> RecommenderComponent::snapshot()
   return core_->epoch.acquire();
 }
 
+std::pair<std::shared_ptr<const RecommenderSnapshot>, std::uint64_t>
+RecommenderComponent::snapshot_versioned() const {
+  return core_->epoch.acquire_versioned();
+}
+
 std::uint64_t RecommenderComponent::epoch_version() const {
   return core_->epoch.version();
+}
+
+void RecommenderComponent::rebase_epoch_version(std::uint64_t v) {
+  // Serialized with writers so the rebase cannot interleave a publish.
+  common::MutexLock lock(core_->writer_mutex);
+  core_->epoch.rebase_version(v);
 }
 
 common::EpochStats RecommenderComponent::epoch_stats() const {

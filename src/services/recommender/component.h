@@ -13,6 +13,7 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/epoch.h"
@@ -146,8 +147,16 @@ class RecommenderComponent {
   /// multiple calls must be mutually consistent.
   std::shared_ptr<const RecommenderSnapshot> snapshot() const;
 
+  /// Atomic (snapshot, version) pin — see SearchComponent.
+  std::pair<std::shared_ptr<const RecommenderSnapshot>, std::uint64_t>
+  snapshot_versioned() const;
+
   std::uint64_t epoch_version() const;
   common::EpochStats epoch_stats() const;
+
+  /// Standby alignment: rebases the epoch version counter (no publish) —
+  /// see SearchComponent::rebase_epoch_version.
+  void rebase_epoch_version(std::uint64_t v);
 
   /// Installs (or clears, with nullptr) the publish observer.
   void set_delta_sink(DeltaSink sink);

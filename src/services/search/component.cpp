@@ -246,12 +246,25 @@ std::shared_ptr<const SearchSnapshot> SearchComponent::snapshot() const {
   return core_->epoch.acquire();
 }
 
+std::pair<std::shared_ptr<const SearchSnapshot>, std::uint64_t>
+SearchComponent::snapshot_versioned() const {
+  return core_->epoch.acquire_versioned();
+}
+
 std::uint64_t SearchComponent::epoch_version() const {
   return core_->epoch.version();
 }
 
 common::EpochStats SearchComponent::epoch_stats() const {
   return core_->epoch.stats();
+}
+
+void SearchComponent::rebase_epoch_version(std::uint64_t v) {
+  // The writer mutex serializes the rebase against concurrent update()
+  // publishes, so the version can never move between their pre-publish
+  // read and the publish itself.
+  common::MutexLock lock(core_->writer_mutex);
+  core_->epoch.rebase_version(v);
 }
 
 void SearchComponent::set_delta_sink(DeltaSink sink) {

@@ -25,6 +25,7 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/epoch.h"
@@ -209,9 +210,21 @@ class SearchComponent {
   /// each other (e.g. analyze() then group_member_docs()).
   std::shared_ptr<const SearchSnapshot> snapshot() const;
 
+  /// Pins the current epoch together with its version atomically — the
+  /// checkpoint writer's primitive (the version stamped into the artifact
+  /// filename must be the version of the saved bytes).
+  std::pair<std::shared_ptr<const SearchSnapshot>, std::uint64_t>
+  snapshot_versioned() const;
+
   /// Version of the published epoch / full slot counters.
   std::uint64_t epoch_version() const;
   common::EpochStats epoch_stats() const;
+
+  /// Standby alignment: rebases the epoch version counter (no publish) to
+  /// the version a loaded checkpoint corresponds to on the primary, so
+  /// replayed deltas advance the slot in lockstep with the primary's
+  /// stream. Serialized with writers.
+  void rebase_epoch_version(std::uint64_t v);
 
   /// Installs (or clears, with nullptr) the publish observer.
   void set_delta_sink(DeltaSink sink);

@@ -14,10 +14,22 @@ namespace at::search {
 
 SearchService::SearchService(std::vector<SearchComponent> components,
                              std::size_t k)
+    : SearchService(std::move(components), nullptr, k) {}
+
+SearchService::SearchService(
+    std::vector<SearchComponent> components,
+    std::shared_ptr<const std::vector<double>> global_idf, std::size_t k)
     : components_(std::move(components)), k_(k) {
   if (components_.empty())
     throw std::invalid_argument("SearchService: no components");
-  rebuild_global_idf();
+  if (global_idf == nullptr) {
+    rebuild_global_idf();
+    return;
+  }
+  std::size_t total = 0;
+  for (const auto& c : components_) total += c.num_docs();
+  total_docs_.store(total, std::memory_order_relaxed);
+  for (auto& c : components_) c.set_global_idf(global_idf);
 }
 
 void SearchService::rebuild_global_idf() {

@@ -32,6 +32,17 @@ class SearchService {
   /// corpus-global idf so scores are comparable across shards.
   SearchService(std::vector<SearchComponent> components, std::size_t k = 10);
 
+  /// Builds the service with a *preset* corpus-global idf instead of
+  /// rebuilding it from current component contents. The warm-standby
+  /// path needs this: the primary's idf is a function of the contents at
+  /// *its* construction time and is deliberately not refreshed by online
+  /// updates, so a replica reconstructing from a post-update checkpoint
+  /// must install the checkpointed idf verbatim to score byte-identically.
+  /// Falls back to a rebuild when `global_idf` is null.
+  SearchService(std::vector<SearchComponent> components,
+                std::shared_ptr<const std::vector<double>> global_idf,
+                std::size_t k);
+
   std::size_t num_components() const { return components_.size(); }
   const SearchComponent& component(std::size_t i) const {
     return components_.at(i);

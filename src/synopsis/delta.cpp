@@ -142,4 +142,80 @@ DeltaArtifact load_delta(std::istream& is) try {
   throw common::ArtifactError(std::string("load_delta: ") + e.what());
 }
 
+// ---------------------------------------------------------------------------
+// Replication-stream file naming
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string padded_version(std::uint64_t version) {
+  std::string digits = std::to_string(version);
+  if (digits.size() < static_cast<std::size_t>(kVersionPadWidth))
+    digits.insert(0, static_cast<std::size_t>(kVersionPadWidth) - digits.size(),
+                  '0');
+  return digits;
+}
+
+std::string stream_filename(const char* prefix, char kind,
+                            std::uint32_t component, std::uint64_t version) {
+  return std::string(prefix) + "_" + kind + std::to_string(component) + "_" +
+         padded_version(version) + ".atac";
+}
+
+/// Parses a decimal run of [first, last); rejects empty and overflow.
+bool parse_decimal(const std::string& s, std::size_t first, std::size_t last,
+                   std::uint64_t* out) {
+  if (first >= last) return false;
+  std::uint64_t v = 0;
+  for (std::size_t i = first; i < last; ++i) {
+    const char c = s[i];
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (std::numeric_limits<std::uint64_t>::max() - digit) / 10)
+      return false;
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string delta_filename(char kind, std::uint32_t component,
+                           std::uint64_t to_version) {
+  return stream_filename("delta", kind, component, to_version);
+}
+
+std::string checkpoint_filename(char kind, std::uint32_t component,
+                                std::uint64_t version) {
+  return stream_filename("ckpt", kind, component, version);
+}
+
+bool parse_stream_filename(const std::string& name, const std::string& prefix,
+                           char* kind, std::uint32_t* component,
+                           std::uint64_t* version) {
+  const std::string head = prefix + "_";
+  const std::string tail = ".atac";
+  if (name.size() <= head.size() + tail.size()) return false;
+  if (name.compare(0, head.size(), head) != 0) return false;
+  if (name.compare(name.size() - tail.size(), tail.size(), tail) != 0)
+    return false;
+  const std::size_t body_end = name.size() - tail.size();
+  std::size_t at = head.size();
+  const char k = name[at++];
+  if (k != 'c' && k != 'r') return false;
+  const std::size_t sep = name.find('_', at);
+  if (sep == std::string::npos || sep >= body_end) return false;
+  std::uint64_t comp = 0;
+  if (!parse_decimal(name, at, sep, &comp) ||
+      comp > std::numeric_limits<std::uint32_t>::max())
+    return false;
+  std::uint64_t ver = 0;
+  if (!parse_decimal(name, sep + 1, body_end, &ver)) return false;
+  if (kind != nullptr) *kind = k;
+  if (component != nullptr) *component = static_cast<std::uint32_t>(comp);
+  if (version != nullptr) *version = ver;
+  return true;
+}
+
 }  // namespace at::synopsis

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 
 #include "common/artifact.h"
 #include "synopsis/updater.h"
@@ -50,5 +51,44 @@ void save_delta(std::ostream& os, const DeltaArtifact& delta,
 
 /// Reads one delta; throws common::ArtifactError on any corruption.
 DeltaArtifact load_delta(std::istream& is);
+
+// ---------------------------------------------------------------------------
+// Replication-stream file naming
+// ---------------------------------------------------------------------------
+//
+// Both the delta writer (the serving front end) and the tailer (the warm
+// standby) agree on one on-disk convention:
+//
+//   delta_<kind><component>_<to_version>.atac   one publish's delta
+//   ckpt_<kind><component>_<version>.atac       full snapshot at `version`
+//
+// where <kind> is 'c' (search component) or 'r' (recommender component)
+// and versions are zero-padded to a fixed width so a plain lexicographic
+// directory sort is also the numeric version sort (the tailer still parses
+// and sorts numerically; the padding is for humans and shell globs).
+// Writers must create files under a temporary name and atomically
+// std::rename them into place — a tailer may list the directory at any
+// instant and must never observe a half-framed container under a final
+// name. Anything that does not parse (".tmp" leftovers, foreign files) is
+// skipped by the tailer.
+
+/// Width every version number is zero-padded to in stream filenames.
+inline constexpr int kVersionPadWidth = 12;
+
+/// "delta_c3_000000000017.atac" for kind 'c', component 3, to_version 17.
+std::string delta_filename(char kind, std::uint32_t component,
+                           std::uint64_t to_version);
+
+/// "ckpt_c3_000000000015.atac": full snapshot of component 3 at version 15.
+std::string checkpoint_filename(char kind, std::uint32_t component,
+                                std::uint64_t version);
+
+/// Parses `name` (no directory part) against the given prefix convention
+/// ("delta" or "ckpt"). Returns false for anything that is not a
+/// well-formed "<prefix>_<kind><component>_<version>.atac" — the tailer's
+/// skip condition. On success fills kind ('c'/'r'), component and version.
+bool parse_stream_filename(const std::string& name, const std::string& prefix,
+                           char* kind, std::uint32_t* component,
+                           std::uint64_t* version);
 
 }  // namespace at::synopsis

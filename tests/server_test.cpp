@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <sstream>
 #include <thread>
@@ -30,9 +31,12 @@
 #include "server/protocol.h"
 #include "server/replay.h"
 #include "server/server.h"
+#include "server/standby.h"
+#include "services/recommender/service.h"
 #include "services/search/service.h"
 #include "synopsis/delta.h"
 #include "workload/corpus.h"
+#include "workload/ratings.h"
 
 namespace at::server {
 namespace {
@@ -868,16 +872,21 @@ TEST_F(ServerTest, DeltaDirEmitsTailableArtifactsAndSurvivesWriteFaults) {
   ASSERT_EQ(up.status, Status::kOk) << up.text;
   EXPECT_EQ(srv.snapshot().deltas_written, 2u);
 
-  // The emitted files form a gapless tailable chain for the component.
-  // The first few versions are the build-time publishes (initial epoch,
-  // global idf), which emit no delta — scan a generous version range.
+  // The emitted files form a gapless tailable chain for the component,
+  // under the zero-padded names the standby tailer sorts on. The first few
+  // versions are the build-time publishes (initial epoch, global idf),
+  // which emit no delta — scan a generous version range.
   std::vector<synopsis::DeltaArtifact> chain;
   for (std::uint64_t v = 1; v <= 32; ++v) {
-    std::ifstream is(cfg.delta_dir + "/delta_c1_" + std::to_string(v) +
-                         ".atac",
+    std::ifstream is(cfg.delta_dir + "/" + synopsis::delta_filename('c', 1, v),
                      std::ios::binary);
     if (!is.good()) continue;
     chain.push_back(synopsis::load_delta(is));
+  }
+  // No ".tmp" staging leftovers survive a successful write.
+  for (const auto& entry :
+       std::filesystem::directory_iterator(cfg.delta_dir)) {
+    EXPECT_EQ(entry.path().extension(), ".atac") << entry.path();
   }
   ASSERT_EQ(chain.size(), 2u);
   EXPECT_EQ(chain[0].component, 1u);
@@ -894,6 +903,204 @@ TEST_F(ServerTest, DeltaDirEmitsTailableArtifactsAndSurvivesWriteFaults) {
   EXPECT_EQ(snap.delta_failures, 1u);
   EXPECT_EQ(snap.updates, 3u);
   srv.stop();
+}
+
+TEST_F(ServerTest, RecommenderUpdateEmitsReplayableDelta) {
+  // The recommender's delta sinks are wired at start() exactly like the
+  // search ones (the PR-10 bugfix): a CF retraining batch must land on
+  // disk as a loadable, replayable delta_r* artifact.
+  workload::RatingConfig rcfg;
+  rcfg.num_components = 2;
+  rcfg.users_per_component = 60;
+  rcfg.num_items = 64;
+  rcfg.seed = 11;
+  workload::RatingWorkloadGen rgen(rcfg);
+  auto rwl = rgen.generate(4, 1);
+  synopsis::BuildConfig bcfg;
+  bcfg.svd.rank = 2;
+  bcfg.svd.epochs_per_dim = 40;
+  bcfg.size_ratio = 10.0;
+  std::vector<reco::RecommenderComponent> rcomps;
+  for (auto& subset : rwl.subsets) rcomps.emplace_back(std::move(subset), bcfg);
+  reco::CfService reco(std::move(rcomps), rcfg.min_rating, rcfg.max_rating);
+
+  auto service = private_service();
+  auto& fx = fixture();
+  ServerConfig cfg = test_server_config();
+  std::string dir_template = ::testing::TempDir() + "at_rdelta_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template.data()), nullptr);
+  cfg.delta_dir = dir_template;
+  Server srv(*service, &reco, *fx.exec, cfg);
+  srv.start();
+
+  // Pin the pre-update state so the delta can be replayed against it.
+  std::stringstream before;
+  reco.component(1).save(before);
+  const std::uint64_t v0 = reco.component(1).epoch_version();
+
+  common::Rng rng(3);
+  synopsis::UpdateBatch batch;
+  for (int i = 0; i < 3; ++i) batch.added.push_back(rgen.sample_user(rng));
+  reco.update_component(1, batch);
+  const std::uint64_t v1 = reco.component(1).epoch_version();
+  ASSERT_EQ(v1, v0 + 1);
+
+  std::ifstream is(cfg.delta_dir + "/" + synopsis::delta_filename('r', 1, v1),
+                   std::ios::binary);
+  ASSERT_TRUE(is.good()) << "recommender delta not emitted";
+  const auto delta = synopsis::load_delta(is);
+  EXPECT_EQ(delta.component, 1u);
+  EXPECT_EQ(delta.from_version, v0);
+  EXPECT_EQ(delta.to_version, v1);
+
+  // Deterministic replay: a replica at v0 plus the delta is byte-identical
+  // to the live component.
+  auto replica = reco::RecommenderComponent::load(before);
+  replica.update(delta.batch);
+  std::stringstream live_bytes, replica_bytes;
+  reco.component(1).save(live_bytes);
+  replica.save(replica_bytes);
+  EXPECT_EQ(live_bytes.str(), replica_bytes.str());
+
+  EXPECT_EQ(srv.snapshot().deltas_written, 1u);
+  srv.stop();
+
+  // stop() detached the sink symmetrically: further updates emit nothing.
+  synopsis::UpdateBatch after_batch;
+  after_batch.added.push_back(rgen.sample_user(rng));
+  reco.update_component(0, after_batch);
+  const std::uint64_t v2 = reco.component(0).epoch_version();
+  std::ifstream after(
+      cfg.delta_dir + "/" + synopsis::delta_filename('r', 0, v2),
+      std::ios::binary);
+  EXPECT_FALSE(after.good());
+}
+
+// ---------------------------------------------------------------------------
+// Client backoff (PR-10 bugfix: the server's retry_after_ms hint is a
+// floor, not a midpoint)
+// ---------------------------------------------------------------------------
+
+TEST(ClientBackoff, RetryAfterHintIsAFloorUnderAllJitter) {
+  ClientConfig cfg;
+  cfg.backoff_base_ms = 1.0;
+  cfg.backoff_cap_ms = 20.0;
+  // Old equal-jitter bug: uniform(0.5, 1.0) could shrink a 10ms hint to
+  // 5ms and the client would hammer a shedding server early. Now jitter
+  // only ever stretches the hint (up to 1.5x), capped.
+  for (const double unit : {0.0, 0.25, 0.5, 0.75, 0.999}) {
+    const double d = backoff_delay_ms(cfg, 0, 10, unit);
+    EXPECT_GE(d, 10.0) << "unit " << unit;
+    EXPECT_LE(d, 15.0 + 1e-9) << "unit " << unit;
+    EXPECT_LE(d, cfg.backoff_cap_ms) << "unit " << unit;
+  }
+  // A hint above the cap clamps to the cap exactly (no jitter range left).
+  for (const double unit : {0.0, 0.5, 0.999})
+    EXPECT_DOUBLE_EQ(backoff_delay_ms(cfg, 2, 50, unit), 20.0);
+  // The attempt index is irrelevant when the server told us when to come
+  // back.
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(cfg, 0, 10, 0.0),
+                   backoff_delay_ms(cfg, 7, 10, 0.0));
+}
+
+TEST(ClientBackoff, TransportPathKeepsEqualJitterExponential) {
+  ClientConfig cfg;
+  cfg.backoff_base_ms = 1.0;
+  cfg.backoff_cap_ms = 20.0;
+  // No hint (transport error): unchanged equal-jitter exponential —
+  // uniform in [base/2, base), doubling per attempt, capped.
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(cfg, 0, 0, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(cfg, 1, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(cfg, 2, 0, 1.0), 4.0);
+  // Attempt 10 would be 1024ms; the cap bounds it before jitter.
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(cfg, 10, 0, 1.0), 20.0);
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(cfg, 10, 0, 0.0), 10.0);
+}
+
+// ---------------------------------------------------------------------------
+// Warm-standby takeover drill (PR-10 tentpole)
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, StandbyTakeoverServesIdenticalAnswersWithNoEpochGap) {
+  auto service = private_service();
+  auto& fx = fixture();
+  ServerConfig cfg = test_server_config();
+  std::string delta_template = ::testing::TempDir() + "at_tdelta_XXXXXX";
+  std::string ckpt_template = ::testing::TempDir() + "at_tckpt_XXXXXX";
+  ASSERT_NE(::mkdtemp(delta_template.data()), nullptr);
+  ASSERT_NE(::mkdtemp(ckpt_template.data()), nullptr);
+  cfg.delta_dir = delta_template;
+
+  Server primary(*service, nullptr, *fx.exec, cfg);
+  primary.start();
+  primary.write_checkpoint(ckpt_template);
+
+  // Stream retraining updates at the primary after the checkpoint — the
+  // standby must catch up purely from the delta chain.
+  Client client(client_config(primary.port()));
+  Response up;
+  std::string err;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    ASSERT_TRUE(client.update(seed % 2, 2, 1, seed, 5000, &up, &err)) << err;
+    ASSERT_EQ(up.status, Status::kOk) << up.text;
+  }
+
+  // Record the primary's answers and effective epoch, then kill it
+  // mid-stream (no flush, no goodbye — the checkpoint plus the renamed
+  // deltas are all the standby gets).
+  std::vector<Response> want;
+  for (std::size_t q = 0; q < 4; ++q) {
+    Response resp;
+    ASSERT_TRUE(
+        client.search(fx.queries[q].terms, 5000, 10, &resp, &err))
+        << err;
+    ASSERT_EQ(resp.tier, Tier::kFull);
+    want.push_back(resp);
+  }
+  const std::uint64_t primary_epoch = primary.snapshot().epoch_version;
+  const std::uint64_t primary_deltas = primary.snapshot().deltas_written;
+  ASSERT_EQ(primary_deltas, 6u);
+  primary.stop();
+
+  StandbyConfig scfg;
+  scfg.checkpoint_dir = ckpt_template;
+  scfg.delta_dir = delta_template;
+  scfg.poll_interval_ms = 5.0;
+  scfg.server = test_server_config();
+  StandbyReplica standby(scfg);
+  standby.load();
+  standby.start();
+  Server& promoted = standby.promote();
+
+  // No epoch gap: the promoted replica reports exactly the epoch the
+  // primary died at.
+  EXPECT_EQ(promoted.snapshot().epoch_version, primary_epoch);
+  EXPECT_EQ(standby.stats().deltas_applied, primary_deltas);
+  EXPECT_EQ(standby.state(), StandbyState::kPromoted);
+
+  // Identical answers: same docs, bit-identical scores (deterministic
+  // replay plus the checkpointed global idf).
+  Client failover(client_config(promoted.port()));
+  for (std::size_t q = 0; q < want.size(); ++q) {
+    Response resp;
+    ASSERT_TRUE(
+        failover.search(fx.queries[q].terms, 5000, 10, &resp, &err))
+        << err;
+    ASSERT_EQ(resp.tier, Tier::kFull);
+    ASSERT_EQ(resp.docs.size(), want[q].docs.size()) << "query " << q;
+    for (std::size_t i = 0; i < resp.docs.size(); ++i) {
+      EXPECT_EQ(resp.docs[i].doc, want[q].docs[i].doc)
+          << "query " << q << " rank " << i;
+      EXPECT_DOUBLE_EQ(resp.docs[i].score, want[q].docs[i].score)
+          << "query " << q << " rank " << i;
+    }
+  }
+
+  // promote() is idempotent; stop() shuts the promoted server down too.
+  EXPECT_EQ(&standby.promote(), &promoted);
+  standby.stop();
+  EXPECT_EQ(standby.state(), StandbyState::kStopped);
+  EXPECT_EQ(standby.server(), nullptr);
 }
 
 TEST_F(ServerTest, ReplayUpdateMixInterleavesRetrainingWithQueries) {

@@ -1,0 +1,339 @@
+// Warm-standby tailing edge cases (PR-10): the replica must ignore
+// in-flight ".tmp" files and foreign names, absorb out-of-order arrival
+// within the gap-patience window, convert a persistent hole (missing or
+// torn delta) into a structured resync instead of silently skipping it,
+// treat re-delivered history as a no-op, and retry injected apply
+// failures without partial state. All cases drive poll_once() directly —
+// deterministic, no tailer thread — against a delta stream recorded once
+// from a real primary.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "common/sharded_executor.h"
+#include "server/server.h"
+#include "server/standby.h"
+#include "services/search/service.h"
+#include "synopsis/delta.h"
+#include "workload/corpus.h"
+
+namespace at::server {
+namespace {
+
+namespace fp = at::common::failpoint;
+namespace fs = std::filesystem;
+
+constexpr std::size_t kComponents = 2;
+constexpr std::size_t kDeltasC0 = 4;  // deltas recorded for component 0
+constexpr std::size_t kDeltasC1 = 2;  // ... and component 1
+
+std::string make_temp_dir(const char* tag) {
+  std::string dir_template = ::testing::TempDir() + tag + "_XXXXXX";
+  if (::mkdtemp(dir_template.data()) == nullptr)
+    throw std::runtime_error("mkdtemp failed");
+  return dir_template;
+}
+
+// One primary, recorded once: a checkpoint plus a gapless delta chain on
+// disk, and the live post-update service to converge against.
+struct StreamFixture {
+  std::unique_ptr<common::ShardedExecutor> exec;
+  std::unique_ptr<search::SearchService> service;
+  std::string ckpt_dir;
+  std::string delta_dir;
+  // Epoch version each component was checkpointed at; deltas run
+  // (base[c], base[c] + deltas[c]].
+  std::vector<std::uint64_t> base;
+
+  std::string delta_name(std::size_t comp, std::uint64_t steps_past_base) const {
+    return synopsis::delta_filename(
+        'c', static_cast<std::uint32_t>(comp), base[comp] + steps_past_base);
+  }
+};
+
+StreamFixture& stream_fixture() {
+  static StreamFixture fx = [] {
+    StreamFixture f;
+    workload::CorpusConfig ccfg;
+    ccfg.num_components = kComponents;
+    ccfg.docs_per_component = 60;
+    ccfg.vocab_size = 300;
+    ccfg.num_topics = 6;
+    ccfg.topic_vocab = 30;
+    ccfg.seed = 11;
+    workload::CorpusGen gen(ccfg);
+    auto wl = gen.generate(4);
+    synopsis::BuildConfig bcfg;
+    bcfg.svd.rank = 2;
+    bcfg.svd.epochs_per_dim = 20;
+    bcfg.size_ratio = 10.0;
+    std::vector<std::size_t> rows;
+    std::vector<search::SearchComponent> comps;
+    std::uint64_t docbase = 0;
+    for (auto& shard : wl.shards) {
+      const auto n = shard.rows();
+      rows.push_back(n);
+      comps.emplace_back(std::move(shard), docbase, bcfg);
+      docbase += n;
+    }
+    f.exec = std::make_unique<common::ShardedExecutor>();
+    f.service =
+        std::make_unique<search::SearchService>(std::move(comps), 10);
+    f.service->set_executor(f.exec.get());
+
+    f.ckpt_dir = make_temp_dir("at_sb_ckpt");
+    f.delta_dir = make_temp_dir("at_sb_delta");
+    ServerConfig cfg;
+    cfg.delta_dir = f.delta_dir;
+    Server srv(*f.service, nullptr, *f.exec, cfg);
+    srv.start();
+    srv.write_checkpoint(f.ckpt_dir);
+    for (std::size_t c = 0; c < kComponents; ++c)
+      f.base.push_back(f.service->component(c).epoch_version());
+
+    common::Rng rng(42);
+    const auto batch = [&](std::size_t c) {
+      synopsis::UpdateBatch b;
+      b.added.push_back(gen.sample_doc(rng));
+      b.changed.emplace_back(
+          static_cast<std::uint32_t>(rng.uniform_index(rows[c])),
+          gen.sample_doc(rng));
+      return b;
+    };
+    for (std::size_t i = 0; i < kDeltasC0; ++i)
+      f.service->update_component(0, batch(0));
+    for (std::size_t i = 0; i < kDeltasC1; ++i)
+      f.service->update_component(1, batch(1));
+    srv.stop();
+    return f;
+  }();
+  return fx;
+}
+
+/// A fresh stream directory holding the named fixture deltas (by steps
+/// past each component's checkpoint base).
+std::string stage_stream(
+    const std::vector<std::pair<std::size_t, std::uint64_t>>& picks) {
+  auto& fx = stream_fixture();
+  const std::string dir = make_temp_dir("at_sb_case");
+  for (const auto& [comp, step] : picks) {
+    const std::string name = fx.delta_name(comp, step);
+    fs::copy_file(fx.delta_dir + "/" + name, dir + "/" + name);
+  }
+  return dir;
+}
+
+StandbyConfig standby_config(const std::string& delta_dir,
+                             int gap_patience = 2) {
+  StandbyConfig cfg;
+  cfg.checkpoint_dir = stream_fixture().ckpt_dir;
+  cfg.delta_dir = delta_dir;
+  cfg.gap_patience = gap_patience;
+  return cfg;
+}
+
+class StandbyTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fp::clear_all(); }
+  void TearDown() override { fp::clear_all(); }
+};
+
+TEST_F(StandbyTest, LoadRebasesEveryComponentToCheckpointVersion) {
+  auto& fx = stream_fixture();
+  const std::string dir = stage_stream({});
+  StandbyReplica standby(standby_config(dir));
+  EXPECT_EQ(standby.state(), StandbyState::kCreated);
+  standby.load();
+  EXPECT_EQ(standby.state(), StandbyState::kTailing);
+  ASSERT_NE(standby.search_service(), nullptr);
+  for (std::size_t c = 0; c < kComponents; ++c)
+    EXPECT_EQ(standby.search_service()->component(c).epoch_version(),
+              fx.base[c])
+        << "component " << c;
+}
+
+TEST_F(StandbyTest, IgnoresPartialAndForeignFilesWhileApplyingRealOnes) {
+  auto& fx = stream_fixture();
+  const std::string dir = stage_stream({{0, 1}});
+  // In-flight write, foreign file, unknown kind, out-of-range component:
+  // all invisible to the tailer.
+  std::ofstream(dir + "/" + fx.delta_name(0, 2) + ".tmp") << "partial";
+  std::ofstream(dir + "/README.txt") << "not a delta";
+  std::ofstream(dir + "/delta_x0_000000000001.atac") << "bad kind";
+  std::ofstream(dir + "/delta_c7_000000000001.atac") << "no such component";
+
+  StandbyReplica standby(standby_config(dir));
+  standby.load();
+  EXPECT_EQ(standby.poll_once(), 1u);
+  const auto s = standby.stats();
+  EXPECT_EQ(s.state, StandbyState::kTailing);
+  EXPECT_EQ(s.deltas_applied, 1u);
+  EXPECT_GE(s.files_ignored, 4u);
+  EXPECT_EQ(s.load_errors, 0u);
+  EXPECT_TRUE(s.resync_reason.empty());
+}
+
+TEST_F(StandbyTest, OutOfOrderArrivalIsAbsorbedByGapPatience) {
+  auto& fx = stream_fixture();
+  // Version base+2 is late: base+3 became visible a poll earlier.
+  const std::string dir = stage_stream({{0, 1}, {0, 3}});
+  StandbyReplica standby(standby_config(dir, /*gap_patience=*/2));
+  standby.load();
+
+  EXPECT_EQ(standby.poll_once(), 1u);  // base+1 applies, base+3 waits
+  auto s = standby.stats();
+  EXPECT_EQ(s.state, StandbyState::kTailing);
+  EXPECT_EQ(s.gaps_pending, 1u);
+
+  // The straggler arrives before patience runs out: the chain heals.
+  const std::string name = fx.delta_name(0, 2);
+  fs::copy_file(fx.delta_dir + "/" + name, dir + "/" + name);
+  EXPECT_EQ(standby.poll_once(), 2u);
+  s = standby.stats();
+  EXPECT_EQ(s.state, StandbyState::kTailing);
+  EXPECT_EQ(s.deltas_applied, 3u);
+  EXPECT_EQ(s.gaps_pending, 0u);
+}
+
+TEST_F(StandbyTest, PersistentGapTriggersResyncAndBlocksPromotion) {
+  // base+2 never arrives.
+  const std::string dir = stage_stream({{0, 1}, {0, 3}});
+  StandbyReplica standby(standby_config(dir, /*gap_patience=*/2));
+  standby.load();
+
+  EXPECT_EQ(standby.poll_once(), 1u);
+  EXPECT_EQ(standby.state(), StandbyState::kTailing);
+  EXPECT_EQ(standby.poll_once(), 0u);  // patience exhausted
+  const auto s = standby.stats();
+  EXPECT_EQ(s.state, StandbyState::kResyncRequired);
+  EXPECT_FALSE(s.resync_reason.empty());
+  EXPECT_NE(standby.stats_json().find("resync_required"), std::string::npos);
+
+  // Promotion must refuse: serving past a hole diverges forever.
+  EXPECT_THROW(standby.promote(), std::runtime_error);
+  EXPECT_EQ(standby.state(), StandbyState::kResyncRequired);
+
+  // Resync is sticky: further polls do not resurrect tailing.
+  EXPECT_EQ(standby.poll_once(), 0u);
+  EXPECT_EQ(standby.state(), StandbyState::kResyncRequired);
+}
+
+TEST_F(StandbyTest, TornDeltaFeedsGapLogicInsteadOfBeingSkipped) {
+  auto& fx = stream_fixture();
+  const std::string dir = stage_stream({{0, 2}});
+  // A well-named file that does not load (torn mid-write before the
+  // tmp+rename discipline existed, or bit-rotted) must not be skipped
+  // past — it occupies the very version the cursor needs next.
+  std::ofstream(dir + "/" + fx.delta_name(0, 1), std::ios::binary)
+      << "ATACgarbage";
+
+  StandbyReplica standby(standby_config(dir, /*gap_patience=*/2));
+  standby.load();
+  EXPECT_EQ(standby.poll_once(), 0u);
+  auto s = standby.stats();
+  EXPECT_GE(s.load_errors, 1u);
+  EXPECT_EQ(s.deltas_applied, 0u);
+  EXPECT_EQ(s.state, StandbyState::kTailing);  // patience still running
+  EXPECT_EQ(standby.poll_once(), 0u);
+  EXPECT_EQ(standby.state(), StandbyState::kResyncRequired);
+}
+
+TEST_F(StandbyTest, RedeliveredDeltasAreNoOps) {
+  const std::string dir =
+      stage_stream({{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 1}, {1, 2}});
+  StandbyReplica standby(standby_config(dir));
+  standby.load();
+  EXPECT_EQ(standby.poll_once(), kDeltasC0 + kDeltasC1);
+  const std::uint64_t applied = standby.stats().deltas_applied;
+
+  // Everything on disk is now history; polling again applies nothing and
+  // leaves the epochs untouched.
+  EXPECT_EQ(standby.poll_once(), 0u);
+  EXPECT_EQ(standby.poll_once(), 0u);
+  const auto s = standby.stats();
+  EXPECT_EQ(s.deltas_applied, applied);
+  EXPECT_EQ(s.state, StandbyState::kTailing);
+  EXPECT_EQ(s.gaps_pending, 0u);
+  EXPECT_TRUE(s.resync_reason.empty());
+}
+
+TEST_F(StandbyTest, ApplyFailpointIsRetriedWithoutPartialState) {
+  auto& fx = stream_fixture();
+  const std::string dir = stage_stream({{0, 1}, {0, 2}});
+  StandbyReplica standby(standby_config(dir));
+  standby.load();
+
+  fp::set("standby.apply", "error");
+  EXPECT_EQ(standby.poll_once(), 0u);
+  auto s = standby.stats();
+  EXPECT_GE(s.apply_failures, 1u);
+  EXPECT_EQ(s.deltas_applied, 0u);
+  EXPECT_EQ(s.state, StandbyState::kTailing);
+  // The failpoint fires before any mutation: the component is untouched.
+  EXPECT_EQ(standby.search_service()->component(0).epoch_version(),
+            fx.base[0]);
+
+  // An injected failure is not a gap — patience never converts it into a
+  // resync, no matter how long it lasts.
+  EXPECT_EQ(standby.poll_once(), 0u);
+  EXPECT_EQ(standby.poll_once(), 0u);
+  EXPECT_EQ(standby.state(), StandbyState::kTailing);
+
+  fp::clear_all();
+  EXPECT_EQ(standby.poll_once(), 2u);
+  EXPECT_EQ(standby.search_service()->component(0).epoch_version(),
+            fx.base[0] + 2);
+}
+
+TEST_F(StandbyTest, PromoteFailpointLeavesReplicaTailing) {
+  const std::string dir = stage_stream({{0, 1}});
+  StandbyReplica standby(standby_config(dir));
+  standby.load();
+
+  fp::set("standby.promote", "error");
+  EXPECT_THROW(standby.promote(), std::exception);
+  EXPECT_EQ(standby.state(), StandbyState::kTailing);
+  fp::clear_all();
+
+  // Still healthy: the aborted promotion left no partial side effects.
+  EXPECT_EQ(standby.poll_once(), 1u);
+  Server& srv = standby.promote();
+  EXPECT_EQ(standby.state(), StandbyState::kPromoted);
+  EXPECT_GT(srv.port(), 0);
+  standby.stop();
+}
+
+TEST_F(StandbyTest, FullReplayConvergesByteIdenticallyToThePrimary) {
+  auto& fx = stream_fixture();
+  const std::string dir =
+      stage_stream({{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 1}, {1, 2}});
+  StandbyReplica standby(standby_config(dir));
+  standby.load();
+  EXPECT_EQ(standby.poll_once(), kDeltasC0 + kDeltasC1);
+
+  for (std::size_t c = 0; c < kComponents; ++c) {
+    EXPECT_EQ(standby.search_service()->component(c).epoch_version(),
+              fx.service->component(c).epoch_version())
+        << "component " << c;
+    std::stringstream primary_bytes, replica_bytes;
+    fx.service->component(c).save(primary_bytes);
+    standby.search_service()->component(c).save(replica_bytes);
+    EXPECT_EQ(primary_bytes.str(), replica_bytes.str())
+        << "component " << c << " diverged";
+  }
+  EXPECT_EQ(standby.search_service()->data_version(),
+            fx.service->data_version());
+}
+
+}  // namespace
+}  // namespace at::server

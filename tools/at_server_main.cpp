@@ -15,6 +15,9 @@
 //        --delta-dir P   emit one DLTA delta artifact per epoch publish
 //                        into directory P (warm-standby tailing; see
 //                        README "Online retraining & epochs")
+//        --ckpt-dir P    write a full warm-standby checkpoint (SCMP/RCMP
+//                        per component + the global idf) into directory P
+//                        right after startup; prints "CHECKPOINT <dir>"
 //
 // Fault injection: arm failpoints via AT_FAILPOINTS (see README).
 #include <csignal>
@@ -68,6 +71,7 @@ int main(int argc, char** argv) {
   const long deadline = arg_long(argc, argv, "--deadline", 100);
   const bool no_reco = arg_flag(argc, argv, "--no-reco");
   const std::string delta_dir = arg_str(argc, argv, "--delta-dir", "");
+  const std::string ckpt_dir = arg_str(argc, argv, "--ckpt-dir", "");
 
   // Search corpus + service.
   workload::CorpusConfig ccfg;
@@ -120,6 +124,10 @@ int main(int argc, char** argv) {
   server::Server server(search, reco.get(), exec, scfg);
   try {
     server.start();
+    if (!ckpt_dir.empty()) {
+      server.write_checkpoint(ckpt_dir);
+      std::cout << "CHECKPOINT " << ckpt_dir << std::endl;
+    }
   } catch (const std::exception& e) {
     std::cerr << "at_server: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,121 @@
+// at_standby: warm-standby replica binary for CI takeover smoke runs and
+// manual drills.
+//
+// Loads the checkpoint written by at_server --ckpt-dir, tails the delta
+// directory, and waits for signals:
+//
+//   SIGUSR1        promote: stop tailing, drain remaining deltas, start
+//                  serving. Prints "PROMOTED <port>" (parsed by scripts).
+//   SIGTERM/SIGINT shut down cleanly and print the final stats JSON
+//                  ({"standby": ..., "server": ...}) to stdout.
+//
+// Startup line (parsed by scripts):  TAILING
+// A failed promotion (resync required) prints "RESYNC_REQUIRED <reason>"
+// and exits 2.
+//
+// Flags: --ckpt-dir P    checkpoint directory (required)
+//        --delta-dir P   delta directory to tail (required)
+//        --port N        port the promoted server binds (default 0)
+//        --poll-ms N     tailer poll interval (default 20)
+//        --queue N       admission bound per group once promoted
+//        --deadline MS   default deadline once promoted
+//        --emit-deltas   promoted server keeps emitting deltas into the
+//                        tailed directory, continuing the primary's chain
+//
+// Fault injection: arm failpoints via AT_FAILPOINTS (standby.apply,
+// standby.promote; see README).
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "server/standby.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_promote = 0;
+void handle_stop(int) { g_stop = 1; }
+void handle_promote(int) { g_promote = 1; }
+
+long arg_long(int argc, char** argv, const char* name, long def) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return std::atol(argv[i + 1]);
+  return def;
+}
+
+bool arg_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return true;
+  return false;
+}
+
+std::string arg_str(int argc, char** argv, const char* name,
+                    const char* def) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  return def;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace at;
+
+  server::StandbyConfig cfg;
+  cfg.checkpoint_dir = arg_str(argc, argv, "--ckpt-dir", "");
+  cfg.delta_dir = arg_str(argc, argv, "--delta-dir", "");
+  cfg.poll_interval_ms =
+      static_cast<double>(arg_long(argc, argv, "--poll-ms", 20));
+  cfg.server.port =
+      static_cast<std::uint16_t>(arg_long(argc, argv, "--port", 0));
+  cfg.server.max_queue_per_group =
+      static_cast<std::size_t>(arg_long(argc, argv, "--queue", 64));
+  cfg.server.default_deadline_ms =
+      static_cast<double>(arg_long(argc, argv, "--deadline", 100));
+  if (arg_flag(argc, argv, "--emit-deltas")) cfg.server.delta_dir = cfg.delta_dir;
+  if (cfg.checkpoint_dir.empty() || cfg.delta_dir.empty()) {
+    std::cerr << "at_standby: --ckpt-dir and --delta-dir are required\n";
+    return 1;
+  }
+
+  server::StandbyReplica standby(cfg);
+  try {
+    standby.load();
+    standby.start();
+  } catch (const std::exception& e) {
+    std::cerr << "at_standby: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::signal(SIGTERM, handle_stop);
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGUSR1, handle_promote);
+  std::cout << "TAILING" << std::endl;
+
+  while (g_stop == 0) {
+    if (g_promote != 0) {
+      g_promote = 0;
+      try {
+        server::Server& srv = standby.promote();
+        std::cout << "PROMOTED " << srv.port() << std::endl;
+      } catch (const std::exception& e) {
+        std::cout << "RESYNC_REQUIRED " << e.what() << std::endl;
+        std::cout << standby.stats_json() << std::endl;
+        return 2;
+      }
+    }
+    // atlint: allow(banned-sleep) — signal-wait poll in the binary's main.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  server::Server* promoted = standby.server();
+  const std::string server_json =
+      promoted != nullptr ? promoted->stats_json() : "null";
+  standby.stop();
+  std::cout << "{\"standby\": " << standby.stats_json()
+            << ", \"server\": " << server_json << "}" << std::endl;
+  return 0;
+}
